@@ -1,0 +1,58 @@
+//! End-to-end query benchmarks: cold vs adapted PostgresRaw, Baseline, and
+//! a loaded row store, all answering the same SP query — the Criterion twin
+//! of the FIG3/SEQ experiments.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nodb_bench::systems::{Contestant, LoadedContestant, RawContestant};
+use nodb_bench::workload::{scratch_dir, sp_query, Dataset};
+use nodb_core::NoDbConfig;
+use nodb_storage::DbProfile;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let dir = scratch_dir("bench_e2e");
+    let data = Dataset::standard(&dir, 10, 20_000, 0xE2E);
+    let schema = data.schema();
+    let sql = sp_query("t", &[2, 7], 4, 0.3);
+
+    let mut group = c.benchmark_group("end_to_end_20k_rows");
+    group.sample_size(20);
+
+    group.bench_function("postgresraw_cold", |b| {
+        b.iter_batched(
+            || {
+                let mut s = RawContestant::pm_c();
+                s.init(&data.path, &schema).unwrap();
+                s
+            },
+            |mut s| black_box(s.run(&sql).unwrap().0),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("postgresraw_adapted", |b| {
+        let mut s = RawContestant::pm_c();
+        s.init(&data.path, &schema).unwrap();
+        s.run(&sql).unwrap(); // warm
+        b.iter(|| black_box(s.run(&sql).unwrap().0))
+    });
+
+    group.bench_function("baseline_external_files", |b| {
+        let mut s = RawContestant::new(NoDbConfig::baseline());
+        s.init(&data.path, &schema).unwrap();
+        b.iter(|| black_box(s.run(&sql).unwrap().0))
+    });
+
+    group.bench_function("loaded_row_store_query_only", |b| {
+        let mut s = LoadedContestant::new(DbProfile::PostgresLike, vec![]);
+        s.init(&data.path, &schema).unwrap(); // load excluded from timing
+        b.iter(|| black_box(s.run(&sql).unwrap().0))
+    });
+
+    group.finish();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Positional-map microbenchmarks: exact jumps vs anchor-resumed tokenizing
+//! vs from-scratch selective tokenizing (the §3.1 access ladder), plus the
+//! u16-relative-offset representation's install cost.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nodb_posmap::{ChunkBuilder, MapPolicy, PositionalMap};
+use nodb_rawcsv::tokenizer::{find_byte, Tokens, TokenizerConfig};
+use nodb_rawcsv::GeneratorConfig;
+
+fn lines(cols: usize, rows: u64) -> Vec<Vec<u8>> {
+    GeneratorConfig::uniform_ints(cols, rows, 7)
+        .generate_bytes()
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .map(|l| l.to_vec())
+        .collect()
+}
+
+fn build_map(lines: &[Vec<u8>], attrs: Vec<usize>) -> PositionalMap {
+    let cfg = TokenizerConfig::default();
+    let mut t = Tokens::new();
+    let mut map = PositionalMap::new(MapPolicy::default());
+    let mut b = ChunkBuilder::new(attrs);
+    for (row, l) in lines.iter().enumerate() {
+        map.row_index_mut().note_row(row, 0);
+        cfg.tokenize_into(l, &mut t);
+        b.push_row(&t);
+    }
+    map.install(b);
+    map
+}
+
+fn bench_access_ladder(c: &mut Criterion) {
+    let data = lines(50, 2000);
+    let cfg = TokenizerConfig::default();
+    let target = 40usize;
+
+    let mut group = c.benchmark_group("posmap_access");
+
+    // Rung 1: exact jump — map stores attr 40 directly.
+    {
+        let mut map = build_map(&data, vec![target]);
+        let plan = map.plan_access(&[target]);
+        let chunk = match plan.source_for(target) {
+            Some(nodb_posmap::AttrSource::Exact { chunk }) => chunk,
+            other => panic!("expected exact coverage, got {other:?}"),
+        };
+        group.bench_function("exact_jump", |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (row, l) in data.iter().enumerate() {
+                    let start = map.offset_in(chunk, target, row).unwrap() as usize;
+                    let end = find_byte(&l[start..], b',').map(|p| start + p).unwrap_or(l.len());
+                    acc += end - start;
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    // Rung 2: anchor resume — map stores attr 35; resume 5 fields.
+    {
+        let mut map = build_map(&data, vec![35]);
+        let plan = map.plan_access(&[target]);
+        let (chunk, anchor) = match plan.source_for(target) {
+            Some(nodb_posmap::AttrSource::Anchor { chunk, anchor_attr }) => (chunk, anchor_attr),
+            other => panic!("expected anchor, got {other:?}"),
+        };
+        group.bench_function("anchor_resume_5_fields", |b| {
+            let mut t = Tokens::new();
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (row, l) in data.iter().enumerate() {
+                    let off = map.offset_in(chunk, anchor, row).unwrap() as usize;
+                    cfg.tokenize_from(l, anchor, off, target, &mut t);
+                    acc += t.get(target).map(|s| s.len()).unwrap_or(0);
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    // Rung 3: no map — selective tokenize from the line start.
+    group.bench_function("scan_from_start", |b| {
+        let mut t = Tokens::new();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for l in &data {
+                cfg.tokenize_selective(l, target, &mut t);
+                acc += t.get(target).map(|s| s.len()).unwrap_or(0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_install(c: &mut Criterion) {
+    let data = lines(20, 2000);
+    let cfg = TokenizerConfig::default();
+    c.bench_function("posmap_populate_and_install_2000x4", |b| {
+        b.iter(|| {
+            let mut map = PositionalMap::new(MapPolicy::default());
+            let mut t = Tokens::new();
+            let mut builder = ChunkBuilder::with_capacity(vec![3, 7, 11, 15], data.len());
+            for (row, l) in data.iter().enumerate() {
+                map.row_index_mut().note_row(row, 0);
+                cfg.tokenize_selective(l, 15, &mut t);
+                builder.push_row(&t);
+            }
+            black_box(map.install(builder))
+        })
+    });
+}
+
+criterion_group!(benches, bench_access_ladder, bench_install);
+criterion_main!(benches);

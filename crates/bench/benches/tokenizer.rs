@@ -1,0 +1,85 @@
+//! Microbenchmarks for the tokenizer: full vs selective vs resumable, and
+//! the SWAR delimiter scan vs a naive byte loop. These quantify the §3
+//! claim that selective tokenizing "significantly reduces the CPU
+//! processing costs".
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nodb_rawcsv::tokenizer::{find_byte, Tokens, TokenizerConfig};
+use nodb_rawcsv::GeneratorConfig;
+
+fn sample_lines(cols: usize, rows: u64) -> Vec<Vec<u8>> {
+    GeneratorConfig::uniform_ints(cols, rows, 42)
+        .generate_bytes()
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .map(|l| l.to_vec())
+        .collect()
+}
+
+fn bench_tokenizing(c: &mut Criterion) {
+    let lines = sample_lines(50, 2000);
+    let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+    let cfg = TokenizerConfig::default();
+    let mut group = c.benchmark_group("tokenizer");
+    group.throughput(Throughput::Bytes(bytes));
+
+    group.bench_function("full_50_cols", |b| {
+        let mut t = Tokens::new();
+        b.iter(|| {
+            let mut n = 0usize;
+            for l in &lines {
+                n += cfg.tokenize_into(black_box(l), &mut t);
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("selective_upto_attr5", |b| {
+        let mut t = Tokens::new();
+        b.iter(|| {
+            let mut n = 0usize;
+            for l in &lines {
+                n += cfg.tokenize_selective(black_box(l), 5, &mut t);
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("resumable_from_attr40", |b| {
+        // Precompute anchors for attr 40 (what the positional map stores).
+        let mut t = Tokens::new();
+        let anchors: Vec<usize> = lines
+            .iter()
+            .map(|l| {
+                cfg.tokenize_into(l, &mut t);
+                t.get(40).unwrap().start as usize
+            })
+            .collect();
+        b.iter(|| {
+            let mut n = 0usize;
+            for (l, &a) in lines.iter().zip(&anchors) {
+                n += cfg.tokenize_from(black_box(l), 40, a, 45, &mut t);
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_find_byte(c: &mut Criterion) {
+    let hay: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8 + 1).collect();
+    let mut group = c.benchmark_group("find_byte");
+    group.throughput(Throughput::Bytes(hay.len() as u64));
+    group.bench_function("swar", |b| {
+        b.iter(|| black_box(find_byte(black_box(&hay), 0)))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(black_box(&hay[..]).iter().position(|&x| x == 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenizing, bench_find_byte);
+criterion_main!(benches);

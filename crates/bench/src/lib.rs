@@ -1,0 +1,24 @@
+//! # nodb-bench — experiment harness
+//!
+//! Reproduces every figure and demo scenario of the paper (see the table in
+//! [`experiments`]). Run everything with:
+//!
+//! ```text
+//! cargo run --release -p nodb-bench --bin experiments -- all --scale small
+//! ```
+//!
+//! or a single experiment (`fig2`, `fig3`, `seq`, `adapt`, `dataset`,
+//! `race`, `updates`, `knobs`). `--scale full` uses paper-comparable file
+//! sizes; `small` finishes in seconds for CI.
+//!
+//! Criterion microbenchmarks live in `benches/`: tokenizer (full vs
+//! selective vs SWAR), positional-map jumps vs scans, cache hit vs
+//! re-parse, and end-to-end query latency.
+
+pub mod experiments;
+pub mod report;
+pub mod systems;
+pub mod workload;
+
+pub use experiments::{run, ExperimentReport, ALL};
+pub use workload::Scale;

@@ -1,0 +1,127 @@
+//! Configuration knobs — the demo's interactive parameter panel.
+//!
+//! "The user can enable or disable the NoDB components of PostgresRaw and
+//! specify the amount of storage space which is devoted to internal indexes
+//! and caches" (§1). Every switch the demo exposes is a field here, plus the
+//! ablation flags DESIGN.md calls out.
+
+use nodb_posmap::CombinationTrigger;
+
+/// Full configuration of a [`crate::NoDb`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct NoDbConfig {
+    /// Enable the adaptive positional map (§3.1).
+    pub enable_positional_map: bool,
+    /// Enable the adaptive binary cache (§3.2).
+    pub enable_cache: bool,
+    /// Enable on-the-fly statistics (§3.3).
+    pub enable_stats: bool,
+    /// Byte budget for the positional map's chunks.
+    pub map_budget_bytes: usize,
+    /// Byte budget for the cache.
+    pub cache_budget_bytes: usize,
+    /// When to index a new attribute combination (paper default:
+    /// all-requested-attributes-in-different-chunks).
+    pub combination_trigger: CombinationTrigger,
+    /// Selective tokenizing (§3): abort each tuple once the last needed
+    /// attribute is located. Disabling reverts to full-tuple tokenizing —
+    /// the KNOBS ablation.
+    pub selective_tokenizing: bool,
+    /// Ablation: cache every parsed attribute of the tuple instead of only
+    /// those the query requested. The paper explicitly rejects this
+    /// ("caching does not force additional data to be parsed"); turning it
+    /// on shows why.
+    pub cache_force_full_parse: bool,
+    /// Observe every `stats_sample_every`-th row in the statistics
+    /// accumulators (1 = every row).
+    pub stats_sample_every: u64,
+    /// Block size for sequential raw-file reads.
+    pub io_block_size: usize,
+    /// Collect per-phase execution breakdowns (Fig 3). Costs a few ns per
+    /// row; disable for pure-throughput microbenchmarks.
+    pub detailed_timing: bool,
+    /// Check the raw file for appends/replacement before every query (§4.2
+    /// *Updates*).
+    pub detect_updates: bool,
+}
+
+impl Default for NoDbConfig {
+    fn default() -> Self {
+        NoDbConfig {
+            enable_positional_map: true,
+            enable_cache: true,
+            enable_stats: true,
+            map_budget_bytes: 256 << 20,
+            cache_budget_bytes: 1 << 30,
+            combination_trigger: CombinationTrigger::AllDifferentChunks,
+            selective_tokenizing: true,
+            cache_force_full_parse: false,
+            stats_sample_every: 1,
+            io_block_size: 1 << 20,
+            detailed_timing: true,
+            detect_updates: true,
+        }
+    }
+}
+
+impl NoDbConfig {
+    /// The paper's *PostgresRaw PM+C* configuration (everything on).
+    pub fn pm_c() -> Self {
+        NoDbConfig::default()
+    }
+
+    /// The paper's *Baseline* configuration: "does not use any of the
+    /// aforementioned techniques and constitutes the naive way of accessing
+    /// external files". Every query re-tokenizes and re-parses everything;
+    /// no state is kept between queries.
+    pub fn baseline() -> Self {
+        NoDbConfig {
+            enable_positional_map: false,
+            enable_cache: false,
+            enable_stats: false,
+            selective_tokenizing: false,
+            ..NoDbConfig::default()
+        }
+    }
+
+    /// Positional map only (the *PostgresRaw PM* variant).
+    pub fn pm_only() -> Self {
+        NoDbConfig { enable_cache: false, ..NoDbConfig::default() }
+    }
+
+    /// Cache only (the *PostgresRaw C* variant).
+    pub fn cache_only() -> Self {
+        NoDbConfig { enable_positional_map: false, ..NoDbConfig::default() }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match (self.enable_positional_map, self.enable_cache) {
+            (true, true) => "PostgresRaw (PM+C)",
+            (true, false) => "PostgresRaw (PM)",
+            (false, true) => "PostgresRaw (C)",
+            (false, false) => {
+                if self.selective_tokenizing {
+                    "External files (selective)"
+                } else {
+                    "Baseline (external files)"
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_variants() {
+        assert_eq!(NoDbConfig::pm_c().label(), "PostgresRaw (PM+C)");
+        assert_eq!(NoDbConfig::baseline().label(), "Baseline (external files)");
+        assert!(!NoDbConfig::baseline().enable_positional_map);
+        assert!(!NoDbConfig::baseline().selective_tokenizing);
+        assert!(NoDbConfig::pm_only().enable_positional_map);
+        assert!(!NoDbConfig::pm_only().enable_cache);
+    }
+}

@@ -1,0 +1,380 @@
+//! # nodb-core — PostgresRaw in Rust
+//!
+//! The paper's primary contribution: a query engine that answers SQL over
+//! raw CSV files with **zero data-to-query time** — no loading step — and
+//! that gets *faster as you use it*, because every query leaves behind
+//! positional-map entries, cached binary columns and statistics (§3).
+//!
+//! ```no_run
+//! use nodb_core::{NoDb, NoDbConfig};
+//!
+//! let mut db = NoDb::new(NoDbConfig::default());
+//! db.register_csv("events", "events.csv").unwrap();           // instant
+//! let r = db.query("SELECT c0, c7 FROM events WHERE c3 > 100").unwrap();
+//! println!("{r}");
+//! println!("{}", db.last_report().unwrap().breakdown.panel_row());
+//! println!("{}", db.snapshot("events").unwrap().panel());
+//! ```
+//!
+//! Module map: [`config`] (the demo's knob panel), [`table`] (per-file
+//! adaptive state), [`rawscan`] (the in-situ scan operator), [`metrics`]
+//! (Fig 2 / Fig 3 panels as data).
+
+pub mod config;
+pub mod metrics;
+pub mod rawscan;
+pub mod table;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use nodb_engine::{execute, plan_select, EngineError, EngineResult, QueryResult};
+use nodb_rawcsv::reader::FileChange;
+use nodb_rawcsv::tokenizer::TokenizerConfig;
+use nodb_rawcsv::{infer, Schema};
+use nodb_sqlparse::parse_select;
+use nodb_stats::estimate::NoStats;
+use nodb_stats::table::StatsEstimator;
+
+pub use config::NoDbConfig;
+pub use metrics::{Breakdown, QueryReport, SystemSnapshot};
+pub use rawscan::{RawScanSource, ScanTelemetry};
+pub use table::RawTable;
+
+/// The NoDB system: a set of registered raw files and their adaptive
+/// auxiliary structures, queryable with SQL from the first second.
+pub struct NoDb {
+    config: NoDbConfig,
+    tables: HashMap<String, RawTable>,
+    last_report: Option<QueryReport>,
+}
+
+impl NoDb {
+    /// A new instance with the given configuration.
+    pub fn new(config: NoDbConfig) -> Self {
+        NoDb { config, tables: HashMap::new(), last_report: None }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &NoDbConfig {
+        &self.config
+    }
+
+    /// Register a raw file, sniffing the delimiter (comma, tab, semicolon
+    /// or pipe) and inferring the schema from a bounded sample — the only
+    /// bytes touched before the first query.
+    pub fn register_csv(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+    ) -> EngineResult<()> {
+        let inferred = infer::infer_schema_sniffed(&path, 100)?;
+        self.register_csv_with_options(
+            name,
+            path,
+            inferred.schema,
+            inferred.has_header,
+            inferred.tokenizer,
+        )
+    }
+
+    /// Register with an explicit tokenizer configuration (delimiter, quote
+    /// character). Quoted files keep selective tokenizing, caching and
+    /// statistics but bypass the positional map (see `rawscan`).
+    pub fn register_csv_with_options(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+        schema: Schema,
+        has_header: bool,
+        tokenizer: TokenizerConfig,
+    ) -> EngineResult<()> {
+        let table =
+            RawTable::register_with_tokenizer(path, schema, has_header, &self.config, tokenizer)?;
+        self.tables.insert(name.into(), table);
+        Ok(())
+    }
+
+    /// Register a raw CSV file with a known schema.
+    pub fn register_csv_with_schema(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+        schema: Schema,
+        has_header: bool,
+    ) -> EngineResult<()> {
+        let table = RawTable::register(path, schema, has_header, &self.config)?;
+        self.tables.insert(name.into(), table);
+        Ok(())
+    }
+
+    /// Execute one SQL query. Everything adaptive happens as a side effect:
+    /// update detection, access planning, map/cache/statistics population.
+    pub fn query(&mut self, sql: &str) -> EngineResult<QueryResult> {
+        let t0 = Instant::now();
+        let stmt = parse_select(sql)?;
+        let table = self
+            .tables
+            .get_mut(&stmt.table)
+            .ok_or_else(|| EngineError::UnknownTable(stmt.table.clone()))?;
+
+        if self.config.detect_updates {
+            table.check_updates()?;
+        }
+
+        let planned = if self.config.enable_stats {
+            let est = StatsEstimator::new(&mut table.stats);
+            plan_select(&stmt, &table.schema, &est)?
+        } else {
+            plan_select(&stmt, &table.schema, &NoStats)?
+        };
+
+        for &attr in &planned.scan.attrs {
+            if let Some(slot) = table.attr_access.get_mut(attr) {
+                *slot += 1;
+            }
+        }
+        let hits0 = table.cache.metrics().hits;
+        let misses0 = table.cache.metrics().misses;
+
+        let telemetry = Rc::new(RefCell::new(ScanTelemetry::default()));
+        let result = {
+            let source = RawScanSource::new(
+                table,
+                self.config,
+                planned.scan.clone(),
+                Rc::clone(&telemetry),
+            );
+            execute(&planned, Box::new(source))?
+        };
+
+        let total = t0.elapsed();
+        let table = self.tables.get(&stmt.table).expect("still registered");
+        let tel = telemetry.borrow();
+        let mut breakdown = tel.breakdown;
+        // Processing = everything not attributed to a scan phase.
+        breakdown.processing = total.saturating_sub(
+            breakdown.io + breakdown.tokenizing + breakdown.parsing + breakdown.convert
+                + breakdown.nodb,
+        );
+        self.last_report = Some(QueryReport {
+            total,
+            breakdown,
+            io: tel.io,
+            rows_scanned: tel.rows_scanned,
+            rows_returned: result.len() as u64,
+            cache_hits: table.cache.metrics().hits - hits0,
+            cache_misses: table.cache.metrics().misses - misses0,
+            fully_cached: tel.fully_cached,
+            installed_chunk: tel.installed_chunk,
+            plan: planned.explain(),
+        });
+        Ok(result)
+    }
+
+    /// Report for the most recent query.
+    pub fn last_report(&self) -> Option<&QueryReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The Figure 2 monitoring panel for one table.
+    pub fn snapshot(&self, table: &str) -> Option<SystemSnapshot> {
+        self.tables.get(table).map(RawTable::snapshot)
+    }
+
+    /// Schema of a registered table.
+    pub fn schema(&self, table: &str) -> Option<&Schema> {
+        self.tables.get(table).map(RawTable::schema)
+    }
+
+    /// Direct access to a registered table (experiment harness).
+    pub fn table(&self, name: &str) -> Option<&RawTable> {
+        self.tables.get(name)
+    }
+
+    /// Mutable access to a registered table (experiment harness / knobs).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut RawTable> {
+        self.tables.get_mut(name)
+    }
+
+    /// Change the positional-map budget for every registered table (the
+    /// demo's interactive storage knob). Shrinking evicts immediately.
+    pub fn set_map_budget(&mut self, bytes: usize) {
+        self.config.map_budget_bytes = bytes;
+        for t in self.tables.values_mut() {
+            t.map.set_budget(bytes);
+        }
+    }
+
+    /// Change the cache budget for every registered table.
+    pub fn set_cache_budget(&mut self, bytes: usize) {
+        self.config.cache_budget_bytes = bytes;
+        for t in self.tables.values_mut() {
+            t.cache.set_budget(bytes);
+        }
+    }
+
+    /// Force an update probe on one table (the harness uses this to test
+    /// §4.2 updates without issuing a query).
+    pub fn probe_updates(&mut self, table: &str) -> EngineResult<FileChange> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        Ok(t.check_updates()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_rawcsv::{Datum, GeneratorConfig};
+    use std::path::PathBuf;
+
+    fn tmp_csv(cols: usize, rows: u64, seed: u64) -> (PathBuf, GeneratorConfig) {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "nodb_facade_{cols}_{rows}_{seed}_{}",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let cfg = GeneratorConfig::uniform_ints(cols, rows, seed);
+        cfg.generate_file(&p).unwrap();
+        (p, cfg)
+    }
+
+    #[test]
+    fn zero_load_query_and_adaptive_speedup_state() {
+        let (p, gen) = tmp_csv(6, 1000, 11);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+
+        let r1 = db.query("SELECT c1, c4 FROM t WHERE c2 > 500000000").unwrap();
+        let rep1 = db.last_report().unwrap().clone();
+        assert_eq!(rep1.rows_scanned, 1000);
+        assert!(!rep1.fully_cached);
+        assert!(rep1.io.bytes_read > 0);
+
+        let r2 = db.query("SELECT c1, c4 FROM t WHERE c2 > 500000000").unwrap();
+        let rep2 = db.last_report().unwrap().clone();
+        assert_eq!(r1, r2, "adaptive rerun must be identical");
+        assert!(rep2.fully_cached, "second run served from cache");
+        assert_eq!(rep2.io.bytes_read, 0);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn snapshot_evolves_with_queries() {
+        let (p, gen) = tmp_csv(5, 200, 12);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        let s0 = db.snapshot("t").unwrap();
+        assert_eq!(s0.map_bytes + s0.cache_bytes, 0);
+        db.query("SELECT c0 FROM t").unwrap();
+        let s1 = db.snapshot("t").unwrap();
+        assert!(s1.map_bytes > 0 || s1.cache_bytes > 0);
+        assert_eq!(s1.attr_access_counts[0], (0, 1));
+        assert_eq!(s1.row_count, Some(200));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn schema_inference_path_works_end_to_end() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nodb_facade_infer_{}", std::process::id()));
+        std::fs::write(&p, "id,name,score\n1,alice,2.5\n2,bob,3.5\n").unwrap();
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv("people", &p).unwrap();
+        let r = db.query("SELECT name FROM people WHERE score > 3").unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::from("bob")]]);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn aggregates_over_raw_files() {
+        let (p, gen) = tmp_csv(3, 500, 13);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        let r = db.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.scalar(), Some(&Datum::Int(500)));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn append_detected_next_query_sees_new_rows() {
+        let (p, gen) = tmp_csv(3, 100, 14);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Datum::Int(100))
+        );
+        gen.append_rows(&p, 50).unwrap();
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Datum::Int(150)),
+            "appended rows visible to the next query"
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn replacement_detected_and_state_dropped() {
+        let (p, gen) = tmp_csv(3, 100, 15);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        db.query("SELECT c0 FROM t").unwrap();
+        assert!(db.snapshot("t").unwrap().cache_bytes > 0);
+        // Replace with a smaller file of the same shape.
+        let gen2 = GeneratorConfig::uniform_ints(3, 10, 99);
+        gen2.generate_file(&p).unwrap();
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Datum::Int(10))
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn budget_knobs_apply_immediately() {
+        let (p, gen) = tmp_csv(4, 200, 16);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        db.query("SELECT c0, c1 FROM t").unwrap();
+        assert!(db.snapshot("t").unwrap().cache_bytes > 0);
+        db.set_cache_budget(0);
+        db.set_map_budget(0);
+        let s = db.snapshot("t").unwrap();
+        assert_eq!(s.cache_bytes, 0);
+        assert_eq!(s.map_bytes, 0);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let mut db = NoDb::new(NoDbConfig::default());
+        assert!(matches!(
+            db.query("SELECT a FROM missing"),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn baseline_config_answers_but_learns_nothing() {
+        let (p, gen) = tmp_csv(4, 300, 17);
+        let mut db = NoDb::new(NoDbConfig::baseline());
+        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        db.query("SELECT c1 FROM t").unwrap();
+        db.query("SELECT c1 FROM t").unwrap();
+        let rep = db.last_report().unwrap();
+        assert!(!rep.fully_cached);
+        assert!(rep.io.bytes_read > 0, "baseline re-reads every query");
+        let s = db.snapshot("t").unwrap();
+        assert_eq!(s.map_bytes + s.cache_bytes, 0);
+        std::fs::remove_file(p).unwrap();
+    }
+}

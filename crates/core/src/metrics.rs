@@ -1,0 +1,256 @@
+//! Execution breakdowns and system snapshots — the demo's two panels.
+//!
+//! [`Breakdown`] is the Figure 3 stacked bar: where one query's time went
+//! (I/O, tokenizing, parsing, conversion, NoDB-structure maintenance,
+//! processing). [`SystemSnapshot`] is the Figure 2 monitoring panel: what
+//! the positional map and cache currently hold, their budgets, utilization
+//! and usage statistics.
+
+use std::time::Duration;
+
+use nodb_rawcsv::IoCounters;
+
+/// Per-phase wall-clock breakdown of one query (Fig 3).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Breakdown {
+    /// Reading raw bytes from disk (block fetches).
+    pub io: Duration,
+    /// Locating delimiters (SWAR scanning, resumable tokenizing).
+    pub tokenizing: Duration,
+    /// Navigating via positional-map offsets (jump + field-end location).
+    pub parsing: Duration,
+    /// Converting field bytes to binary datums.
+    pub convert: Duration,
+    /// Populating the positional map / cache / statistics (the "NoDB
+    /// overhead" slice).
+    pub nodb: Duration,
+    /// Everything above the scan: predicate evaluation, tuple formation,
+    /// aggregation, sorting.
+    pub processing: Duration,
+}
+
+impl Breakdown {
+    /// Sum of all slices.
+    pub fn total(&self) -> Duration {
+        self.io + self.tokenizing + self.parsing + self.convert + self.nodb + self.processing
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.io += other.io;
+        self.tokenizing += other.tokenizing;
+        self.parsing += other.parsing;
+        self.convert += other.convert;
+        self.nodb += other.nodb;
+        self.processing += other.processing;
+    }
+
+    /// Render as the Fig 3 panel row: `io=…ms tok=…ms parse=…ms conv=…ms
+    /// nodb=…ms proc=…ms`.
+    pub fn panel_row(&self) -> String {
+        fn ms(d: Duration) -> f64 {
+            d.as_secs_f64() * 1e3
+        }
+        format!(
+            "io={:8.2}ms tok={:8.2}ms parse={:8.2}ms conv={:8.2}ms nodb={:8.2}ms proc={:8.2}ms",
+            ms(self.io),
+            ms(self.tokenizing),
+            ms(self.parsing),
+            ms(self.convert),
+            ms(self.nodb),
+            ms(self.processing)
+        )
+    }
+}
+
+/// Everything recorded about one query execution.
+#[derive(Debug, Default, Clone)]
+pub struct QueryReport {
+    /// Wall-clock end-to-end latency (parse → result materialized).
+    pub total: Duration,
+    /// Per-phase breakdown (zeroed when `detailed_timing` is off).
+    pub breakdown: Breakdown,
+    /// Raw-file I/O performed by this query.
+    pub io: IoCounters,
+    /// Tuples scanned (rows of the raw file visited).
+    pub rows_scanned: u64,
+    /// Rows the query returned.
+    pub rows_returned: u64,
+    /// Cache hits during this query (row-values served without raw access).
+    pub cache_hits: u64,
+    /// Cache misses (values parsed from raw bytes).
+    pub cache_misses: u64,
+    /// Whether the scan was served entirely from the cache (no file access).
+    pub fully_cached: bool,
+    /// Whether a positional-map chunk was installed as a side effect.
+    pub installed_chunk: bool,
+    /// Plan summary (EXPLAIN-lite).
+    pub plan: String,
+}
+
+/// One chunk's description in the monitoring panel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// Attributes stored together.
+    pub attrs: Vec<usize>,
+    /// Rows covered.
+    pub rows: usize,
+    /// Bytes held.
+    pub bytes: usize,
+}
+
+/// The Figure 2 system monitoring panel as data.
+#[derive(Debug, Clone, Default)]
+pub struct SystemSnapshot {
+    /// Positional-map bytes in use.
+    pub map_bytes: usize,
+    /// Positional-map budget.
+    pub map_budget: usize,
+    /// Map utilization in `[0, 1]`.
+    pub map_utilization: f64,
+    /// Installed chunks.
+    pub map_chunks: Vec<ChunkInfo>,
+    /// Shared row-index footprint (reported separately, not budgeted).
+    pub row_index_bytes: usize,
+    /// Map lifetime counters: installs, evictions, rejects.
+    pub map_installs: u64,
+    /// Chunks evicted so far.
+    pub map_evictions: u64,
+    /// Cache bytes in use.
+    pub cache_bytes: usize,
+    /// Cache budget.
+    pub cache_budget: usize,
+    /// Cache utilization in `[0, 1]`.
+    pub cache_utilization: f64,
+    /// Resident cached attributes with their row coverage.
+    pub cache_resident: Vec<(usize, usize)>,
+    /// Cache lifetime hit ratio.
+    pub cache_hit_ratio: f64,
+    /// Cache evictions so far.
+    pub cache_evictions: u64,
+    /// Attributes with statistics, sorted.
+    pub stats_attrs: Vec<usize>,
+    /// Per-attribute access counts since registration (usage panel).
+    pub attr_access_counts: Vec<(usize, u64)>,
+    /// Known row count, if a full scan has completed.
+    pub row_count: Option<u64>,
+}
+
+impl SystemSnapshot {
+    /// Render the panel as text (the demo GUI's textual twin).
+    pub fn panel(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "positional map : {:>10} / {:>10} bytes ({:5.1}%)  chunks={} installs={} evictions={}\n",
+            self.map_bytes,
+            self.map_budget,
+            self.map_utilization * 100.0,
+            self.map_chunks.len(),
+            self.map_installs,
+            self.map_evictions,
+        ));
+        for c in &self.map_chunks {
+            s.push_str(&format!(
+                "   chunk attrs={:?} rows={} bytes={}\n",
+                c.attrs, c.rows, c.bytes
+            ));
+        }
+        s.push_str(&format!(
+            "cache          : {:>10} / {:>10} bytes ({:5.1}%)  hit_ratio={:.2} evictions={}\n",
+            self.cache_bytes,
+            self.cache_budget,
+            self.cache_utilization * 100.0,
+            self.cache_hit_ratio,
+            self.cache_evictions,
+        ));
+        for (attr, rows) in &self.cache_resident {
+            s.push_str(&format!("   cached attr c{attr} rows={rows}\n"));
+        }
+        s.push_str(&format!("statistics     : attrs={:?}\n", self.stats_attrs));
+        let touched: Vec<String> = self
+            .attr_access_counts
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(a, n)| format!("c{a}:{n}"))
+            .collect();
+        s.push_str(&format!("attr accesses  : {}\n", touched.join(" ")));
+        if let Some(n) = self.row_count {
+            s.push_str(&format!("rows known     : {n}\n"));
+        }
+        s
+    }
+}
+
+/// Low-overhead phase stopwatch used inside the scan loop. When disabled,
+/// every call is a no-op the optimizer removes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseClock {
+    enabled: bool,
+}
+
+impl PhaseClock {
+    /// Clock that records when `enabled`.
+    pub fn new(enabled: bool) -> Self {
+        PhaseClock { enabled }
+    }
+
+    /// Start a measurement (None when disabled).
+    #[inline]
+    pub fn start(&self) -> Option<std::time::Instant> {
+        if self.enabled {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Add the elapsed time since `start` to `slot`.
+    #[inline]
+    pub fn lap(&self, start: Option<std::time::Instant>, slot: &mut Duration) {
+        if let Some(t) = start {
+            *slot += t.elapsed();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_and_merge() {
+        let mut a = Breakdown { io: Duration::from_millis(10), ..Default::default() };
+        let b = Breakdown { convert: Duration::from_millis(5), ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.total(), Duration::from_millis(15));
+        assert!(a.panel_row().contains("io="));
+    }
+
+    #[test]
+    fn snapshot_panel_renders() {
+        let snap = SystemSnapshot {
+            map_bytes: 100,
+            map_budget: 1000,
+            map_utilization: 0.1,
+            map_chunks: vec![ChunkInfo { attrs: vec![0, 2], rows: 10, bytes: 40 }],
+            cache_resident: vec![(2, 10)],
+            attr_access_counts: vec![(0, 3), (1, 0)],
+            row_count: Some(10),
+            ..Default::default()
+        };
+        let p = snap.panel();
+        assert!(p.contains("chunk attrs=[0, 2]"));
+        assert!(p.contains("cached attr c2"));
+        assert!(p.contains("c0:3"));
+        assert!(!p.contains("c1:0"));
+    }
+
+    #[test]
+    fn disabled_clock_is_noop() {
+        let c = PhaseClock::new(false);
+        assert!(c.start().is_none());
+        let mut d = Duration::ZERO;
+        c.lap(None, &mut d);
+        assert_eq!(d, Duration::ZERO);
+    }
+}

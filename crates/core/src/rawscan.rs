@@ -1,0 +1,737 @@
+//! The in-situ scan operator — the paper's §3 in one module.
+//!
+//! For every tuple the operator:
+//!
+//! 1. serves attributes from the **cache** when their row is covered (§3.2);
+//! 2. otherwise resolves field positions through the **positional map** —
+//!    exact jumps where a chunk stores the attribute, resumable tokenizing
+//!    from the nearest anchor where it doesn't (§3.1);
+//! 3. falls back to **selective tokenizing** from the line start, aborting
+//!    at the last attribute the query needs (§3);
+//! 4. converts to binary only what the plan needs (**selective parsing**);
+//! 5. evaluates the pushed predicate *before* materializing the tuple
+//!    (**selective tuple formation** — tuples "are only created after the
+//!    select operator");
+//! 6. as side effects, populates the positional map, cache and statistics
+//!    (§3.1–3.3) and the shared row index.
+//!
+//! When the cache covers every requested attribute for every known row, the
+//! scan never opens the file at all — the paper's "eliminating the need to
+//! access hot raw data via caching".
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use nodb_engine::batch::{Batch, SliceRow, BATCH_SIZE};
+use nodb_engine::{EngineResult, ScanRequest, ScanSource};
+use nodb_posmap::{AccessPlan, AttrSource, ChunkBuilder};
+use nodb_rawcsv::reader::BlockScanner;
+use nodb_rawcsv::tokenizer::{find_byte, Tokens};
+use nodb_rawcsv::{parser, Datum, IoCounters};
+
+use crate::config::NoDbConfig;
+use crate::metrics::{Breakdown, PhaseClock};
+use crate::table::RawTable;
+
+/// Telemetry the scan writes as it finishes; the facade keeps a handle and
+/// reads it after execution.
+#[derive(Debug, Default)]
+pub struct ScanTelemetry {
+    /// Phase breakdown (I/O, tokenizing, parsing, convert, nodb).
+    pub breakdown: Breakdown,
+    /// Raw-file I/O counters.
+    pub io: IoCounters,
+    /// Tuples visited.
+    pub rows_scanned: u64,
+    /// True when no file access was needed (pure cache scan).
+    pub fully_cached: bool,
+    /// True when a positional-map chunk was installed at scan end.
+    pub installed_chunk: bool,
+}
+
+/// The adaptive raw scan.
+pub struct RawScanSource<'a> {
+    table: &'a mut RawTable,
+    config: NoDbConfig,
+    req: ScanRequest,
+    telemetry: Rc<RefCell<ScanTelemetry>>,
+    bd: Breakdown,
+
+    // Query-lifetime planning state.
+    plan: Option<AccessPlan>,
+    builder: Option<ChunkBuilder>,
+    /// Cache coverage per position at query start.
+    cache_cov: Vec<usize>,
+    /// Next row appendable to the cache, per position (`usize::MAX` = stop).
+    cache_next: Vec<usize>,
+    query_tick: u64,
+    fully_cached: bool,
+    cached_rows: u64,
+
+    // Streaming state.
+    scanner: Option<BlockScanner>,
+    header_skipped: bool,
+    row: usize,
+    done: bool,
+
+    // Reused per-row buffers (workhorse pattern: zero allocation per row in
+    // the common paths).
+    tokens: Tokens,
+    values: Vec<Option<Datum>>,
+    spans: Vec<Option<(u32, u32)>>,
+    offsets_buf: Vec<(usize, u32)>,
+    pred_row: Vec<Datum>,
+    line_buf: Vec<u8>,
+
+    clock: PhaseClock,
+}
+
+impl<'a> RawScanSource<'a> {
+    /// Plan and prepare a scan of `table` for `req` under `config`.
+    ///
+    /// This performs the paper's up-front access planning: cache coverage
+    /// probes, positional-map access plan (with its LRU touch and
+    /// combination-trigger decision), and chunk-builder setup.
+    pub fn new(
+        table: &'a mut RawTable,
+        config: NoDbConfig,
+        req: ScanRequest,
+        telemetry: Rc<RefCell<ScanTelemetry>>,
+    ) -> Self {
+        let n = req.attrs.len();
+        let cache_cov: Vec<usize> = if config.enable_cache {
+            req.attrs.iter().map(|&a| table.cache.coverage(a)).collect()
+        } else {
+            vec![0; n]
+        };
+        let cache_next = cache_cov.clone();
+        let query_tick = if config.enable_cache {
+            table.cache.begin_query(&req.attrs)
+        } else {
+            0
+        };
+
+        // Quoted fields may contain the delimiter, so a stored offset is
+        // not enough to re-tokenize from mid-tuple: the quote state is
+        // unknown. The positional map is therefore only used on plain
+        // (unquoted) tokenizer configurations; quoted files still get
+        // selective tokenizing, caching and statistics.
+        let map_usable = config.enable_positional_map && table.tokenizer.quote.is_none();
+        let plan = map_usable.then(|| table.map.plan_access(&req.attrs));
+
+        let builder = match &plan {
+            Some(p) if p.should_index => {
+                let rows_hint = table.map.row_index().len();
+                Some(ChunkBuilder::with_capacity(req.attrs.clone(), rows_hint))
+            }
+            _ => None,
+        };
+
+        // Pure-cache fast path: every requested attribute covered for every
+        // known row.
+        let (fully_cached, cached_rows) = match table.row_count {
+            Some(rc) if config.enable_cache => {
+                let all = cache_cov.iter().all(|&c| c as u64 >= rc);
+                (all, rc)
+            }
+            _ => (false, 0),
+        };
+        telemetry.borrow_mut().fully_cached = fully_cached;
+
+        RawScanSource {
+            table,
+            config,
+            req,
+            telemetry,
+            bd: Breakdown::default(),
+            plan,
+            builder,
+            cache_cov,
+            cache_next,
+            query_tick,
+            fully_cached,
+            cached_rows,
+            scanner: None,
+            header_skipped: false,
+            row: 0,
+            done: false,
+            tokens: Tokens::new(),
+            values: vec![None; n],
+            spans: vec![None; n],
+            offsets_buf: Vec::with_capacity(n),
+            pred_row: Vec::with_capacity(n),
+            line_buf: Vec::new(),
+            clock: PhaseClock::new(config.detailed_timing),
+        }
+    }
+
+    /// Resolve the values of every requested position for the current row's
+    /// raw line, filling `self.values` (cache first, then map-assisted raw
+    /// access), and recording spans for map population.
+    fn resolve_row(&mut self, line: &[u8]) -> EngineResult<()> {
+        let n = self.req.attrs.len();
+        let row = self.row;
+        let mut d_tok = Duration::ZERO;
+        let mut d_parse = Duration::ZERO;
+        let mut d_conv = Duration::ZERO;
+        let mut d_nodb = Duration::ZERO;
+
+        for i in 0..n {
+            self.values[i] = None;
+            self.spans[i] = None;
+        }
+
+        // 1. Cache reads.
+        if self.config.enable_cache {
+            for i in 0..n {
+                if row < self.cache_cov[i] {
+                    self.values[i] = self.table.cache.get(self.req.attrs[i], row);
+                }
+            }
+        }
+
+        // 2. Exact positional-map jumps for positions the cache missed.
+        let mut missing_lo: Option<usize> = None;
+        let mut missing_hi: Option<usize> = None;
+        for i in 0..n {
+            if self.values[i].is_some() {
+                continue;
+            }
+            if let Some(plan) = &self.plan {
+                if let Some(AttrSource::Exact { chunk }) = plan.source_for(self.req.attrs[i]) {
+                    if let Some(off) = self.table.map.offset_in(chunk, self.req.attrs[i], row) {
+                        let t = self.clock.start();
+                        let start = (off as usize).min(line.len());
+                        let end = find_byte(&line[start..], self.table.tokenizer.delimiter)
+                            .map(|p| start + p)
+                            .unwrap_or(line.len());
+                        self.spans[i] = Some((start as u32, end as u32));
+                        self.clock.lap(t, &mut d_parse);
+                        continue;
+                    }
+                }
+            }
+            missing_lo = missing_lo.or(Some(i));
+            missing_hi = Some(i);
+        }
+
+        // 3. Tokenize for the positions still missing.
+        if let (Some(lo), Some(hi)) = (missing_lo, missing_hi) {
+            let t = self.clock.start();
+            let first_attr = self.req.attrs[lo];
+            let last_attr = self.req.attrs[hi];
+            let upto = if self.config.selective_tokenizing {
+                last_attr
+            } else {
+                usize::MAX // Baseline: tokenize the full tuple.
+            };
+            // Best anchor: the largest attribute < first_attr whose start we
+            // already resolved this row, else the plan's anchor chunk.
+            let mut anchor: Option<(usize, usize)> = None; // (attr, byte)
+            for i in (0..lo).rev() {
+                if let Some((s, _)) = self.spans[i] {
+                    anchor = Some((self.req.attrs[i], s as usize));
+                    break;
+                }
+            }
+            if anchor.is_none() {
+                if let Some(plan) = &self.plan {
+                    if let Some(AttrSource::Anchor { chunk, anchor_attr }) =
+                        plan.source_for(first_attr)
+                    {
+                        if let Some(off) = self.table.map.offset_in(chunk, anchor_attr, row) {
+                            anchor = Some((anchor_attr, off as usize));
+                        }
+                    }
+                }
+            }
+            match anchor {
+                Some((attr, off)) if self.config.selective_tokenizing && off <= line.len() => {
+                    self.table
+                        .tokenizer
+                        .tokenize_from(line, attr, off, upto, &mut self.tokens);
+                }
+                _ => {
+                    self.table
+                        .tokenizer
+                        .tokenize_selective(line, upto, &mut self.tokens);
+                }
+            }
+            for i in lo..=hi {
+                if self.values[i].is_some() || self.spans[i].is_some() {
+                    continue;
+                }
+                if let Some(span) = self.tokens.get(self.req.attrs[i]) {
+                    self.spans[i] = Some((span.start, span.end));
+                }
+            }
+            self.clock.lap(t, &mut d_tok);
+        }
+
+        // 4. Selective parsing: convert only what is needed.
+        {
+            let t = self.clock.start();
+            for i in 0..n {
+                if self.values[i].is_some() {
+                    continue;
+                }
+                let attr = self.req.attrs[i];
+                let ty = self.table.schema.ty(attr);
+                let d = match self.spans[i] {
+                    Some((s, e)) => {
+                        let raw = &line[s as usize..e as usize];
+                        match self.table.tokenizer.quote {
+                            // Quoted string fields keep `""` escapes in
+                            // their spans; unescape when materializing.
+                            Some(q)
+                                if ty == nodb_rawcsv::ColumnType::Str
+                                    && raw.contains(&q) =>
+                            {
+                                Datum::Str(
+                                    parser::unescape_quoted(raw, q).into_boxed_str(),
+                                )
+                            }
+                            _ => parser::parse_field(raw, ty, row as u64, attr)?,
+                        }
+                    }
+                    // Short row: attribute absent → NULL.
+                    None => Datum::Null,
+                };
+                self.values[i] = Some(d);
+            }
+            self.clock.lap(t, &mut d_conv);
+        }
+
+        // 5. Side effects: cache population, statistics, map collection.
+        {
+            let t = self.clock.start();
+            if self.config.enable_cache {
+                for i in 0..n {
+                    if self.cache_next[i] == row {
+                        let d = self.values[i].clone().unwrap_or(Datum::Null);
+                        let ty = self.table.schema.ty(self.req.attrs[i]);
+                        if self.table.cache.append(self.req.attrs[i], ty, &d, self.query_tick) {
+                            self.cache_next[i] += 1;
+                        } else {
+                            self.cache_next[i] = usize::MAX;
+                        }
+                    }
+                }
+            }
+            if self.config.enable_stats && (row as u64).is_multiple_of(self.table.stats.sample_every) {
+                for i in 0..n {
+                    if let Some(d) = &self.values[i] {
+                        self.table.stats.attr_mut(self.req.attrs[i]).observe(d);
+                    }
+                }
+            }
+            if let Some(b) = &mut self.builder {
+                self.offsets_buf.clear();
+                for i in 0..n {
+                    if let Some((s, _)) = self.spans[i] {
+                        self.offsets_buf.push((self.req.attrs[i], s));
+                    }
+                }
+                b.push_row_offsets(&self.offsets_buf);
+            }
+            self.clock.lap(t, &mut d_nodb);
+        }
+
+        // Ablation: force-parse and cache every remaining attribute of the
+        // tuple (the behaviour §3.2 explicitly rejects).
+        if self.config.enable_cache && self.config.cache_force_full_parse {
+            let t = self.clock.start();
+            self.force_full_parse(line, row)?;
+            self.clock.lap(t, &mut d_nodb);
+        }
+
+        self.bd.tokenizing += d_tok;
+        self.bd.parsing += d_parse;
+        self.bd.convert += d_conv;
+        self.bd.nodb += d_nodb;
+        Ok(())
+    }
+
+    /// The `cache_force_full_parse` ablation: tokenize and parse the whole
+    /// tuple, caching attributes the query never asked for.
+    fn force_full_parse(&mut self, line: &[u8], row: usize) -> EngineResult<()> {
+        let nattrs = self.table.schema.len();
+        self.table.tokenizer.tokenize_into(line, &mut self.tokens);
+        for attr in 0..nattrs {
+            if self.req.attrs.contains(&attr) {
+                continue; // already handled
+            }
+            if self.table.cache.coverage(attr) != row {
+                continue; // not contiguous; skip
+            }
+            let d = match self.tokens.get(attr) {
+                Some(span) => parser::parse_field(
+                    span.of(line),
+                    self.table.schema.ty(attr),
+                    row as u64,
+                    attr,
+                )?,
+                None => Datum::Null,
+            };
+            let ty = self.table.schema.ty(attr);
+            self.table.cache.append(attr, ty, &d, self.query_tick);
+        }
+        Ok(())
+    }
+
+    /// Form output tuples for one resolved row into `batch` if the pushed
+    /// predicate accepts it (selective tuple formation).
+    fn form_tuple(&mut self, batch: &mut Batch) {
+        if let Some(pred) = &self.req.predicate {
+            self.pred_row.clear();
+            for v in &self.values {
+                self.pred_row.push(v.clone().unwrap_or(Datum::Null));
+            }
+            if !pred.eval_filter(&SliceRow(&self.pred_row)) {
+                return;
+            }
+        }
+        for (i, v) in self.values.iter_mut().enumerate() {
+            let d = if self.req.materialize.get(i).copied().unwrap_or(true) {
+                v.take().unwrap_or(Datum::Null)
+            } else {
+                Datum::Null // predicate-only column: never materialized
+            };
+            batch.push_value(i, d);
+        }
+        batch.finish_row();
+    }
+
+    /// End-of-scan bookkeeping: install the collected chunk, record counts,
+    /// absorb I/O counters, publish telemetry.
+    fn finish(&mut self, reached_eof: bool) {
+        if reached_eof && !self.fully_cached {
+            self.table.row_count = Some(self.row as u64);
+            if self.plan.is_some() {
+                self.table.map.row_index_mut().mark_complete();
+            }
+            if self.config.enable_stats {
+                self.table.stats.set_row_count(self.row as u64);
+            }
+        }
+        let mut installed = false;
+        if let Some(b) = self.builder.take() {
+            let t = self.clock.start();
+            installed = self.table.map.install(b).is_some();
+            self.clock.lap(t, &mut self.bd.nodb);
+        }
+        let io = self
+            .scanner
+            .as_mut()
+            .map(BlockScanner::take_counters)
+            .unwrap_or_default();
+        let mut tel = self.telemetry.borrow_mut();
+        tel.io.merge(io);
+        tel.rows_scanned = self.row as u64;
+        tel.installed_chunk = installed;
+        tel.breakdown = self.bd;
+        self.done = true;
+    }
+
+    /// Stream one batch from the raw file.
+    fn next_streaming_batch(&mut self) -> EngineResult<Option<Batch>> {
+        let mut d_io = Duration::ZERO;
+        if self.scanner.is_none() {
+            let t = self.clock.start();
+            let scanner = BlockScanner::open(&self.table.path, self.config.io_block_size)?;
+            self.clock.lap(t, &mut d_io);
+            self.scanner = Some(scanner);
+        }
+
+        let n = self.req.attrs.len();
+        let mut batch = Batch::with_columns(n);
+        let mut reached_eof = false;
+        loop {
+            // Pull one line (timed as I/O, including newline discovery).
+            // The line is copied into a reusable buffer so the borrow on the
+            // scanner's block does not pin `self`.
+            let t = self.clock.start();
+            let line_meta: Option<u64> = {
+                let scanner = self.scanner.as_mut().expect("scanner open");
+                match scanner.next_line()? {
+                    Some(l) => {
+                        self.line_buf.clear();
+                        self.line_buf.extend_from_slice(l.bytes);
+                        Some(l.offset)
+                    }
+                    None => None,
+                }
+            };
+            self.clock.lap(t, &mut d_io);
+            let Some(offset) = line_meta else {
+                reached_eof = true;
+                break;
+            };
+            if self.table.has_header && !self.header_skipped {
+                self.header_skipped = true;
+                continue;
+            }
+            if self.plan.is_some() {
+                self.table.map.row_index_mut().note_row(self.row, offset);
+            }
+            let line = std::mem::take(&mut self.line_buf);
+            let r = self.resolve_row(&line);
+            self.line_buf = line;
+            r?;
+            self.form_tuple(&mut batch);
+            self.row += 1;
+            if batch.rows() >= BATCH_SIZE {
+                break;
+            }
+        }
+        self.bd.io += d_io;
+        if reached_eof {
+            self.finish(true);
+        }
+        Ok(if batch.is_empty() { None } else { Some(batch) })
+    }
+
+    /// Serve one batch purely from the cache.
+    fn next_cached_batch(&mut self) -> EngineResult<Option<Batch>> {
+        let n = self.req.attrs.len();
+        let mut batch = Batch::with_columns(n);
+        while (self.row as u64) < self.cached_rows && batch.rows() < BATCH_SIZE {
+            let row = self.row;
+            self.row += 1;
+            for i in 0..n {
+                self.values[i] = self.table.cache.get(self.req.attrs[i], row);
+            }
+            self.form_tuple(&mut batch);
+        }
+        if (self.row as u64) >= self.cached_rows {
+            self.finish(false);
+        }
+        Ok(if batch.is_empty() { None } else { Some(batch) })
+    }
+}
+
+impl ScanSource for RawScanSource<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.fully_cached {
+            self.next_cached_batch()
+        } else {
+            self.next_streaming_batch()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::RawTable;
+    use nodb_rawcsv::GeneratorConfig;
+    use std::path::PathBuf;
+
+    fn tmp_csv(cols: usize, rows: u64, seed: u64) -> (PathBuf, nodb_rawcsv::Schema) {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "nodb_rawscan_{cols}_{rows}_{seed}_{}",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let cfg = GeneratorConfig::uniform_ints(cols, rows, seed);
+        cfg.generate_file(&p).unwrap();
+        (p, cfg.schema())
+    }
+
+    fn drain(src: &mut RawScanSource<'_>) -> Vec<Vec<Datum>> {
+        let mut out = Vec::new();
+        while let Some(b) = src.next_batch().unwrap() {
+            for r in 0..b.rows() {
+                out.push(b.row(r));
+            }
+        }
+        out
+    }
+
+    fn scan_once(
+        table: &mut RawTable,
+        config: NoDbConfig,
+        req: ScanRequest,
+    ) -> (Vec<Vec<Datum>>, ScanTelemetry) {
+        let tel = Rc::new(RefCell::new(ScanTelemetry::default()));
+        let rows = {
+            let mut src = RawScanSource::new(table, config, req, Rc::clone(&tel));
+            drain(&mut src)
+        };
+        let t = Rc::try_unwrap(tel).unwrap().into_inner();
+        (rows, t)
+    }
+
+    #[test]
+    fn first_scan_learns_row_count_and_installs_chunk() {
+        let (p, schema) = tmp_csv(5, 500, 1);
+        let cfg = NoDbConfig::default();
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let (rows, tel) = scan_once(&mut t, cfg, ScanRequest::project(vec![1, 3]));
+        assert_eq!(rows.len(), 500);
+        assert_eq!(tel.rows_scanned, 500);
+        assert!(tel.installed_chunk);
+        assert_eq!(t.row_count, Some(500));
+        assert!(t.map.row_index().is_complete());
+        assert_eq!(t.map.coverage(1), 500);
+        assert_eq!(t.cache.coverage(3), 500);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn second_scan_is_fully_cached() {
+        let (p, schema) = tmp_csv(4, 300, 2);
+        let cfg = NoDbConfig::default();
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let req = ScanRequest::project(vec![0, 2]);
+        let (first, tel1) = scan_once(&mut t, cfg, req.clone());
+        assert!(!tel1.fully_cached);
+        let (second, tel2) = scan_once(&mut t, cfg, req);
+        assert!(tel2.fully_cached, "all attrs cached → no file access");
+        assert_eq!(tel2.io.bytes_read, 0);
+        assert_eq!(first, second, "cache must return identical data");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn map_only_scan_matches_baseline_values() {
+        let (p, schema) = tmp_csv(6, 200, 3);
+        let mut t_pm =
+            RawTable::register(&p, schema.clone(), false, &NoDbConfig::pm_only()).unwrap();
+        let mut t_base =
+            RawTable::register(&p, schema, false, &NoDbConfig::baseline()).unwrap();
+        let req = ScanRequest::project(vec![2, 4]);
+        // Warm the map with a first query on different attrs.
+        let (_, _) = scan_once(&mut t_pm, NoDbConfig::pm_only(), ScanRequest::project(vec![1]));
+        let (a, _) = scan_once(&mut t_pm, NoDbConfig::pm_only(), req.clone());
+        let (b, _) = scan_once(&mut t_base, NoDbConfig::baseline(), req);
+        assert_eq!(a, b);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn predicate_filters_before_tuple_formation() {
+        use nodb_engine::RExpr;
+        use nodb_sqlparse::ast::BinOp;
+        let (p, schema) = tmp_csv(3, 400, 4);
+        let cfg = NoDbConfig::default();
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let req = ScanRequest {
+            attrs: vec![0, 1],
+            predicate: Some(RExpr::Binary {
+                op: BinOp::Lt,
+                left: Box::new(RExpr::Col(1)),
+                right: Box::new(RExpr::Const(Datum::Int(500_000_000))),
+            }),
+            materialize: vec![true, false],
+        };
+        let (rows, tel) = scan_once(&mut t, cfg, req);
+        assert!(tel.rows_scanned == 400);
+        assert!(rows.len() < 400 && !rows.is_empty());
+        // Predicate-only column arrives as NULL (never materialized).
+        assert!(rows.iter().all(|r| r[1] == Datum::Null));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn exact_map_jumps_replace_tokenizing() {
+        let (p, schema) = tmp_csv(8, 300, 5);
+        let cfg = NoDbConfig::pm_only();
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let req = ScanRequest::project(vec![5]);
+        let (_, _) = scan_once(&mut t, cfg, req.clone());
+        assert_eq!(t.map.coverage(5), 300);
+        let (rows, tel2) = scan_once(&mut t, cfg, req);
+        assert_eq!(rows.len(), 300);
+        // Second scan uses exact jumps: parsing time present, tokenizing ~0.
+        assert_eq!(tel2.breakdown.tokenizing, Duration::ZERO);
+        assert!(tel2.breakdown.parsing > Duration::ZERO);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn stats_observed_on_requested_attrs_only() {
+        let (p, schema) = tmp_csv(5, 100, 6);
+        let cfg = NoDbConfig::default();
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let (_, _) = scan_once(&mut t, cfg, ScanRequest::project(vec![1, 2]));
+        assert_eq!(t.stats.covered_attrs(), vec![1, 2]);
+        assert_eq!(t.stats.attr(1).unwrap().rows_seen(), 100);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn baseline_keeps_no_state() {
+        let (p, schema) = tmp_csv(4, 100, 7);
+        let cfg = NoDbConfig::baseline();
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let (rows, tel) = scan_once(&mut t, cfg, ScanRequest::project(vec![0, 3]));
+        assert_eq!(rows.len(), 100);
+        assert!(!tel.installed_chunk);
+        assert!(t.map.chunks().is_empty());
+        assert_eq!(t.cache.bytes_used(), 0);
+        assert!(t.stats.covered_attrs().is_empty());
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn force_full_parse_caches_unrequested_attrs() {
+        let (p, schema) = tmp_csv(5, 50, 8);
+        let cfg = NoDbConfig { cache_force_full_parse: true, ..NoDbConfig::default() };
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let (_, _) = scan_once(&mut t, cfg, ScanRequest::project(vec![1]));
+        assert_eq!(t.cache.coverage(0), 50, "unrequested attr cached by ablation");
+        assert_eq!(t.cache.coverage(4), 50);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn header_rows_are_skipped() {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "nodb_rawscan_hdr_{}",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::write(&p, "a,b\n1,2\n3,4\n").unwrap();
+        let schema = nodb_rawcsv::Schema::new(vec![
+            nodb_rawcsv::ColumnDef::new("a", nodb_rawcsv::ColumnType::Int),
+            nodb_rawcsv::ColumnDef::new("b", nodb_rawcsv::ColumnType::Int),
+        ]);
+        let cfg = NoDbConfig::default();
+        let mut t = RawTable::register(&p, schema, true, &cfg).unwrap();
+        let (rows, _) = scan_once(&mut t, cfg, ScanRequest::project(vec![0, 1]));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Datum::Int(1), Datum::Int(2)]);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn partial_cache_coverage_mixes_sources() {
+        let (p, schema) = tmp_csv(4, 200, 9);
+        // Tight budget: only part of the column fits.
+        let cfg = NoDbConfig {
+            cache_budget_bytes: 800, // ~100 int rows
+            enable_positional_map: false,
+            ..NoDbConfig::default()
+        };
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let req = ScanRequest::project(vec![1]);
+        let (a, _) = scan_once(&mut t, cfg, req.clone());
+        let cov = t.cache.coverage(1);
+        assert!(cov > 0 && cov < 200, "partial coverage, got {cov}");
+        let (b, tel) = scan_once(&mut t, cfg, req);
+        assert_eq!(a, b, "mixed cache+raw scan must match raw scan");
+        assert!(!tel.fully_cached);
+        std::fs::remove_file(p).unwrap();
+    }
+}

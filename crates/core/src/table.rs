@@ -1,0 +1,213 @@
+//! Per-file adaptive state: schema, positional map, cache, statistics,
+//! update fingerprint.
+
+use std::path::{Path, PathBuf};
+
+use nodb_posmap::{MapPolicy, PositionalMap};
+use nodb_rawcache::{CachePolicy, RawCache};
+use nodb_rawcsv::reader::{FileChange, RawFileMeta};
+use nodb_rawcsv::tokenizer::TokenizerConfig;
+use nodb_rawcsv::{RawCsvError, Schema};
+use nodb_stats::TableStats;
+
+use crate::config::NoDbConfig;
+use crate::metrics::{ChunkInfo, SystemSnapshot};
+
+/// One registered raw file and every adaptive structure hanging off it.
+///
+/// Nothing here is built at registration time: the map, cache and statistics
+/// all start empty and grow exclusively as side effects of queries — the
+/// NoDB contract.
+pub struct RawTable {
+    pub(crate) path: PathBuf,
+    pub(crate) schema: Schema,
+    pub(crate) has_header: bool,
+    pub(crate) tokenizer: TokenizerConfig,
+    pub(crate) map: PositionalMap,
+    pub(crate) cache: RawCache,
+    pub(crate) stats: TableStats,
+    pub(crate) meta: RawFileMeta,
+    /// Exact data-row count once any scan has completed.
+    pub(crate) row_count: Option<u64>,
+    /// Per-attribute access counts (usage panel of Fig 2).
+    pub(crate) attr_access: Vec<u64>,
+}
+
+impl RawTable {
+    /// Register `path` with the given schema. Cost: one `stat` + 4 KiB head
+    /// read for the update fingerprint — *no* data touch.
+    pub fn register(
+        path: impl AsRef<Path>,
+        schema: Schema,
+        has_header: bool,
+        config: &NoDbConfig,
+    ) -> Result<Self, RawCsvError> {
+        Self::register_with_tokenizer(path, schema, has_header, config, TokenizerConfig::default())
+    }
+
+    /// [`Self::register`] with an explicit tokenizer (non-comma delimiter,
+    /// quoted fields).
+    pub fn register_with_tokenizer(
+        path: impl AsRef<Path>,
+        schema: Schema,
+        has_header: bool,
+        config: &NoDbConfig,
+        tokenizer: TokenizerConfig,
+    ) -> Result<Self, RawCsvError> {
+        let path = path.as_ref().to_path_buf();
+        let meta = RawFileMeta::probe(&path)?;
+        let nattrs = schema.len();
+        Ok(RawTable {
+            path,
+            schema,
+            has_header,
+            tokenizer,
+            map: PositionalMap::new(MapPolicy {
+                budget_bytes: config.map_budget_bytes,
+                trigger: config.combination_trigger,
+            }),
+            cache: RawCache::new(CachePolicy::with_budget(config.cache_budget_bytes)),
+            stats: TableStats::new(config.stats_sample_every),
+            meta,
+            row_count: None,
+            attr_access: vec![0; nattrs],
+        })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The raw file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Probe the file and reconcile adaptive state with any change (§4.2
+    /// *Updates*): appends keep all prefix state; replacement drops
+    /// everything.
+    pub fn check_updates(&mut self) -> Result<FileChange, RawCsvError> {
+        let change = self.meta.classify_change(&self.path)?;
+        match change {
+            FileChange::Unchanged => {}
+            FileChange::Appended { .. } => {
+                self.map.note_appended();
+                self.stats.note_appended();
+                self.row_count = None;
+                self.meta = RawFileMeta::probe(&self.path)?;
+            }
+            FileChange::Replaced => {
+                self.map.invalidate();
+                self.cache.invalidate();
+                self.stats.clear();
+                self.row_count = None;
+                self.meta = RawFileMeta::probe(&self.path)?;
+            }
+        }
+        Ok(change)
+    }
+
+    /// Capture the Figure 2 monitoring panel.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        SystemSnapshot {
+            map_bytes: self.map.bytes_used(),
+            map_budget: self.map.policy().budget_bytes,
+            map_utilization: self.map.utilization(),
+            map_chunks: self
+                .map
+                .chunks()
+                .iter()
+                .map(|c| ChunkInfo {
+                    attrs: c.attrs().to_vec(),
+                    rows: c.rows(),
+                    bytes: c.footprint(),
+                })
+                .collect(),
+            row_index_bytes: self.map.row_index().footprint(),
+            map_installs: self.map.metrics().installs,
+            map_evictions: self.map.metrics().evictions,
+            cache_bytes: self.cache.bytes_used(),
+            cache_budget: self.cache.policy().budget_bytes,
+            cache_utilization: self.cache.utilization(),
+            cache_resident: self.cache.resident(),
+            cache_hit_ratio: self.cache.metrics().hit_ratio(),
+            cache_evictions: self.cache.metrics().evictions,
+            stats_attrs: self.stats.covered_attrs(),
+            attr_access_counts: self
+                .attr_access
+                .iter()
+                .enumerate()
+                .map(|(a, &n)| (a, n))
+                .collect(),
+            row_count: self.row_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_rawcsv::GeneratorConfig;
+
+    fn tmp_csv(rows: u64) -> (PathBuf, Schema) {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "nodb_table_{}_{}",
+            rows,
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let cfg = GeneratorConfig::uniform_ints(3, rows, 1);
+        cfg.generate_file(&p).unwrap();
+        (p, cfg.schema())
+    }
+
+    #[test]
+    fn register_touches_no_data() {
+        let (p, schema) = tmp_csv(100);
+        let t = RawTable::register(&p, schema, false, &NoDbConfig::default()).unwrap();
+        assert!(t.map.chunks().is_empty());
+        assert_eq!(t.cache.bytes_used(), 0);
+        assert!(t.row_count.is_none());
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn replace_invalidates_everything() {
+        let (p, schema) = tmp_csv(50);
+        let mut t = RawTable::register(&p, schema, false, &NoDbConfig::default()).unwrap();
+        t.row_count = Some(50);
+        std::fs::write(&p, "9,9,9\n").unwrap();
+        let change = t.check_updates().unwrap();
+        assert_eq!(change, FileChange::Replaced);
+        assert!(t.row_count.is_none());
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn append_keeps_prefix_state() {
+        let (p, schema) = tmp_csv(50);
+        let cfg_for_append = GeneratorConfig::uniform_ints(3, 50, 1);
+        let mut t = RawTable::register(&p, schema, false, &NoDbConfig::default()).unwrap();
+        t.row_count = Some(50);
+        cfg_for_append.append_rows(&p, 10).unwrap();
+        let change = t.check_updates().unwrap();
+        assert!(matches!(change, FileChange::Appended { .. }));
+        assert!(t.row_count.is_none(), "count must be re-learned");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn snapshot_starts_empty() {
+        let (p, schema) = tmp_csv(10);
+        let t = RawTable::register(&p, schema, false, &NoDbConfig::default()).unwrap();
+        let s = t.snapshot();
+        assert_eq!(s.map_bytes, 0);
+        assert_eq!(s.cache_bytes, 0);
+        assert!(s.stats_attrs.is_empty());
+        std::fs::remove_file(p).unwrap();
+    }
+}

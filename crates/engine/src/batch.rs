@@ -1,0 +1,194 @@
+//! Columnar batches flowing between operators.
+
+use nodb_rawcsv::Datum;
+
+/// Default number of rows per batch.
+pub const BATCH_SIZE: usize = 1024;
+
+/// A column-major batch of datums. All columns have the same length.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    cols: Vec<Vec<Datum>>,
+    rows: usize,
+}
+
+impl Batch {
+    /// Empty batch with `ncols` columns, each with capacity for
+    /// [`BATCH_SIZE`] rows.
+    pub fn with_columns(ncols: usize) -> Self {
+        Batch {
+            cols: (0..ncols).map(|_| Vec::with_capacity(BATCH_SIZE)).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Build directly from columns.
+    ///
+    /// # Panics
+    /// Panics if the columns have differing lengths.
+    pub fn from_columns(cols: Vec<Vec<Datum>>) -> Self {
+        let rows = cols.first().map(Vec::len).unwrap_or(0);
+        for c in &cols {
+            assert_eq!(c.len(), rows, "ragged batch");
+        }
+        Batch { cols, rows }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// True when the batch reached its target size.
+    pub fn is_full(&self) -> bool {
+        self.rows >= BATCH_SIZE
+    }
+
+    /// Column `c` as a slice.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[Datum] {
+        &self.cols[c]
+    }
+
+    /// Value at (`row`, `col`).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> &Datum {
+        &self.cols[col][row]
+    }
+
+    /// Append one value to column `c` (caller keeps columns aligned and
+    /// finishes the row with [`Self::finish_row`]).
+    #[inline]
+    pub fn push_value(&mut self, c: usize, d: Datum) {
+        self.cols[c].push(d);
+    }
+
+    /// Declare one full row appended across all columns.
+    #[inline]
+    pub fn finish_row(&mut self) {
+        self.rows += 1;
+        debug_assert!(self.cols.iter().all(|c| c.len() == self.rows));
+    }
+
+    /// Append a row given as a slice of datums.
+    pub fn push_row(&mut self, row: &[Datum]) {
+        assert_eq!(row.len(), self.cols.len(), "row arity mismatch");
+        for (c, d) in row.iter().enumerate() {
+            self.cols[c].push(d.clone());
+        }
+        self.rows += 1;
+    }
+
+    /// Extract row `r` as an owned vector.
+    pub fn row(&self, r: usize) -> Vec<Datum> {
+        self.cols.iter().map(|c| c[r].clone()).collect()
+    }
+
+    /// Keep only the rows whose index is in `keep` (ascending).
+    pub fn take(&self, keep: &[usize]) -> Batch {
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| keep.iter().map(|&i| c[i].clone()).collect())
+            .collect();
+        Batch { cols, rows: keep.len() }
+    }
+
+    /// Consume into raw columns.
+    pub fn into_columns(self) -> Vec<Vec<Datum>> {
+        self.cols
+    }
+}
+
+/// Random access to one logical row, the index space being defined by the
+/// evaluation context (scan attribute positions for pushed predicates, batch
+/// column positions above the scan).
+pub trait RowAccess {
+    /// Value of column `col` in this row.
+    fn value(&self, col: usize) -> &Datum;
+}
+
+/// A row borrowed from a batch.
+pub struct BatchRow<'a> {
+    batch: &'a Batch,
+    row: usize,
+}
+
+impl<'a> BatchRow<'a> {
+    /// Borrow row `row` of `batch`.
+    pub fn new(batch: &'a Batch, row: usize) -> Self {
+        BatchRow { batch, row }
+    }
+}
+
+impl RowAccess for BatchRow<'_> {
+    #[inline]
+    fn value(&self, col: usize) -> &Datum {
+        self.batch.get(self.row, col)
+    }
+}
+
+/// A row backed by a plain slice (used by scan sources before a batch is
+/// formed — this is how *selective tuple formation* evaluates the predicate
+/// without building the tuple).
+pub struct SliceRow<'a>(pub &'a [Datum]);
+
+impl RowAccess for SliceRow<'_> {
+    #[inline]
+    fn value(&self, col: usize) -> &Datum {
+        &self.0[col]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut b = Batch::with_columns(2);
+        b.push_row(&[Datum::Int(1), Datum::from("a")]);
+        b.push_row(&[Datum::Int(2), Datum::from("b")]);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.get(1, 0), &Datum::Int(2));
+        assert_eq!(b.row(0), vec![Datum::Int(1), Datum::from("a")]);
+    }
+
+    #[test]
+    fn take_filters_rows() {
+        let mut b = Batch::with_columns(1);
+        for i in 0..5 {
+            b.push_row(&[Datum::Int(i)]);
+        }
+        let t = b.take(&[0, 2, 4]);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(1, 0), &Datum::Int(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_batch_panics() {
+        let _ = Batch::from_columns(vec![vec![Datum::Int(1)], vec![]]);
+    }
+
+    #[test]
+    fn row_access_adapters() {
+        let mut b = Batch::with_columns(2);
+        b.push_row(&[Datum::Int(7), Datum::Int(8)]);
+        let r = BatchRow::new(&b, 0);
+        assert_eq!(r.value(1), &Datum::Int(8));
+        let vals = [Datum::Int(9)];
+        let s = SliceRow(&vals);
+        assert_eq!(s.value(0), &Datum::Int(9));
+    }
+}

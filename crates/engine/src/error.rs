@@ -1,0 +1,58 @@
+//! Engine error type.
+
+use std::fmt;
+
+use nodb_rawcsv::RawCsvError;
+use nodb_sqlparse::ParseError;
+
+/// Errors raised while planning or executing a query.
+#[derive(Debug)]
+pub enum EngineError {
+    /// SQL text failed to parse.
+    Parse(ParseError),
+    /// Name resolution / semantic analysis failure.
+    Planning(String),
+    /// Runtime failure inside an operator.
+    Execution(String),
+    /// Raw-file access failure surfaced by a scan source.
+    Csv(RawCsvError),
+    /// Referenced table is not registered.
+    UnknownTable(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Planning(m) => write!(f, "planning error: {m}"),
+            EngineError::Execution(m) => write!(f, "execution error: {m}"),
+            EngineError::Csv(e) => write!(f, "raw data error: {e}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Parse(e) => Some(e),
+            EngineError::Csv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<RawCsvError> for EngineError {
+    fn from(e: RawCsvError) -> Self {
+        EngineError::Csv(e)
+    }
+}
+
+/// Result alias for the engine.
+pub type EngineResult<T> = Result<T, EngineError>;

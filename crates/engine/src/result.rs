@@ -1,0 +1,109 @@
+//! Materialized query results.
+
+use std::fmt;
+
+use nodb_rawcsv::Datum;
+
+/// A fully materialized result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Rows in output order.
+    pub rows: Vec<Vec<Datum>>,
+}
+
+impl QueryResult {
+    /// Empty result with the given column names.
+    pub fn empty(columns: Vec<String>) -> Self {
+        QueryResult { columns, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// First value of the first row — handy for scalar aggregates in tests.
+    pub fn scalar(&self) -> Option<&Datum> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+impl fmt::Display for QueryResult {
+    /// Render as an aligned text table (the demo's result panel).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, d)| {
+                        let s = d.to_string();
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(s.len());
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{c:<w$}", w = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, _) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-+-")?;
+            }
+            write!(f, "{}", "-".repeat(widths[i]))?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{v:<w$}", w = widths.get(i).copied().unwrap_or(0))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "({} row{})", self.rows.len(), if self.rows.len() == 1 { "" } else { "s" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let r = QueryResult {
+            columns: vec!["id".into(), "name".into()],
+            rows: vec![
+                vec![Datum::Int(1), Datum::from("alice")],
+                vec![Datum::Int(100), Datum::from("bob")],
+            ],
+        };
+        let s = r.to_string();
+        assert!(s.contains("id  | name"));
+        assert!(s.contains("(2 rows)"));
+    }
+
+    #[test]
+    fn scalar_reads_first_cell() {
+        let r = QueryResult { columns: vec!["n".into()], rows: vec![vec![Datum::Int(7)]] };
+        assert_eq!(r.scalar(), Some(&Datum::Int(7)));
+        assert_eq!(QueryResult::empty(vec!["n".into()]).scalar(), None);
+    }
+}

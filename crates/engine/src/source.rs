@@ -1,0 +1,148 @@
+//! The pluggable scan boundary.
+//!
+//! The paper's whole architecture hangs on one observation: only the *scan
+//! operator* needs to change for in-situ processing; everything above it is
+//! a stock query engine. [`ScanSource`] is that boundary. The planner
+//! produces a [`ScanRequest`] (which attributes, which pushed predicate);
+//! each storage backend — PostgresRaw-style raw scan, naive external-files
+//! scan, loaded row/column stores — answers with batches.
+
+use nodb_rawcsv::Datum;
+
+use crate::batch::Batch;
+use crate::error::EngineResult;
+use crate::expr::RExpr;
+
+/// What the planner asks of a scan.
+#[derive(Debug, Clone)]
+pub struct ScanRequest {
+    /// File attribute indices the scan must read, ascending. The scan's
+    /// output batches have one column per entry, in this order.
+    pub attrs: Vec<usize>,
+    /// Predicate over *positions into `attrs`* to evaluate before
+    /// materializing a tuple (selective tuple formation). Rows failing it
+    /// are never formed.
+    pub predicate: Option<RExpr>,
+    /// `materialize[i]` is false when `attrs[i]` is consumed only by the
+    /// predicate: the source may emit NULL for that column instead of
+    /// materializing the value (the engine never reads it).
+    pub materialize: Vec<bool>,
+}
+
+impl ScanRequest {
+    /// Request reading `attrs` with no predicate.
+    pub fn project(attrs: Vec<usize>) -> Self {
+        let materialize = vec![true; attrs.len()];
+        ScanRequest { attrs, predicate: None, materialize }
+    }
+
+    /// Highest attribute index touched (drives selective tokenizing: the
+    /// tokenizer may abort each tuple after this attribute).
+    pub fn max_attr(&self) -> Option<usize> {
+        self.attrs.iter().max().copied()
+    }
+}
+
+/// A stream of batches satisfying a [`ScanRequest`].
+pub trait ScanSource {
+    /// Produce the next batch, or `None` when exhausted.
+    fn next_batch(&mut self) -> EngineResult<Option<Batch>>;
+}
+
+/// In-memory scan source over materialized rows — the reference
+/// implementation used by engine unit tests and by loaded column stores
+/// that pre-filter.
+pub struct MemSource {
+    rows: std::vec::IntoIter<Vec<Datum>>,
+    ncols: usize,
+    batch_size: usize,
+}
+
+impl MemSource {
+    /// Source over `rows`, each of `ncols` values.
+    pub fn new(rows: Vec<Vec<Datum>>, ncols: usize) -> Self {
+        MemSource { rows: rows.into_iter(), ncols, batch_size: crate::batch::BATCH_SIZE }
+    }
+
+    /// Override the batch size (tests).
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n.max(1);
+        self
+    }
+
+    /// Apply a [`ScanRequest`] to full-width rows: project `attrs`, evaluate
+    /// the predicate. A convenience for tests and simple backends.
+    pub fn from_table(table: &[Vec<Datum>], req: &ScanRequest) -> Self {
+        let mut out = Vec::new();
+        for row in table {
+            let projected: Vec<Datum> =
+                req.attrs.iter().map(|&a| row.get(a).cloned().unwrap_or(Datum::Null)).collect();
+            if let Some(pred) = &req.predicate {
+                if !pred.eval_filter(&crate::batch::SliceRow(&projected)) {
+                    continue;
+                }
+            }
+            out.push(projected);
+        }
+        MemSource::new(out, req.attrs.len())
+    }
+}
+
+impl ScanSource for MemSource {
+    fn next_batch(&mut self) -> EngineResult<Option<Batch>> {
+        let mut batch = Batch::with_columns(self.ncols);
+        for row in self.rows.by_ref().take(self.batch_size) {
+            batch.push_row(&row);
+        }
+        Ok(if batch.is_empty() { None } else { Some(batch) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_sqlparse::ast::BinOp;
+
+    fn table() -> Vec<Vec<Datum>> {
+        (0..10i64)
+            .map(|i| vec![Datum::Int(i), Datum::Int(i * 10), Datum::Int(i % 3)])
+            .collect()
+    }
+
+    #[test]
+    fn mem_source_batches() {
+        let req = ScanRequest::project(vec![0, 2]);
+        let mut s = MemSource::from_table(&table(), &req).with_batch_size(4);
+        let b1 = s.next_batch().unwrap().unwrap();
+        assert_eq!(b1.rows(), 4);
+        assert_eq!(b1.ncols(), 2);
+        let b2 = s.next_batch().unwrap().unwrap();
+        assert_eq!(b2.rows(), 4);
+        let b3 = s.next_batch().unwrap().unwrap();
+        assert_eq!(b3.rows(), 2);
+        assert!(s.next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn pushed_predicate_filters_in_source() {
+        let req = ScanRequest {
+            attrs: vec![0, 1],
+            predicate: Some(RExpr::Binary {
+                op: BinOp::Gt,
+                left: Box::new(RExpr::Col(1)),
+                right: Box::new(RExpr::Const(Datum::Int(50))),
+            }),
+            materialize: vec![true, true],
+        };
+        let mut s = MemSource::from_table(&table(), &req);
+        let b = s.next_batch().unwrap().unwrap();
+        assert_eq!(b.rows(), 4); // rows 6..9 have c1 > 50
+        assert_eq!(b.get(0, 0), &Datum::Int(6));
+    }
+
+    #[test]
+    fn max_attr_reports_selective_tokenize_bound() {
+        let req = ScanRequest::project(vec![2, 7, 4]);
+        assert_eq!(req.max_attr(), Some(7));
+    }
+}

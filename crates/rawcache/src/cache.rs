@@ -1,0 +1,390 @@
+//! The cache proper: per-attribute columns, byte budget, LRU eviction.
+
+use std::collections::HashMap;
+
+use nodb_rawcsv::{ColumnType, Datum};
+
+use crate::column::TypedColumn;
+
+/// Cache policy knobs ("the size of the cache is a parameter that can be
+/// tuned depending on the resources", §3.2).
+#[derive(Debug, Clone, Copy)]
+pub struct CachePolicy {
+    /// Byte budget for all cached columns together.
+    pub budget_bytes: usize,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy { budget_bytes: 1 << 30 } // 1 GiB: effectively unbounded on demo data
+    }
+}
+
+impl CachePolicy {
+    /// Policy with an explicit budget.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        CachePolicy { budget_bytes }
+    }
+}
+
+/// Lifetime counters and gauges for the monitoring panel (Fig 2).
+#[derive(Debug, Default, Clone)]
+pub struct CacheMetrics {
+    /// Row-level cache hits (values served without touching the raw file).
+    pub hits: u64,
+    /// Row-level misses (value had to be parsed from raw bytes).
+    pub misses: u64,
+    /// Columns evicted by LRU pressure.
+    pub evictions: u64,
+    /// Appends refused because the budget was exhausted and every resident
+    /// column was in use by the current query.
+    pub admission_stalls: u64,
+}
+
+impl CacheMetrics {
+    /// Hit ratio in `[0, 1]`; 0 when nothing was accessed.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One resident cached column plus bookkeeping.
+#[derive(Debug)]
+struct Entry {
+    col: TypedColumn,
+    last_used: u64,
+    /// Column refuses further growth (budget exhausted while it was the only
+    /// admissible victim). Cleared when pressure relaxes (eviction of
+    /// another column or budget increase).
+    frozen: bool,
+}
+
+/// The adaptive binary cache for one raw file.
+///
+/// Rows are addressed with the same row ids the positional map uses, so a
+/// single scan can serve attribute A from the cache and attribute B from the
+/// raw file position by position.
+#[derive(Debug)]
+pub struct RawCache {
+    entries: HashMap<usize, Entry>,
+    policy: CachePolicy,
+    bytes_used: usize,
+    tick: u64,
+    metrics: CacheMetrics,
+}
+
+impl RawCache {
+    /// Empty cache under the given policy.
+    pub fn new(policy: CachePolicy) -> Self {
+        RawCache {
+            entries: HashMap::new(),
+            policy,
+            bytes_used: 0,
+            tick: 0,
+            metrics: CacheMetrics::default(),
+        }
+    }
+
+    /// Policy in force.
+    pub fn policy(&self) -> &CachePolicy {
+        &self.policy
+    }
+
+    /// Change the budget at runtime (demo knob). Shrinking evicts at the
+    /// next admission check; growing unfreezes stalled columns.
+    pub fn set_budget(&mut self, budget_bytes: usize) {
+        self.policy.budget_bytes = budget_bytes;
+        if budget_bytes > self.bytes_used {
+            for e in self.entries.values_mut() {
+                e.frozen = false;
+            }
+        } else {
+            self.evict_to_fit(0, u64::MAX);
+        }
+    }
+
+    /// Bytes held by cached columns.
+    pub fn bytes_used(&self) -> usize {
+        self.bytes_used
+    }
+
+    /// Utilization in `[0, 1]` of the budget — the Fig 2 gauge.
+    pub fn utilization(&self) -> f64 {
+        if self.policy.budget_bytes == 0 {
+            return 0.0;
+        }
+        self.bytes_used as f64 / self.policy.budget_bytes as f64
+    }
+
+    /// Lifetime counters.
+    pub fn metrics(&self) -> &CacheMetrics {
+        &self.metrics
+    }
+
+    /// Attributes currently resident, with their coverage (rows cached).
+    pub fn resident(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> =
+            self.entries.iter().map(|(&a, e)| (a, e.col.len())).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rows of `attr` served directly from the cache (prefix coverage);
+    /// 0 when the attribute is not resident.
+    pub fn coverage(&self, attr: usize) -> usize {
+        self.entries.get(&attr).map(|e| e.col.len()).unwrap_or(0)
+    }
+
+    /// Begin a query touching `attrs`: bumps the LRU clock of the resident
+    /// columns among them and returns the clock value, which the scan passes
+    /// back to [`Self::append`] so the current query's columns are protected
+    /// from eviction.
+    pub fn begin_query(&mut self, attrs: &[usize]) -> u64 {
+        self.tick += 1;
+        for a in attrs {
+            if let Some(e) = self.entries.get_mut(a) {
+                e.last_used = self.tick;
+            }
+        }
+        self.tick
+    }
+
+    /// Read `attr` at `row` if cached. Counts a hit or miss.
+    #[inline]
+    pub fn get(&mut self, attr: usize, row: usize) -> Option<Datum> {
+        match self.entries.get(&attr).and_then(|e| e.col.datum(row)) {
+            Some(d) => {
+                self.metrics.hits += 1;
+                Some(d)
+            }
+            None => {
+                self.metrics.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Read without counting (planning probes).
+    pub fn peek(&self, attr: usize, row: usize) -> Option<Datum> {
+        self.entries.get(&attr).and_then(|e| e.col.datum(row))
+    }
+
+    /// Append the value of `attr` at the next uncached row. `query_tick` is
+    /// the value from [`Self::begin_query`]; columns touched at that tick are
+    /// never evicted to make room (they belong to the running query).
+    ///
+    /// Returns `false` when the value was not admitted (budget exhausted and
+    /// nothing evictable) — the scan simply continues without caching,
+    /// matching the paper's "cache as a side effect, never as an obligation".
+    pub fn append(&mut self, attr: usize, ty: ColumnType, d: &Datum, query_tick: u64) -> bool {
+        // Fast budget estimate before mutating: size of the incoming datum.
+        let incoming = match d {
+            Datum::Str(s) => 16 + s.len(),
+            _ => 8,
+        };
+        if !self.entries.contains_key(&attr) {
+            if !self.make_room(incoming + 64, query_tick) {
+                self.metrics.admission_stalls += 1;
+                return false;
+            }
+            self.entries.insert(
+                attr,
+                Entry { col: TypedColumn::new(ty), last_used: query_tick, frozen: false },
+            );
+        }
+        let frozen = self.entries.get(&attr).map(|e| e.frozen).unwrap_or(false);
+        if frozen {
+            self.metrics.admission_stalls += 1;
+            return false;
+        }
+        if self.bytes_used + incoming > self.policy.budget_bytes
+            && !self.make_room(incoming, query_tick)
+        {
+            // Could not evict anything: freeze this column for the rest of
+            // the query to avoid re-checking per row.
+            if let Some(e) = self.entries.get_mut(&attr) {
+                e.frozen = true;
+            }
+            self.metrics.admission_stalls += 1;
+            return false;
+        }
+        let e = self.entries.get_mut(&attr).expect("just ensured");
+        let before = e.col.footprint();
+        e.col.push(d);
+        e.last_used = query_tick;
+        let after = e.col.footprint();
+        self.bytes_used += after - before;
+        true
+    }
+
+    /// Evict LRU columns (never ones touched at `protect_tick`) until
+    /// `incoming` more bytes fit. Returns whether they now fit.
+    fn make_room(&mut self, incoming: usize, protect_tick: u64) -> bool {
+        while self.bytes_used + incoming > self.policy.budget_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.last_used != protect_tick)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&a, _)| a);
+            match victim {
+                Some(a) => {
+                    let e = self.entries.remove(&a).expect("victim resident");
+                    self.bytes_used -= e.col.footprint();
+                    self.metrics.evictions += 1;
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Unconditional eviction helper for [`Self::set_budget`].
+    fn evict_to_fit(&mut self, incoming: usize, _ignore: u64) {
+        while self.bytes_used + incoming > self.policy.budget_bytes && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&a, _)| a)
+                .expect("non-empty");
+            let e = self.entries.remove(&victim).expect("victim resident");
+            self.bytes_used -= e.col.footprint();
+            self.metrics.evictions += 1;
+        }
+    }
+
+    /// Drop everything (file replaced).
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+        self.bytes_used = 0;
+    }
+
+    /// Drop a single attribute (used by tests and the demo's component
+    /// toggles).
+    pub fn evict_attr(&mut self, attr: usize) {
+        if let Some(e) = self.entries.remove(&attr) {
+            self.bytes_used -= e.col.footprint();
+            self.metrics.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(cache: &mut RawCache, attr: usize, n: usize) -> u64 {
+        let tick = cache.begin_query(&[attr]);
+        for i in 0..n {
+            assert!(cache.append(attr, ColumnType::Int, &Datum::Int(i as i64), tick));
+        }
+        tick
+    }
+
+    #[test]
+    fn append_then_hit() {
+        let mut c = RawCache::new(CachePolicy::default());
+        fill(&mut c, 2, 10);
+        assert_eq!(c.coverage(2), 10);
+        assert_eq!(c.get(2, 3), Some(Datum::Int(3)));
+        assert_eq!(c.metrics().hits, 1);
+        assert_eq!(c.get(2, 99), None);
+        assert_eq!(c.metrics().misses, 1);
+    }
+
+    #[test]
+    fn partial_coverage_is_prefix() {
+        let mut c = RawCache::new(CachePolicy::default());
+        fill(&mut c, 0, 5);
+        assert_eq!(c.peek(0, 4), Some(Datum::Int(4)));
+        assert_eq!(c.peek(0, 5), None);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_cold_columns() {
+        // Budget for roughly one 1000-row int column.
+        let mut c = RawCache::new(CachePolicy::with_budget(12_000));
+        fill(&mut c, 0, 1000);
+        // Attr 1 arrives: attr 0 is cold (different tick) and gets evicted.
+        let t1 = c.begin_query(&[1]);
+        for i in 0..1000 {
+            c.append(1, ColumnType::Int, &Datum::Int(i), t1);
+        }
+        assert_eq!(c.coverage(0), 0, "cold column evicted");
+        assert!(c.coverage(1) > 0);
+        assert!(c.metrics().evictions >= 1);
+    }
+
+    #[test]
+    fn current_query_columns_protected() {
+        let mut c = RawCache::new(CachePolicy::with_budget(4_000));
+        let tick = c.begin_query(&[0, 1]);
+        // Interleave two columns in one query until the budget stalls.
+        let mut admitted = 0;
+        for i in 0..1000 {
+            if c.append(0, ColumnType::Int, &Datum::Int(i), tick) {
+                admitted += 1;
+            }
+            if c.append(1, ColumnType::Int, &Datum::Int(i), tick) {
+                admitted += 1;
+            }
+        }
+        // Neither column evicted the other (both at the protected tick):
+        // growth stalls instead.
+        assert!(c.metrics().evictions == 0);
+        assert!(c.metrics().admission_stalls > 0);
+        assert!(admitted > 0);
+        assert!(c.bytes_used() <= c.policy().budget_bytes + 64);
+    }
+
+    #[test]
+    fn set_budget_shrink_evicts() {
+        let mut c = RawCache::new(CachePolicy::default());
+        fill(&mut c, 0, 100);
+        fill(&mut c, 1, 100);
+        c.set_budget(0);
+        assert_eq!(c.bytes_used(), 0);
+        assert_eq!(c.resident().len(), 0);
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let mut c = RawCache::new(CachePolicy::default());
+        fill(&mut c, 0, 10);
+        c.invalidate();
+        assert_eq!(c.coverage(0), 0);
+        assert_eq!(c.bytes_used(), 0);
+    }
+
+    #[test]
+    fn utilization_and_hit_ratio_gauges() {
+        let mut c = RawCache::new(CachePolicy::with_budget(100_000));
+        fill(&mut c, 0, 100);
+        assert!(c.utilization() > 0.0);
+        let _ = c.get(0, 0);
+        let _ = c.get(0, 1_000_000);
+        assert!((c.metrics().hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resident_lists_coverage() {
+        let mut c = RawCache::new(CachePolicy::default());
+        fill(&mut c, 3, 4);
+        fill(&mut c, 1, 2);
+        assert_eq!(c.resident(), vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn string_budget_counts_payload() {
+        let mut c = RawCache::new(CachePolicy::with_budget(1 << 20));
+        let tick = c.begin_query(&[0]);
+        c.append(0, ColumnType::Str, &Datum::Str("abcdefgh".into()), tick);
+        assert!(c.bytes_used() >= 8);
+    }
+}

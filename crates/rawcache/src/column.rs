@@ -1,0 +1,334 @@
+//! Typed columnar storage for cached binary values.
+
+use nodb_rawcsv::{ColumnType, Datum};
+
+/// Compact null bitmap (1 bit per row).
+#[derive(Debug, Default, Clone)]
+pub struct NullMask {
+    words: Vec<u64>,
+    len: usize,
+    any_null: bool,
+}
+
+impl NullMask {
+    /// Append one validity bit (`true` = NULL).
+    #[inline]
+    pub fn push(&mut self, is_null: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if is_null {
+            self.words[word] |= 1u64 << (self.len % 64);
+            self.any_null = true;
+        }
+        self.len += 1;
+    }
+
+    /// Whether row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        if !self.any_null {
+            return false;
+        }
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Number of recorded rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bitmap bytes held (see [`TypedColumn::footprint`] for the accounting
+    /// discipline).
+    pub fn footprint(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// One cached attribute's values in typed, post-parse form.
+#[derive(Debug)]
+pub enum TypedColumn {
+    /// 64-bit integers.
+    Int {
+        /// Values (NULL rows hold 0; consult `nulls`).
+        values: Vec<i64>,
+        /// Null bitmap.
+        nulls: NullMask,
+    },
+    /// 64-bit floats.
+    Float {
+        /// Values (NULL rows hold 0.0).
+        values: Vec<f64>,
+        /// Null bitmap.
+        nulls: NullMask,
+    },
+    /// Booleans.
+    Bool {
+        /// Values (NULL rows hold false).
+        values: Vec<bool>,
+        /// Null bitmap.
+        nulls: NullMask,
+    },
+    /// Strings.
+    Str {
+        /// Values (NULL rows hold "").
+        values: Vec<Box<str>>,
+        /// Cumulative byte length of all strings (budget accounting).
+        str_bytes: usize,
+        /// Null bitmap.
+        nulls: NullMask,
+    },
+}
+
+impl TypedColumn {
+    /// Empty column of the given type.
+    pub fn new(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int => TypedColumn::Int { values: Vec::new(), nulls: NullMask::default() },
+            ColumnType::Float => {
+                TypedColumn::Float { values: Vec::new(), nulls: NullMask::default() }
+            }
+            ColumnType::Bool => {
+                TypedColumn::Bool { values: Vec::new(), nulls: NullMask::default() }
+            }
+            ColumnType::Str => TypedColumn::Str {
+                values: Vec::new(),
+                str_bytes: 0,
+                nulls: NullMask::default(),
+            },
+        }
+    }
+
+    /// The column's type.
+    pub fn ty(&self) -> ColumnType {
+        match self {
+            TypedColumn::Int { .. } => ColumnType::Int,
+            TypedColumn::Float { .. } => ColumnType::Float,
+            TypedColumn::Bool { .. } => ColumnType::Bool,
+            TypedColumn::Str { .. } => ColumnType::Str,
+        }
+    }
+
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        match self {
+            TypedColumn::Int { values, .. } => values.len(),
+            TypedColumn::Float { values, .. } => values.len(),
+            TypedColumn::Bool { values, .. } => values.len(),
+            TypedColumn::Str { values, .. } => values.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a datum. NULL appends a null slot; a type-mismatched datum is
+    /// recorded as NULL (cannot happen when fed from a typed parse path, but
+    /// keeps the API total).
+    pub fn push(&mut self, d: &Datum) {
+        match self {
+            TypedColumn::Int { values, nulls } => match d {
+                Datum::Int(v) => {
+                    values.push(*v);
+                    nulls.push(false);
+                }
+                _ => {
+                    values.push(0);
+                    nulls.push(true);
+                }
+            },
+            TypedColumn::Float { values, nulls } => match d {
+                Datum::Float(v) => {
+                    values.push(*v);
+                    nulls.push(false);
+                }
+                Datum::Int(v) => {
+                    values.push(*v as f64);
+                    nulls.push(false);
+                }
+                _ => {
+                    values.push(0.0);
+                    nulls.push(true);
+                }
+            },
+            TypedColumn::Bool { values, nulls } => match d {
+                Datum::Bool(v) => {
+                    values.push(*v);
+                    nulls.push(false);
+                }
+                _ => {
+                    values.push(false);
+                    nulls.push(true);
+                }
+            },
+            TypedColumn::Str { values, str_bytes, nulls } => match d {
+                Datum::Str(s) => {
+                    *str_bytes += s.len();
+                    values.push(s.clone());
+                    nulls.push(false);
+                }
+                _ => {
+                    values.push("".into());
+                    nulls.push(true);
+                }
+            },
+        }
+    }
+
+    /// Read row `i` back as a datum. Returns `None` past the end.
+    #[inline]
+    pub fn datum(&self, i: usize) -> Option<Datum> {
+        match self {
+            TypedColumn::Int { values, nulls } => values.get(i).map(|v| {
+                if nulls.is_null(i) {
+                    Datum::Null
+                } else {
+                    Datum::Int(*v)
+                }
+            }),
+            TypedColumn::Float { values, nulls } => values.get(i).map(|v| {
+                if nulls.is_null(i) {
+                    Datum::Null
+                } else {
+                    Datum::Float(*v)
+                }
+            }),
+            TypedColumn::Bool { values, nulls } => values.get(i).map(|v| {
+                if nulls.is_null(i) {
+                    Datum::Null
+                } else {
+                    Datum::Bool(*v)
+                }
+            }),
+            TypedColumn::Str { values, nulls, .. } => values.get(i).map(|v| {
+                if nulls.is_null(i) {
+                    Datum::Null
+                } else {
+                    Datum::Str(v.clone())
+                }
+            }),
+        }
+    }
+
+    /// Value bytes held (budget accounting). Deliberately counts *data*
+    /// bytes (`len`), not allocator capacity: capacity slack is bounded at
+    /// 2x by Vec's growth policy and charging it would make per-row budget
+    /// checks jump unpredictably at reallocation points.
+    pub fn footprint(&self) -> usize {
+        match self {
+            TypedColumn::Int { values, nulls } => values.len() * 8 + nulls.footprint(),
+            TypedColumn::Float { values, nulls } => values.len() * 8 + nulls.footprint(),
+            TypedColumn::Bool { values, nulls } => values.len() + nulls.footprint(),
+            TypedColumn::Str { values, str_bytes, nulls } => {
+                values.len() * std::mem::size_of::<Box<str>>() + str_bytes + nulls.footprint()
+            }
+        }
+    }
+}
+
+/// Convenience builder used by loaders that materialize a full column before
+/// installing it (the conventional-DBMS path); the in-situ scan appends
+/// directly through [`crate::cache::RawCache`].
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    col: TypedColumn,
+}
+
+impl ColumnBuilder {
+    /// New builder of the given type.
+    pub fn new(ty: ColumnType) -> Self {
+        ColumnBuilder { col: TypedColumn::new(ty) }
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, d: &Datum) {
+        self.col.push(d);
+    }
+
+    /// Rows so far.
+    pub fn len(&self) -> usize {
+        self.col.len()
+    }
+
+    /// True when no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.col.is_empty()
+    }
+
+    /// Finish and return the column.
+    pub fn finish(self) -> TypedColumn {
+        self.col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_mask_round_trip() {
+        let mut m = NullMask::default();
+        for i in 0..130 {
+            m.push(i % 7 == 0);
+        }
+        for i in 0..130 {
+            assert_eq!(m.is_null(i), i % 7 == 0, "row {i}");
+        }
+        assert_eq!(m.len(), 130);
+    }
+
+    #[test]
+    fn int_column_round_trip() {
+        let mut c = TypedColumn::new(ColumnType::Int);
+        c.push(&Datum::Int(5));
+        c.push(&Datum::Null);
+        c.push(&Datum::Int(-9));
+        assert_eq!(c.datum(0), Some(Datum::Int(5)));
+        assert_eq!(c.datum(1), Some(Datum::Null));
+        assert_eq!(c.datum(2), Some(Datum::Int(-9)));
+        assert_eq!(c.datum(3), None);
+    }
+
+    #[test]
+    fn str_column_accounts_bytes() {
+        let mut c = TypedColumn::new(ColumnType::Str);
+        c.push(&Datum::Str("hello".into()));
+        c.push(&Datum::Str("world!".into()));
+        assert!(c.footprint() >= 11);
+        assert_eq!(c.datum(1), Some(Datum::Str("world!".into())));
+    }
+
+    #[test]
+    fn float_column_coerces_ints() {
+        let mut c = TypedColumn::new(ColumnType::Float);
+        c.push(&Datum::Int(2));
+        assert_eq!(c.datum(0), Some(Datum::Float(2.0)));
+    }
+
+    #[test]
+    fn mismatched_push_becomes_null() {
+        let mut c = TypedColumn::new(ColumnType::Int);
+        c.push(&Datum::Str("oops".into()));
+        assert_eq!(c.datum(0), Some(Datum::Null));
+    }
+
+    #[test]
+    fn builder_finishes_into_column() {
+        let mut b = ColumnBuilder::new(ColumnType::Bool);
+        b.push(&Datum::Bool(true));
+        b.push(&Datum::Bool(false));
+        let c = b.finish();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.datum(0), Some(Datum::Bool(true)));
+    }
+}

@@ -1,0 +1,29 @@
+//! # nodb-rawcache — the adaptive binary cache (paper §3.2)
+//!
+//! PostgresRaw "contains a cache that temporarily holds previously accessed
+//! data, e.g., a previously accessed attribute or even parts of an
+//! attribute". This crate is that cache:
+//!
+//! * **Binary, typed, columnar** — values are stored post-parse, so a hit
+//!   skips tokenizing, parsing *and* conversion; one typed column per
+//!   attribute ([`column::TypedColumn`]).
+//! * **Populated on the fly** — the scan appends each parsed value as it
+//!   goes ("once a disk block of the raw file has been parsed during a scan,
+//!   PostgresRaw caches the binary data immediately"); a column may cover
+//!   only a prefix of the file ("even parts of an attribute").
+//! * **Never forces extra parsing** — only attributes the current query
+//!   parses get cached (§3.2: "caching does not force additional data to be
+//!   parsed"). The ablation flag for the opposite behaviour lives in
+//!   `nodb-core`'s config, not here.
+//! * **LRU under a byte budget** — whole-column eviction, with the current
+//!   query's columns protected (they are, by definition, most recent).
+//! * **Positional-map-compatible layout** — rows are addressed by the same
+//!   row ids the positional map uses, so one query plan can mix cache reads
+//!   and map-assisted raw reads per attribute ("the cache follows the format
+//!   of the positional map").
+
+pub mod cache;
+pub mod column;
+
+pub use cache::{CacheMetrics, CachePolicy, RawCache};
+pub use column::{ColumnBuilder, TypedColumn};

@@ -1,0 +1,220 @@
+//! Runtime value representation shared by the whole stack.
+//!
+//! A [`Datum`] is a single parsed value. The engine works over columnar
+//! batches of datums; the cache stores typed columns that expand back into
+//! datums on read. `Datum` deliberately keeps strings as `Box<str>` (two
+//! words) rather than `String` (three words) to keep the enum at 16 bytes
+//! plus discriminant — a hot type, per the perf-book guidance on type sizes.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::schema::ColumnType;
+
+/// A single runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    /// SQL NULL / missing value (empty CSV field).
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Owned string.
+    Str(Box<str>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Datum {
+    /// The column type this datum naturally belongs to, or `None` for NULL.
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Datum::Null => None,
+            Datum::Int(_) => Some(ColumnType::Int),
+            Datum::Float(_) => Some(ColumnType::Float),
+            Datum::Str(_) => Some(ColumnType::Str),
+            Datum::Bool(_) => Some(ColumnType::Bool),
+        }
+    }
+
+    /// True when the datum is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Integer value if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float value; integers coerce losslessly.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Datum::Float(v) => Some(*v),
+            Datum::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String slice if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Datum::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap + inline footprint in bytes, used for cache budget
+    /// accounting.
+    pub fn footprint(&self) -> usize {
+        let inline = std::mem::size_of::<Datum>();
+        match self {
+            Datum::Str(s) => inline + s.len(),
+            _ => inline,
+        }
+    }
+
+    /// SQL-style three-valued comparison. Returns `None` when either side is
+    /// NULL or the types are incomparable. Int/Float compare numerically.
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        match (self, other) {
+            (Datum::Null, _) | (_, Datum::Null) => None,
+            (Datum::Int(a), Datum::Int(b)) => Some(a.cmp(b)),
+            (Datum::Float(a), Datum::Float(b)) => a.partial_cmp(b),
+            (Datum::Int(a), Datum::Float(b)) => (*a as f64).partial_cmp(b),
+            (Datum::Float(a), Datum::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Datum::Str(a), Datum::Str(b)) => Some(a.cmp(b)),
+            (Datum::Bool(a), Datum::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used for ORDER BY and index keys: NULLs sort first,
+    /// then by type class, then by value (floats use `total_cmp`).
+    pub fn total_cmp(&self, other: &Datum) -> Ordering {
+        fn class(d: &Datum) -> u8 {
+            match d {
+                Datum::Null => 0,
+                Datum::Bool(_) => 1,
+                Datum::Int(_) | Datum::Float(_) => 2,
+                Datum::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Datum::Null, Datum::Null) => Ordering::Equal,
+            (Datum::Int(a), Datum::Int(b)) => a.cmp(b),
+            (Datum::Float(a), Datum::Float(b)) => a.total_cmp(b),
+            (Datum::Int(a), Datum::Float(b)) => (*a as f64).total_cmp(b),
+            (Datum::Float(a), Datum::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Datum::Str(a), Datum::Str(b)) => a.cmp(b),
+            (Datum::Bool(a), Datum::Bool(b)) => a.cmp(b),
+            (a, b) => class(a).cmp(&class(b)),
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => f.write_str("NULL"),
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Float(v) => write!(f, "{v}"),
+            Datum::Str(s) => write!(f, "{s}"),
+            Datum::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::Int(v)
+    }
+}
+impl From<f64> for Datum {
+    fn from(v: f64) -> Self {
+        Datum::Float(v)
+    }
+}
+impl From<&str> for Datum {
+    fn from(v: &str) -> Self {
+        Datum::Str(v.into())
+    }
+}
+impl From<String> for Datum {
+    fn from(v: String) -> Self {
+        Datum::Str(v.into_boxed_str())
+    }
+}
+impl From<bool> for Datum {
+    fn from(v: bool) -> Self {
+        Datum::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_cmp_numeric_coercion() {
+        assert_eq!(
+            Datum::Int(2).sql_cmp(&Datum::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Datum::Float(3.0).sql_cmp(&Datum::Int(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Int(1)), None);
+        assert_eq!(Datum::Int(1).sql_cmp(&Datum::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_type_mismatch_is_unknown() {
+        assert_eq!(Datum::Int(1).sql_cmp(&Datum::Str("1".into())), None);
+    }
+
+    #[test]
+    fn total_cmp_sorts_nulls_first() {
+        let mut v = [Datum::Int(3), Datum::Null, Datum::Int(1)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v[0], Datum::Null);
+        assert_eq!(v[1], Datum::Int(1));
+    }
+
+    #[test]
+    fn footprint_counts_string_payload() {
+        let base = Datum::Int(1).footprint();
+        let s = Datum::Str("hello".into()).footprint();
+        assert_eq!(s, base + 5);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Datum::Int(-5).to_string(), "-5");
+        assert_eq!(Datum::Null.to_string(), "NULL");
+        assert_eq!(Datum::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn datum_is_small() {
+        // Hot type: keep it within 24 bytes on 64-bit.
+        assert!(std::mem::size_of::<Datum>() <= 24);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the raw CSV substrate.
+
+use std::fmt;
+
+/// Errors produced while reading, tokenizing or parsing raw CSV data.
+#[derive(Debug)]
+pub enum RawCsvError {
+    /// Underlying I/O failure, annotated with the operation that failed.
+    Io {
+        /// Human-readable operation description (e.g. `"open <path>"`).
+        context: String,
+        /// The OS-level error.
+        source: std::io::Error,
+    },
+    /// A row had fewer fields than the requested attribute index.
+    MissingField {
+        /// Zero-based row number in the file.
+        row: u64,
+        /// Zero-based attribute index that was requested.
+        attr: usize,
+        /// Number of fields actually present.
+        present: usize,
+    },
+    /// A field could not be parsed as the declared column type.
+    ParseField {
+        /// Zero-based row number in the file.
+        row: u64,
+        /// Zero-based attribute index.
+        attr: usize,
+        /// Declared type name.
+        ty: &'static str,
+        /// The offending raw text (lossily decoded, truncated).
+        text: String,
+    },
+    /// The file is malformed in a way the tokenizer cannot recover from
+    /// (e.g. an unterminated quoted field at end of file).
+    Malformed {
+        /// Byte offset at which the problem was detected.
+        offset: u64,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Schema inference failed (e.g. empty file).
+    Infer(String),
+}
+
+impl fmt::Display for RawCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RawCsvError::Io { context, source } => {
+                write!(f, "I/O error during {context}: {source}")
+            }
+            RawCsvError::MissingField { row, attr, present } => write!(
+                f,
+                "row {row} has {present} fields but attribute {attr} was requested"
+            ),
+            RawCsvError::ParseField { row, attr, ty, text } => write!(
+                f,
+                "row {row}, attribute {attr}: cannot parse {text:?} as {ty}"
+            ),
+            RawCsvError::Malformed { offset, reason } => {
+                write!(f, "malformed CSV at byte {offset}: {reason}")
+            }
+            RawCsvError::Infer(msg) => write!(f, "schema inference failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RawCsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RawCsvError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl RawCsvError {
+    /// Wrap an [`std::io::Error`] with a context string.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        RawCsvError::Io { context: context.into(), source }
+    }
+}

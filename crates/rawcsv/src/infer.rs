@@ -1,0 +1,266 @@
+//! Schema inference from a file sample.
+//!
+//! NoDB's promise is "here are my data files, where are my results": the user
+//! should not have to write DDL. [`infer_schema`] reads a bounded sample of
+//! the file, detects a header row, counts fields, and assigns each column the
+//! narrowest type that accepts every sampled value (Int ⊂ Float ⊂ Str;
+//! Bool is only chosen when every non-null sample parses as a boolean).
+
+use std::path::Path;
+
+use crate::error::RawCsvError;
+use crate::parser::{parse_bool, parse_float, parse_int};
+use crate::reader::BlockScanner;
+use crate::schema::{ColumnDef, ColumnType, Schema};
+use crate::tokenizer::{Tokens, TokenizerConfig};
+use crate::Result;
+
+/// Outcome of schema inference.
+#[derive(Debug, Clone)]
+pub struct InferredSchema {
+    /// The inferred schema.
+    pub schema: Schema,
+    /// True when the first line looked like a header (non-numeric names over
+    /// otherwise-numeric columns) and should be skipped by scans.
+    pub has_header: bool,
+    /// Number of data lines sampled.
+    pub sampled_rows: u64,
+    /// The tokenizer configuration used (delimiter possibly sniffed).
+    pub tokenizer: TokenizerConfig,
+}
+
+/// Candidate delimiters for sniffing, in preference order on ties.
+const DELIMITER_CANDIDATES: [u8; 4] = [b',', b'\t', b';', b'|'];
+
+/// Guess the field delimiter from a sample line: the candidate that splits
+/// it into the most fields. Comma wins ties.
+pub fn sniff_delimiter(line: &[u8]) -> u8 {
+    let mut best = b',';
+    let mut best_count = 0usize;
+    for &cand in &DELIMITER_CANDIDATES {
+        let count = line.iter().filter(|&&b| b == cand).count();
+        if count > best_count {
+            best = cand;
+            best_count = count;
+        }
+    }
+    best
+}
+
+/// [`infer_schema`] with the delimiter sniffed from the file's first line —
+/// the default registration path, so TSV / semicolon / pipe files work with
+/// zero configuration.
+pub fn infer_schema_sniffed(
+    path: impl AsRef<Path>,
+    sample_rows: u64,
+) -> Result<InferredSchema> {
+    let path = path.as_ref();
+    let mut scanner = BlockScanner::open_default(path)?;
+    let first = scanner
+        .next_line()?
+        .ok_or_else(|| RawCsvError::Infer("file is empty".into()))?;
+    let delimiter = sniff_delimiter(first.bytes);
+    drop(scanner);
+    infer_schema(path, TokenizerConfig::plain(delimiter), sample_rows)
+}
+
+/// Per-column running type lattice during inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TypeGuess {
+    /// No non-null value seen yet.
+    Unknown,
+    Bool,
+    Int,
+    Float,
+    Str,
+}
+
+impl TypeGuess {
+    fn update(self, field: &[u8]) -> TypeGuess {
+        if field.is_empty() {
+            return self;
+        }
+        let field_class = if parse_int(field).is_some() {
+            TypeGuess::Int
+        } else if parse_float(field).is_some() {
+            TypeGuess::Float
+        } else if parse_bool(field).is_some() {
+            TypeGuess::Bool
+        } else {
+            TypeGuess::Str
+        };
+        self.join(field_class)
+    }
+
+    fn join(self, other: TypeGuess) -> TypeGuess {
+        use TypeGuess::*;
+        match (self, other) {
+            (Unknown, x) | (x, Unknown) => x,
+            (a, b) if a == b => a,
+            (Int, Float) | (Float, Int) => Float,
+            // Bool mixed with anything else degrades to Str (e.g. "true"
+            // appearing in a text column).
+            _ => Str,
+        }
+    }
+
+    fn to_column_type(self) -> ColumnType {
+        match self {
+            TypeGuess::Int => ColumnType::Int,
+            TypeGuess::Float => ColumnType::Float,
+            TypeGuess::Bool => ColumnType::Bool,
+            // All-null or unseen columns default to Str, the universal type.
+            TypeGuess::Str | TypeGuess::Unknown => ColumnType::Str,
+        }
+    }
+}
+
+/// Infer a schema by sampling up to `sample_rows` lines of `path`.
+pub fn infer_schema(
+    path: impl AsRef<Path>,
+    tokenizer: TokenizerConfig,
+    sample_rows: u64,
+) -> Result<InferredSchema> {
+    let mut scanner = BlockScanner::open_default(path)?;
+    let mut tokens = Tokens::new();
+
+    // Read the first line separately: it may be a header.
+    let first: Vec<u8> = match scanner.next_line()? {
+        Some(l) => l.bytes.to_vec(),
+        None => return Err(RawCsvError::Infer("file is empty".into())),
+    };
+    tokenizer.tokenize_into(&first, &mut tokens);
+    let ncols = tokens.len();
+    let first_fields: Vec<Vec<u8>> = tokens
+        .spans()
+        .iter()
+        .map(|s| s.of(&first).to_vec())
+        .collect();
+
+    let mut guesses = vec![TypeGuess::Unknown; ncols];
+    let mut sampled = 0u64;
+    while sampled < sample_rows {
+        let Some(line) = scanner.next_line()? else { break };
+        tokenizer.tokenize_into(line.bytes, &mut tokens);
+        for (i, span) in tokens.spans().iter().enumerate().take(ncols) {
+            guesses[i] = guesses[i].update(span.of(line.bytes));
+        }
+        sampled += 1;
+    }
+
+    // Header heuristic: the first line is a header if at least one column
+    // whose data is numeric has a non-numeric first-line value.
+    let mut header_votes = 0usize;
+    for (i, g) in guesses.iter().enumerate() {
+        let data_numeric = matches!(g, TypeGuess::Int | TypeGuess::Float);
+        let first_numeric = parse_float(&first_fields[i]).is_some();
+        if data_numeric && !first_numeric && !first_fields[i].is_empty() {
+            header_votes += 1;
+        }
+    }
+    let has_header = header_votes > 0 && sampled > 0;
+
+    let columns = (0..ncols)
+        .map(|i| {
+            let name = if has_header {
+                String::from_utf8_lossy(&first_fields[i]).into_owned()
+            } else {
+                format!("c{i}")
+            };
+            let guess = if has_header {
+                guesses[i]
+            } else {
+                // Without a header the first line is data and participates.
+                guesses[i].update(&first_fields[i])
+            };
+            ColumnDef::new(name, guess.to_column_type())
+        })
+        .collect();
+
+    Ok(InferredSchema {
+        schema: Schema::new(columns),
+        has_header,
+        sampled_rows: sampled,
+        tokenizer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str, content: &[u8]) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nodb_infer_{name}_{}", std::process::id()));
+        let mut f = std::fs::File::create(&p).unwrap();
+        f.write_all(content).unwrap();
+        p
+    }
+
+    #[test]
+    fn infers_types_with_header() {
+        let p = tmp("hdr", b"id,score,name,ok\n1,2.5,alice,true\n2,3.5,bob,false\n");
+        let r = infer_schema(&p, TokenizerConfig::default(), 100).unwrap();
+        assert!(r.has_header);
+        assert_eq!(r.schema.column(0).name, "id");
+        assert_eq!(r.schema.ty(0), ColumnType::Int);
+        assert_eq!(r.schema.ty(1), ColumnType::Float);
+        assert_eq!(r.schema.ty(2), ColumnType::Str);
+        assert_eq!(r.schema.ty(3), ColumnType::Bool);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn infers_headerless_numeric_file() {
+        let p = tmp("nohdr", b"1,2\n3,4\n5,6\n");
+        let r = infer_schema(&p, TokenizerConfig::default(), 100).unwrap();
+        assert!(!r.has_header);
+        assert_eq!(r.schema.column(0).name, "c0");
+        assert_eq!(r.schema.ty(0), ColumnType::Int);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let p = tmp("widen", b"1\n2.5\n3\n");
+        let r = infer_schema(&p, TokenizerConfig::default(), 100).unwrap();
+        assert_eq!(r.schema.ty(0), ColumnType::Float);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn empty_file_errors() {
+        let p = tmp("empty", b"");
+        assert!(infer_schema(&p, TokenizerConfig::default(), 10).is_err());
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn sniffs_common_delimiters() {
+        assert_eq!(sniff_delimiter(b"a,b,c"), b',');
+        assert_eq!(sniff_delimiter(b"a\tb\tc\td"), b'\t');
+        assert_eq!(sniff_delimiter(b"x;y;z"), b';');
+        assert_eq!(sniff_delimiter(b"1|2"), b'|');
+        assert_eq!(sniff_delimiter(b"nodelims"), b',');
+    }
+
+    #[test]
+    fn sniffed_inference_handles_tsv() {
+        let p = tmp("tsv", b"id\tscore\n1\t2.5\n2\t3.5\n");
+        let r = infer_schema_sniffed(&p, 100).unwrap();
+        assert_eq!(r.tokenizer.delimiter, b'\t');
+        assert!(r.has_header);
+        assert_eq!(r.schema.ty(1), ColumnType::Float);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn nulls_do_not_disturb_types() {
+        let p = tmp("nulls", b"v\n1\n\n3\n");
+        let r = infer_schema(&p, TokenizerConfig::default(), 100).unwrap();
+        assert_eq!(r.schema.ty(0), ColumnType::Int);
+        std::fs::remove_file(p).unwrap();
+    }
+}

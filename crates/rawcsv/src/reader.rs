@@ -1,0 +1,396 @@
+//! Block-oriented sequential scanning of raw files, with I/O accounting.
+//!
+//! The paper observes that in row-ordered CSV, *selective tokenizing does not
+//! bring any I/O benefits* — every query that touches uncached attributes
+//! still streams the file once. [`BlockScanner`] is that streaming pass:
+//! fixed-size block reads, line reassembly across block boundaries, and
+//! byte/call counters so the harness can report the *I/O* slice of the
+//! paper's Figure 3 execution breakdown.
+//!
+//! [`RawFileMeta`] is the cheap file fingerprint used by update detection
+//! (§4.2 *Updates*): length, modification time, and a hash of the file head,
+//! enough to distinguish "appended" from "replaced".
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use crate::error::RawCsvError;
+use crate::tokenizer::{find_byte, trim_cr};
+use crate::Result;
+
+/// Default block size for sequential scans (1 MiB).
+pub const DEFAULT_BLOCK_SIZE: usize = 1 << 20;
+
+/// Cumulative I/O counters for one scanner (or one query, after
+/// [`BlockScanner::take_counters`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoCounters {
+    /// Total bytes handed back by the OS.
+    pub bytes_read: u64,
+    /// Number of `read` calls issued.
+    pub read_calls: u64,
+}
+
+impl IoCounters {
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: IoCounters) {
+        self.bytes_read += other.bytes_read;
+        self.read_calls += other.read_calls;
+    }
+}
+
+/// One line of the file as exposed by [`BlockScanner::next_line`].
+#[derive(Debug, Clone, Copy)]
+pub struct LineRef<'a> {
+    /// Zero-based line number (header excluded if skipped by the caller).
+    pub line_no: u64,
+    /// Byte offset of the first byte of this line in the file.
+    pub offset: u64,
+    /// Line content without the trailing newline (and without `\r`).
+    pub bytes: &'a [u8],
+}
+
+/// Streaming line reader over fixed-size blocks.
+///
+/// Usage:
+/// ```no_run
+/// # use nodb_rawcsv::reader::BlockScanner;
+/// let mut scanner = BlockScanner::open("data.csv", 1 << 20).unwrap();
+/// while let Some(line) = scanner.next_line().unwrap() {
+///     let _ = (line.line_no, line.offset, line.bytes);
+/// }
+/// ```
+pub struct BlockScanner {
+    file: File,
+    path: PathBuf,
+    block_size: usize,
+    /// Buffered window of the file. `buf[pos..filled]` is unconsumed.
+    buf: Vec<u8>,
+    pos: usize,
+    filled: usize,
+    /// File offset corresponding to `buf[0]`.
+    buf_file_offset: u64,
+    eof: bool,
+    next_line_no: u64,
+    counters: IoCounters,
+}
+
+impl BlockScanner {
+    /// Open `path` for a sequential scan with the given block size.
+    pub fn open(path: impl AsRef<Path>, block_size: usize) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)
+            .map_err(|e| RawCsvError::io(format!("open {}", path.display()), e))?;
+        Ok(BlockScanner {
+            file,
+            path,
+            block_size: block_size.max(4096),
+            buf: Vec::new(),
+            pos: 0,
+            filled: 0,
+            buf_file_offset: 0,
+            eof: false,
+            next_line_no: 0,
+            counters: IoCounters::default(),
+        })
+    }
+
+    /// Open with [`DEFAULT_BLOCK_SIZE`].
+    pub fn open_default(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open(path, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// Restart the scan from offset `offset` (used to resume over appended
+    /// data without re-reading the prefix). Resets line numbering to
+    /// `line_no`.
+    pub fn seek_to(&mut self, offset: u64, line_no: u64) -> Result<()> {
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| RawCsvError::io(format!("seek {}", self.path.display()), e))?;
+        self.buf.clear();
+        self.pos = 0;
+        self.filled = 0;
+        self.buf_file_offset = offset;
+        self.eof = false;
+        self.next_line_no = line_no;
+        Ok(())
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> IoCounters {
+        self.counters
+    }
+
+    /// Return and reset the counters.
+    pub fn take_counters(&mut self) -> IoCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// Produce the next line, or `None` at end of file.
+    ///
+    /// The returned slice borrows the internal buffer and is valid until the
+    /// next call.
+    pub fn next_line(&mut self) -> Result<Option<LineRef<'_>>> {
+        loop {
+            // Look for a newline in the unconsumed window.
+            if let Some(nl) = find_byte(&self.buf[self.pos..self.filled], b'\n') {
+                let start = self.pos;
+                let end = start + nl;
+                self.pos = end + 1;
+                let offset = self.buf_file_offset + start as u64;
+                let line_no = self.next_line_no;
+                self.next_line_no += 1;
+                let bytes = trim_cr(&self.buf[start..end]);
+                return Ok(Some(LineRef { line_no, offset, bytes }));
+            }
+            if self.eof {
+                // Final unterminated line, if any.
+                if self.pos < self.filled {
+                    let start = self.pos;
+                    self.pos = self.filled;
+                    let offset = self.buf_file_offset + start as u64;
+                    let line_no = self.next_line_no;
+                    self.next_line_no += 1;
+                    let bytes = trim_cr(&self.buf[start..self.filled]);
+                    return Ok(Some(LineRef { line_no, offset, bytes }));
+                }
+                return Ok(None);
+            }
+            self.refill()?;
+        }
+    }
+
+    /// Slide the unconsumed tail to the front of the buffer and read one more
+    /// block from the file.
+    fn refill(&mut self) -> Result<()> {
+        // Compact: move [pos, filled) to the front.
+        if self.pos > 0 {
+            self.buf.copy_within(self.pos..self.filled, 0);
+            self.buf_file_offset += self.pos as u64;
+            self.filled -= self.pos;
+            self.pos = 0;
+        }
+        // Ensure capacity for one more block past `filled`.
+        if self.buf.len() < self.filled + self.block_size {
+            self.buf.resize(self.filled + self.block_size, 0);
+        }
+        let n = self
+            .file
+            .read(&mut self.buf[self.filled..self.filled + self.block_size])
+            .map_err(|e| RawCsvError::io(format!("read {}", self.path.display()), e))?;
+        self.counters.read_calls += 1;
+        self.counters.bytes_read += n as u64;
+        if n == 0 {
+            self.eof = true;
+        }
+        self.filled += n;
+        Ok(())
+    }
+}
+
+/// Cheap fingerprint of a raw file used for update detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawFileMeta {
+    /// File length in bytes.
+    pub len: u64,
+    /// Last-modified time as reported by the filesystem.
+    pub modified: Option<SystemTime>,
+    /// Number of head bytes covered by `head_hash` (`min(len, 4096)`).
+    pub head_len: u64,
+    /// FNV-1a hash of the first `head_len` bytes. Appending rows keeps this
+    /// prefix stable; replacing the file almost surely changes it.
+    pub head_hash: u64,
+}
+
+/// How a file changed relative to a previously recorded [`RawFileMeta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileChange {
+    /// Identical length and head: treat as unchanged.
+    Unchanged,
+    /// Longer, same head: rows were appended after `old_len`.
+    Appended {
+        /// Length at the time of the previous probe.
+        old_len: u64,
+    },
+    /// Shorter or different head: the file was replaced or rewritten.
+    Replaced,
+}
+
+impl RawFileMeta {
+    /// Probe `path` and build a fingerprint with the default 4 KiB head.
+    pub fn probe(path: impl AsRef<Path>) -> Result<Self> {
+        Self::probe_with_head(path, 4096)
+    }
+
+    /// Probe `path` hashing the first `min(len, head_limit)` bytes.
+    pub fn probe_with_head(path: impl AsRef<Path>, head_limit: u64) -> Result<Self> {
+        let path = path.as_ref();
+        let mut file = File::open(path)
+            .map_err(|e| RawCsvError::io(format!("open {}", path.display()), e))?;
+        let meta = file
+            .metadata()
+            .map_err(|e| RawCsvError::io(format!("stat {}", path.display()), e))?;
+        let len = meta.len();
+        let head_len = len.min(head_limit);
+        let mut head = vec![0u8; head_len as usize];
+        file.read_exact(&mut head)
+            .map_err(|e| RawCsvError::io(format!("read head of {}", path.display()), e))?;
+        Ok(RawFileMeta {
+            len,
+            modified: meta.modified().ok(),
+            head_len,
+            head_hash: fnv1a(&head),
+        })
+    }
+
+    /// Re-probe `path` and classify how it changed since `self` was taken.
+    ///
+    /// The re-probe hashes exactly `self.head_len` bytes so that appends to
+    /// files shorter than the head window are still recognized as appends.
+    pub fn classify_change(&self, path: impl AsRef<Path>) -> Result<FileChange> {
+        let new = Self::probe_with_head(&path, self.head_len)?;
+        Ok(if new.len < self.len || new.head_hash != self.head_hash {
+            FileChange::Replaced
+        } else if new.len > self.len {
+            FileChange::Appended { old_len: self.len }
+        } else if new.modified != self.modified {
+            // Same length/head but touched: content beyond the head may have
+            // been rewritten in place; be conservative.
+            FileChange::Replaced
+        } else {
+            FileChange::Unchanged
+        })
+    }
+}
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Read an entire file into memory (used by the conventional loaders, where
+/// the full parse dominates anyway).
+pub fn read_full(path: impl AsRef<Path>) -> Result<Vec<u8>> {
+    let path = path.as_ref();
+    std::fs::read(path).map_err(|e| RawCsvError::io(format!("read {}", path.display()), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp_file(name: &str, content: &[u8]) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nodb_rawcsv_test_{name}_{}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(content).unwrap();
+        p
+    }
+
+    fn collect_lines(path: &Path, block: usize) -> Vec<(u64, u64, Vec<u8>)> {
+        let mut sc = BlockScanner::open(path, block).unwrap();
+        let mut out = Vec::new();
+        while let Some(l) = sc.next_line().unwrap() {
+            out.push((l.line_no, l.offset, l.bytes.to_vec()));
+        }
+        out
+    }
+
+    #[test]
+    fn lines_across_block_boundaries() {
+        let content = b"aaaa,1\nbbbb,2\ncccc,3\n";
+        let p = tmp_file("blocks", content);
+        // Block size is clamped to >= 4096 so use content larger than that
+        // to exercise boundary handling separately below; here verify basic
+        // correctness.
+        let lines = collect_lines(&p, 4096);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], (0, 0, b"aaaa,1".to_vec()));
+        assert_eq!(lines[1].1, 7);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn long_lines_grow_buffer() {
+        let long = vec![b'x'; 10_000];
+        let mut content = long.clone();
+        content.push(b'\n');
+        content.extend_from_slice(b"tail");
+        let p = tmp_file("long", &content);
+        let lines = collect_lines(&p, 4096);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].2.len(), 10_000);
+        assert_eq!(lines[1].2, b"tail");
+        assert_eq!(lines[1].1, 10_001);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn crlf_is_trimmed() {
+        let p = tmp_file("crlf", b"a,b\r\nc,d\r\n");
+        let lines = collect_lines(&p, 4096);
+        assert_eq!(lines[0].2, b"a,b");
+        assert_eq!(lines[1].2, b"c,d");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn counters_track_bytes() {
+        let p = tmp_file("counters", b"1\n2\n3\n");
+        let mut sc = BlockScanner::open(&p, 4096).unwrap();
+        while sc.next_line().unwrap().is_some() {}
+        assert_eq!(sc.counters().bytes_read, 6);
+        assert!(sc.counters().read_calls >= 1);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn seek_resumes_mid_file() {
+        let p = tmp_file("seek", b"aa\nbb\ncc\n");
+        let mut sc = BlockScanner::open(&p, 4096).unwrap();
+        sc.seek_to(3, 1).unwrap();
+        let l = sc.next_line().unwrap().unwrap();
+        assert_eq!(l.bytes, b"bb");
+        assert_eq!(l.line_no, 1);
+        assert_eq!(l.offset, 3);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn meta_detects_append_and_replace() {
+        let p = tmp_file("meta", b"header\n1,2\n");
+        let m0 = RawFileMeta::probe(&p).unwrap();
+        assert_eq!(m0.classify_change(&p).unwrap(), FileChange::Unchanged);
+
+        // Append.
+        {
+            let mut f = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
+            f.write_all(b"3,4\n").unwrap();
+        }
+        assert_eq!(
+            m0.classify_change(&p).unwrap(),
+            FileChange::Appended { old_len: m0.len }
+        );
+
+        // Replace with different head.
+        let m1 = RawFileMeta::probe(&p).unwrap();
+        std::fs::write(&p, b"different!\n").unwrap();
+        assert_eq!(m1.classify_change(&p).unwrap(), FileChange::Replaced);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn empty_file_yields_no_lines() {
+        let p = tmp_file("empty", b"");
+        assert!(collect_lines(&p, 4096).is_empty());
+        std::fs::remove_file(p).unwrap();
+    }
+}

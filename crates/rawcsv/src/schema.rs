@@ -1,0 +1,196 @@
+//! Column types and table schemas.
+//!
+//! A [`Schema`] is the only piece of up-front information NoDB requires: the
+//! shape of the raw file. It can be written by hand, produced by the
+//! [`crate::generator`], or inferred from a sample of the file by
+//! [`crate::infer`].
+
+use std::fmt;
+
+/// The type of a single CSV attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string (arbitrary bytes are lossily accepted).
+    Str,
+    /// Boolean (`true/false`, `t/f`, `1/0`, case-insensitive).
+    Bool,
+}
+
+impl ColumnType {
+    /// Static name used in error messages and plan displays.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Int => "int",
+            ColumnType::Float => "float",
+            ColumnType::Str => "str",
+            ColumnType::Bool => "bool",
+        }
+    }
+
+    /// Approximate in-memory width of a parsed value of this type, used for
+    /// cache budget accounting. Strings account for their actual length at
+    /// insertion time; this is the per-slot overhead.
+    pub fn fixed_width(self) -> usize {
+        match self {
+            ColumnType::Int | ColumnType::Float => 8,
+            ColumnType::Bool => 1,
+            // Pointer + length for the string payload slot.
+            ColumnType::Str => 16,
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Definition of a single column: a name and a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name as referenced in queries. Case-sensitive.
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef { name: name.into(), ty }
+    }
+}
+
+/// An ordered set of column definitions describing one raw file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema from column definitions.
+    ///
+    /// # Panics
+    /// Panics if two columns share a name; schemas are small and built once,
+    /// so this is a programming error rather than a runtime condition.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate column name {:?}", a.name);
+            }
+        }
+        Schema { columns }
+    }
+
+    /// A schema of `n` columns named `c0..c{n-1}`, all of the same type.
+    /// This is the shape the demo's synthetic generator produces.
+    pub fn uniform(n: usize, ty: ColumnType) -> Self {
+        Schema::new(
+            (0..n)
+                .map(|i| ColumnDef::new(format!("c{i}"), ty))
+                .collect(),
+        )
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column definitions in file order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    /// Resolve a column name to its index, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Type of the column at `idx`.
+    pub fn ty(&self, idx: usize) -> ColumnType {
+        self.columns[idx].ty
+    }
+
+    /// Iterator over `(index, &ColumnDef)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &ColumnDef)> {
+        self.columns.iter().enumerate()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_schema_names_and_types() {
+        let s = Schema::uniform(3, ColumnType::Int);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.column(0).name, "c0");
+        assert_eq!(s.column(2).name, "c2");
+        assert_eq!(s.ty(1), ColumnType::Int);
+    }
+
+    #[test]
+    fn index_of_resolves_names() {
+        let s = Schema::new(vec![
+            ColumnDef::new("id", ColumnType::Int),
+            ColumnDef::new("name", ColumnType::Str),
+        ]);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_panic() {
+        let _ = Schema::new(vec![
+            ColumnDef::new("a", ColumnType::Int),
+            ColumnDef::new("a", ColumnType::Str),
+        ]);
+    }
+
+    #[test]
+    fn display_formats_schema() {
+        let s = Schema::new(vec![
+            ColumnDef::new("id", ColumnType::Int),
+            ColumnDef::new("v", ColumnType::Float),
+        ]);
+        assert_eq!(s.to_string(), "(id int, v float)");
+    }
+
+    #[test]
+    fn fixed_widths_are_sane() {
+        assert_eq!(ColumnType::Int.fixed_width(), 8);
+        assert_eq!(ColumnType::Bool.fixed_width(), 1);
+        assert!(ColumnType::Str.fixed_width() >= 16);
+    }
+}

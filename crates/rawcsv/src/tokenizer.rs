@@ -1,0 +1,447 @@
+//! Delimiter scanning: full, *selective* and *resumable* tokenizing.
+//!
+//! This module implements the three access disciplines the paper describes:
+//!
+//! * **Full tokenizing** — locate every field of a tuple
+//!   ([`TokenizerConfig::tokenize_into`]). This is what the naive external
+//!   files baseline does on every query.
+//! * **Selective tokenizing** (§3) — abort the scan of a tuple as soon as the
+//!   last attribute a query needs has been located
+//!   ([`TokenizerConfig::tokenize_selective`]). CSV rows are laid out
+//!   left-to-right, so a query touching attributes `{2, 5}` never pays for
+//!   delimiters after field 5.
+//! * **Resumable tokenizing** — start from a *positional-map anchor*
+//!   (`attribute k starts at byte b`) instead of the beginning of the line
+//!   ([`TokenizerConfig::tokenize_from`]). This is how the adaptive
+//!   positional map converts its stored positions into skipped CPU work.
+//!
+//! The delimiter scan uses a branch-light SWAR (SIMD-within-a-register) loop
+//! over 8-byte words; quoted fields take a byte-at-a-time state machine.
+
+/// Byte range of one field within a line (end-exclusive).
+///
+/// Offsets are `u32` relative to the start of the line: CSV tuples are far
+/// below 4 GiB, and the narrower type halves the positional-map footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpan {
+    /// Offset of the first byte of the field within the line.
+    pub start: u32,
+    /// Offset one past the last byte of the field.
+    pub end: u32,
+}
+
+impl FieldSpan {
+    /// Slice the field's bytes out of its line.
+    #[inline]
+    pub fn of<'a>(&self, line: &'a [u8]) -> &'a [u8] {
+        &line[self.start as usize..self.end as usize]
+    }
+
+    /// Field width in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True for zero-width (empty) fields.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Reusable output buffer for tokenizing one tuple.
+///
+/// `spans[i]` describes field `first_field + i`. Reusing one `Tokens` across
+/// all tuples of a scan keeps the hot loop allocation-free (workhorse
+/// collection pattern).
+#[derive(Debug, Default, Clone)]
+pub struct Tokens {
+    spans: Vec<FieldSpan>,
+    first_field: usize,
+    /// True when the scan reached the end of the line, i.e. `spans` covers
+    /// every field from `first_field` to the last field of the tuple.
+    complete: bool,
+}
+
+impl Tokens {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Tokens::default()
+    }
+
+    /// Spans collected by the last tokenize call.
+    #[inline]
+    pub fn spans(&self) -> &[FieldSpan] {
+        &self.spans
+    }
+
+    /// Index of the field described by `spans()[0]`.
+    #[inline]
+    pub fn first_field(&self) -> usize {
+        self.first_field
+    }
+
+    /// Number of fields located.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no fields were located.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Whether the last call consumed the entire line.
+    #[inline]
+    pub fn reached_end_of_line(&self) -> bool {
+        self.complete
+    }
+
+    /// Span for absolute field index `field`, if it was located.
+    #[inline]
+    pub fn get(&self, field: usize) -> Option<FieldSpan> {
+        field
+            .checked_sub(self.first_field)
+            .and_then(|i| self.spans.get(i))
+            .copied()
+    }
+
+    fn reset(&mut self, first_field: usize) {
+        self.spans.clear();
+        self.first_field = first_field;
+        self.complete = false;
+    }
+}
+
+/// Tokenizer settings for one raw file.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenizerConfig {
+    /// Field delimiter, e.g. `b','`.
+    pub delimiter: u8,
+    /// Quote character enabling the RFC-4180-style slow path, or `None` for
+    /// the plain fast path (the paper's synthetic workloads are unquoted).
+    pub quote: Option<u8>,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig { delimiter: b',', quote: None }
+    }
+}
+
+impl TokenizerConfig {
+    /// Plain CSV with the given delimiter and no quoting.
+    pub fn plain(delimiter: u8) -> Self {
+        TokenizerConfig { delimiter, quote: None }
+    }
+
+    /// Tokenize every field of `line` into `out`.
+    ///
+    /// Returns the number of fields found. A line always has at least one
+    /// field (the empty line has one empty field), matching CSV semantics.
+    pub fn tokenize_into(&self, line: &[u8], out: &mut Tokens) -> usize {
+        self.tokenize_selective(line, usize::MAX, out)
+    }
+
+    /// *Selective tokenizing*: locate fields `0..=upto_field`, aborting the
+    /// tuple as soon as `upto_field` has been delimited. Returns the number
+    /// of fields found (which is `< upto_field + 1` for short rows).
+    pub fn tokenize_selective(&self, line: &[u8], upto_field: usize, out: &mut Tokens) -> usize {
+        out.reset(0);
+        self.scan(line, 0, upto_field, out);
+        out.spans.len()
+    }
+
+    /// *Resumable tokenizing*: field `anchor_field` is known (from the
+    /// positional map) to start at byte `anchor_off` of `line`; locate
+    /// fields `anchor_field..=upto_field` without touching the prefix.
+    ///
+    /// Returns the number of fields found from the anchor onward.
+    pub fn tokenize_from(
+        &self,
+        line: &[u8],
+        anchor_field: usize,
+        anchor_off: usize,
+        upto_field: usize,
+        out: &mut Tokens,
+    ) -> usize {
+        debug_assert!(anchor_field <= upto_field);
+        debug_assert!(anchor_off <= line.len());
+        out.reset(anchor_field);
+        self.scan(line, anchor_off, upto_field - anchor_field, out);
+        out.spans.len()
+    }
+
+    /// Core loop: starting at byte `from`, append spans for up to
+    /// `relative_upto + 1` fields to `out`.
+    fn scan(&self, line: &[u8], from: usize, relative_upto: usize, out: &mut Tokens) {
+        match self.quote {
+            None => self.scan_plain(line, from, relative_upto, out),
+            Some(q) => self.scan_quoted(line, from, relative_upto, q, out),
+        }
+    }
+
+    #[inline]
+    fn scan_plain(&self, line: &[u8], from: usize, relative_upto: usize, out: &mut Tokens) {
+        let mut start = from;
+        let mut field = 0usize;
+        loop {
+            match find_byte(&line[start..], self.delimiter) {
+                Some(rel) => {
+                    let end = start + rel;
+                    out.spans.push(FieldSpan { start: start as u32, end: end as u32 });
+                    if field == relative_upto {
+                        return;
+                    }
+                    field += 1;
+                    start = end + 1;
+                }
+                None => {
+                    out.spans.push(FieldSpan {
+                        start: start as u32,
+                        end: line.len() as u32,
+                    });
+                    out.complete = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Quote-aware state machine. A field beginning with the quote byte runs
+    /// to the matching unescaped quote; doubled quotes inside are literal.
+    /// Spans of quoted fields exclude the surrounding quotes but keep any
+    /// doubling (the parser unescapes when materializing strings).
+    fn scan_quoted(
+        &self,
+        line: &[u8],
+        from: usize,
+        relative_upto: usize,
+        q: u8,
+        out: &mut Tokens,
+    ) {
+        let mut i = from;
+        let mut field = 0usize;
+        loop {
+            if i < line.len() && line[i] == q {
+                // Quoted field: scan to the closing quote.
+                let content_start = i + 1;
+                let mut j = content_start;
+                loop {
+                    match find_byte(&line[j..], q) {
+                        Some(rel) => {
+                            let at = j + rel;
+                            if at + 1 < line.len() && line[at + 1] == q {
+                                j = at + 2; // escaped quote, keep scanning
+                            } else {
+                                out.spans.push(FieldSpan {
+                                    start: content_start as u32,
+                                    end: at as u32,
+                                });
+                                i = at + 1;
+                                break;
+                            }
+                        }
+                        None => {
+                            // Unterminated quote: treat rest of line as field.
+                            out.spans.push(FieldSpan {
+                                start: content_start as u32,
+                                end: line.len() as u32,
+                            });
+                            out.complete = true;
+                            return;
+                        }
+                    }
+                }
+                if field == relative_upto {
+                    return;
+                }
+                if i >= line.len() {
+                    out.complete = true;
+                    return;
+                }
+                // Skip the delimiter after the closing quote.
+                debug_assert_eq!(line[i], self.delimiter);
+                i += 1;
+                field += 1;
+            } else {
+                match find_byte(&line[i..], self.delimiter) {
+                    Some(rel) => {
+                        let end = i + rel;
+                        out.spans.push(FieldSpan { start: i as u32, end: end as u32 });
+                        if field == relative_upto {
+                            return;
+                        }
+                        field += 1;
+                        i = end + 1;
+                    }
+                    None => {
+                        out.spans.push(FieldSpan {
+                            start: i as u32,
+                            end: line.len() as u32,
+                        });
+                        out.complete = true;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Find the first occurrence of `needle` in `hay` using an 8-byte SWAR loop.
+///
+/// Equivalent to `hay.iter().position(|&b| b == needle)` but roughly 4-6x
+/// faster on long runs, which dominates tokenizing cost on wide tuples.
+#[inline]
+pub fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let pat = LO.wrapping_mul(needle as u64);
+    let mut i = 0usize;
+    let n = hay.len();
+    while i + 8 <= n {
+        // Unaligned little-endian load of 8 bytes.
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte chunk"));
+        let x = w ^ pat;
+        let hit = x.wrapping_sub(LO) & !x & HI;
+        if hit != 0 {
+            return Some(i + (hit.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&b| b == needle).map(|p| p + i)
+}
+
+/// Locate the end of the current line (`\n`) starting at `from`.
+/// Returns the index of the newline byte, or `None` if the buffer ends first.
+#[inline]
+pub fn find_newline(buf: &[u8], from: usize) -> Option<usize> {
+    find_byte(&buf[from..], b'\n').map(|p| p + from)
+}
+
+/// Strip a trailing `\r` (CRLF input) from a line slice.
+#[inline]
+pub fn trim_cr(line: &[u8]) -> &[u8] {
+    match line.last() {
+        Some(b'\r') => &line[..line.len() - 1],
+        _ => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans_of(cfg: &TokenizerConfig, line: &[u8]) -> Vec<(u32, u32)> {
+        let mut t = Tokens::new();
+        cfg.tokenize_into(line, &mut t);
+        t.spans().iter().map(|s| (s.start, s.end)).collect()
+    }
+
+    #[test]
+    fn find_byte_matches_naive_scan() {
+        let data = b"abcdefghijklmnop,qrstuvwxyz";
+        assert_eq!(find_byte(data, b','), Some(16));
+        assert_eq!(find_byte(data, b'!'), None);
+        assert_eq!(find_byte(b"", b','), None);
+        assert_eq!(find_byte(b",", b','), Some(0));
+    }
+
+    #[test]
+    fn find_byte_short_tail() {
+        // Hits in the < 8-byte scalar tail.
+        assert_eq!(find_byte(b"abcdefgh,xy", b','), Some(8));
+        assert_eq!(find_byte(b"abc,", b','), Some(3));
+    }
+
+    #[test]
+    fn tokenize_full_line() {
+        let cfg = TokenizerConfig::default();
+        assert_eq!(
+            spans_of(&cfg, b"1,22,333"),
+            vec![(0, 1), (2, 4), (5, 8)]
+        );
+    }
+
+    #[test]
+    fn tokenize_empty_fields() {
+        let cfg = TokenizerConfig::default();
+        assert_eq!(spans_of(&cfg, b",a,"), vec![(0, 0), (1, 2), (3, 3)]);
+        assert_eq!(spans_of(&cfg, b""), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn selective_tokenize_stops_early() {
+        let cfg = TokenizerConfig::default();
+        let mut t = Tokens::new();
+        let n = cfg.tokenize_selective(b"a,b,c,d,e", 1, &mut t);
+        assert_eq!(n, 2);
+        assert_eq!(t.get(1).unwrap().of(b"a,b,c,d,e"), b"b");
+        assert!(!t.reached_end_of_line());
+    }
+
+    #[test]
+    fn selective_past_end_marks_complete() {
+        let cfg = TokenizerConfig::default();
+        let mut t = Tokens::new();
+        let n = cfg.tokenize_selective(b"a,b", 10, &mut t);
+        assert_eq!(n, 2);
+        assert!(t.reached_end_of_line());
+    }
+
+    #[test]
+    fn resumable_tokenize_from_anchor() {
+        let cfg = TokenizerConfig::default();
+        let line = b"alpha,beta,gamma,delta";
+        // Anchor: field 2 ("gamma") starts at byte 11.
+        let mut t = Tokens::new();
+        let n = cfg.tokenize_from(line, 2, 11, 3, &mut t);
+        assert_eq!(n, 2);
+        assert_eq!(t.first_field(), 2);
+        assert_eq!(t.get(2).unwrap().of(line), b"gamma");
+        assert_eq!(t.get(3).unwrap().of(line), b"delta");
+        assert_eq!(t.get(1), None);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let cfg = TokenizerConfig { delimiter: b',', quote: Some(b'"') };
+        let line = br#""a,b",c,"d""e""#;
+        let s = spans_of(&cfg, line);
+        assert_eq!(s.len(), 3);
+        assert_eq!(&line[s[0].0 as usize..s[0].1 as usize], b"a,b");
+        assert_eq!(&line[s[1].0 as usize..s[1].1 as usize], b"c");
+        assert_eq!(&line[s[2].0 as usize..s[2].1 as usize], br#"d""e"#);
+    }
+
+    #[test]
+    fn quoted_unterminated_takes_rest() {
+        let cfg = TokenizerConfig { delimiter: b',', quote: Some(b'"') };
+        let line = br#"x,"unterminated"#;
+        let s = spans_of(&cfg, line);
+        assert_eq!(s.len(), 2);
+        assert_eq!(&line[s[1].0 as usize..s[1].1 as usize], b"unterminated");
+    }
+
+    #[test]
+    fn trim_cr_strips_only_trailing() {
+        assert_eq!(trim_cr(b"abc\r"), b"abc");
+        assert_eq!(trim_cr(b"abc"), b"abc");
+        assert_eq!(trim_cr(b"a\rb"), b"a\rb");
+    }
+
+    #[test]
+    fn tokens_reuse_resets_state() {
+        let cfg = TokenizerConfig::default();
+        let mut t = Tokens::new();
+        cfg.tokenize_into(b"a,b,c", &mut t);
+        assert_eq!(t.len(), 3);
+        cfg.tokenize_selective(b"x,y", 0, &mut t);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.first_field(), 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Abstract syntax tree for the SQL dialect.
+
+use std::fmt;
+
+/// A literal value in the query text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// NULL.
+    Null,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+
+    /// True for comparison operators producing booleans from comparables.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// Scalar or boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by name.
+    Column(String),
+    /// Literal.
+    Literal(Literal),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary numeric negation.
+    Neg(Box<Expr>),
+    /// Boolean NOT.
+    Not(Box<Expr>),
+    /// `expr [NOT] BETWEEN lo AND hi`
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// True for NOT BETWEEN.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// List elements.
+        list: Vec<Expr>,
+        /// True for NOT IN.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE 'pattern'` (`%` and `_` wildcards).
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern text.
+        pattern: String,
+        /// True for NOT LIKE.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for IS NOT NULL.
+        negated: bool,
+    },
+    /// Aggregate call; `arg = None` encodes `COUNT(*)`.
+    Agg {
+        /// Function.
+        func: AggFunc,
+        /// Argument (None only for COUNT(*)).
+        arg: Option<Box<Expr>>,
+        /// DISTINCT modifier (e.g. `COUNT(DISTINCT c)`).
+        distinct: bool,
+    },
+}
+
+impl Expr {
+    /// Column names referenced anywhere in this expression, in first-seen
+    /// order (used for projection pruning and the scan's attribute set).
+    pub fn referenced_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(name) => {
+                if !out.iter().any(|n| n == name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.referenced_columns(out),
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.referenced_columns(out);
+                lo.referenced_columns(out);
+                hi.referenced_columns(out);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.referenced_columns(out);
+                for e in list {
+                    e.referenced_columns(out);
+                }
+            }
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => {
+                expr.referenced_columns(out)
+            }
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.referenced_columns(out);
+                }
+            }
+        }
+    }
+
+    /// True when the expression contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Column(_) | Expr::Literal(_) => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.contains_aggregate(),
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Ascending (default) or descending.
+    pub ascending: bool,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM table name.
+    pub table: String,
+    /// WHERE predicate.
+    pub filter: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => write!(f, "{v}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(n: &str) -> Expr {
+        Expr::Column(n.into())
+    }
+
+    #[test]
+    fn referenced_columns_dedup_in_order() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(Expr::Binary {
+                op: BinOp::Gt,
+                left: Box::new(col("b")),
+                right: Box::new(Expr::Literal(Literal::Int(1))),
+            }),
+            right: Box::new(Expr::Binary {
+                op: BinOp::Eq,
+                left: Box::new(col("a")),
+                right: Box::new(col("b")),
+            }),
+        };
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec!["b".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn contains_aggregate_traverses() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(col("x"))), distinct: false }),
+            right: Box::new(Expr::Literal(Literal::Int(1))),
+        };
+        assert!(e.contains_aggregate());
+        assert!(!col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn literal_display_escapes_strings() {
+        assert_eq!(Literal::Str("a'b".into()).to_string(), "'a''b'");
+    }
+}

@@ -1,0 +1,55 @@
+//! Parse errors with positions.
+
+use std::fmt;
+
+/// A lexing or parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the query text where the problem was found.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error at `position`.
+    pub fn new(position: usize, message: impl Into<String>) -> Self {
+        ParseError { position, message: message.into() }
+    }
+
+    /// Render a two-line diagnostic with a caret under the offending byte.
+    pub fn diagnostic(&self, query: &str) -> String {
+        let mut out = String::new();
+        out.push_str(query);
+        out.push('\n');
+        for _ in 0..self.position.min(query.len()) {
+            out.push(' ');
+        }
+        out.push('^');
+        out.push(' ');
+        out.push_str(&self.message);
+        out
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_points_at_position() {
+        let e = ParseError::new(7, "unexpected token");
+        let d = e.diagnostic("SELECT @ FROM t");
+        let lines: Vec<&str> = d.lines().collect();
+        assert_eq!(lines[0], "SELECT @ FROM t");
+        assert!(lines[1].starts_with("       ^"));
+    }
+}

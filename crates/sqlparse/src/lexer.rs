@@ -1,0 +1,414 @@
+//! Tokenizer for the SQL dialect.
+
+use crate::error::ParseError;
+
+/// One lexical token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset of the token's first character.
+    pub pos: usize,
+    /// Token kind and payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased) such as `SELECT`, `FROM`, `WHERE`.
+    Keyword(Keyword),
+    /// Identifier (case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+    /// End of input.
+    Eof,
+}
+
+/// Recognized keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    Order,
+    By,
+    Limit,
+    And,
+    Or,
+    Not,
+    Between,
+    In,
+    Like,
+    Is,
+    Null,
+    True,
+    False,
+    As,
+    Asc,
+    Desc,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Distinct,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "LIMIT" => Keyword::Limit,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "BETWEEN" => Keyword::Between,
+            "IN" => Keyword::In,
+            "LIKE" => Keyword::Like,
+            "IS" => Keyword::Is,
+            "NULL" => Keyword::Null,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "AS" => Keyword::As,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "DISTINCT" => Keyword::Distinct,
+            _ => return None,
+        })
+    }
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Sym {
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+}
+
+/// Lex `input` into tokens (ending with [`TokenKind::Eof`]).
+pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let pos = i;
+        let kind = match b {
+            b',' => {
+                i += 1;
+                TokenKind::Sym(Sym::Comma)
+            }
+            b'(' => {
+                i += 1;
+                TokenKind::Sym(Sym::LParen)
+            }
+            b')' => {
+                i += 1;
+                TokenKind::Sym(Sym::RParen)
+            }
+            b'*' => {
+                i += 1;
+                TokenKind::Sym(Sym::Star)
+            }
+            b'+' => {
+                i += 1;
+                TokenKind::Sym(Sym::Plus)
+            }
+            b'-' => {
+                // `--` comment to end of line.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                i += 1;
+                TokenKind::Sym(Sym::Minus)
+            }
+            b'/' => {
+                i += 1;
+                TokenKind::Sym(Sym::Slash)
+            }
+            b'%' => {
+                i += 1;
+                TokenKind::Sym(Sym::Percent)
+            }
+            b';' => {
+                i += 1;
+                TokenKind::Sym(Sym::Semicolon)
+            }
+            b'=' => {
+                i += 1;
+                TokenKind::Sym(Sym::Eq)
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Sym(Sym::NotEq)
+                } else {
+                    return Err(ParseError::new(pos, "expected '=' after '!'"));
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    i += 2;
+                    TokenKind::Sym(Sym::Le)
+                }
+                Some(b'>') => {
+                    i += 2;
+                    TokenKind::Sym(Sym::NotEq)
+                }
+                _ => {
+                    i += 1;
+                    TokenKind::Sym(Sym::Lt)
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Sym(Sym::Ge)
+                } else {
+                    i += 1;
+                    TokenKind::Sym(Sym::Gt)
+                }
+            }
+            b'\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&c) => {
+                            s.push(c as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(ParseError::new(pos, "unterminated string literal"))
+                        }
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                let mut saw_dot = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !saw_dot))
+                {
+                    if bytes[i] == b'.' {
+                        saw_dot = true;
+                    }
+                    i += 1;
+                }
+                // Exponent.
+                let mut is_float = saw_dot;
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
+                        j += 1;
+                    }
+                    if bytes.get(j).is_some_and(u8::is_ascii_digit) {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                if text == "." {
+                    return Err(ParseError::new(pos, "stray '.'"));
+                }
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| ParseError::new(pos, format!("bad float {text:?}")))?;
+                    TokenKind::Float(v)
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| ParseError::new(pos, format!("bad integer {text:?}")))?;
+                    TokenKind::Int(v)
+                }
+            }
+            b'"' => {
+                // Double-quoted identifier.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(ParseError::new(pos, "unterminated quoted identifier"))
+                        }
+                    }
+                }
+                TokenKind::Ident(s)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match Keyword::from_str(word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_string()),
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        };
+        tokens.push(Token { pos, kind });
+    }
+    tokens.push(Token { pos: input.len(), kind: TokenKind::Eof });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(q: &str) -> Vec<TokenKind> {
+        lex(q).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select FROM Where"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Keyword(Keyword::Where),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(
+            kinds("42 3.5 1e3"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'ab''c'"),
+            vec![TokenKind::Str("ab'c".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("<= <> != = < >"),
+            vec![
+                TokenKind::Sym(Sym::Le),
+                TokenKind::Sym(Sym::NotEq),
+                TokenKind::Sym(Sym::NotEq),
+                TokenKind::Sym(Sym::Eq),
+                TokenKind::Sym(Sym::Lt),
+                TokenKind::Sym(Sym::Gt),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("1 -- this is a comment\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn idents_and_quoted_idents() {
+        assert_eq!(
+            kinds("foo \"Group\""),
+            vec![
+                TokenKind::Ident("foo".into()),
+                TokenKind::Ident("Group".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'abc").is_err());
+    }
+
+    #[test]
+    fn bad_char_errors_with_position() {
+        let e = lex("a @ b").unwrap_err();
+        assert_eq!(e.position, 2);
+    }
+}

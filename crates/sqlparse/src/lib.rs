@@ -1,0 +1,24 @@
+//! # nodb-sqlparse — SQL front-end
+//!
+//! A small, dependency-free SQL dialect covering everything the demo's
+//! workloads use: Select-Project queries with conjunctive/disjunctive
+//! predicates, aggregates, grouping, ordering and limits:
+//!
+//! ```sql
+//! SELECT c3, c7 FROM t WHERE c1 > 100 AND c2 BETWEEN 5 AND 10;
+//! SELECT c0, COUNT(*), AVG(c2) FROM t GROUP BY c0 ORDER BY c0 LIMIT 10;
+//! SELECT * FROM t WHERE name LIKE 'ali%' OR id IN (1, 2, 3);
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`ast`]. The parser is a plain
+//! recursive-descent over a token slice, with precedence climbing for
+//! binary operators. Errors carry byte positions for caret diagnostics.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AggFunc, BinOp, Expr, Literal, OrderKey, SelectItem, SelectStmt};
+pub use error::ParseError;
+pub use parser::parse_select;

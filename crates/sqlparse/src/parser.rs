@@ -1,0 +1,511 @@
+//! Recursive-descent parser.
+
+use crate::ast::{AggFunc, BinOp, Expr, Literal, OrderKey, SelectItem, SelectStmt};
+use crate::error::ParseError;
+use crate::lexer::{lex, Keyword, Sym, Token, TokenKind};
+
+/// Parse one SELECT statement (an optional trailing `;` is accepted).
+pub fn parse_select(query: &str) -> Result<SelectStmt, ParseError> {
+    let tokens = lex(query)?;
+    let mut p = Parser { tokens, at: 0 };
+    let stmt = p.select_stmt()?;
+    p.eat_sym(Sym::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.at].kind
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens[self.at].pos
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let k = self.tokens[self.at].kind.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        k
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if *self.peek() == TokenKind::Keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if *self.peek() == TokenKind::Sym(s) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword, what: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(self.pos(), format!("expected {what}")))
+        }
+    }
+
+    fn expect_sym(&mut self, s: Sym, what: &str) -> Result<(), ParseError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(ParseError::new(self.pos(), format!("expected {what}")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(ParseError::new(self.pos(), "unexpected trailing input"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            _ => Err(ParseError::new(self.pos(), format!("expected {what}"))),
+        }
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, ParseError> {
+        self.expect_kw(Keyword::Select, "SELECT")?;
+        let items = self.select_list()?;
+        self.expect_kw(Keyword::From, "FROM")?;
+        let table = self.ident("table name")?;
+        let filter = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By, "BY after GROUP")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By, "BY after ORDER")?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_kw(Keyword::Desc) {
+                    false
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    true
+                };
+                order_by.push(OrderKey { expr, ascending });
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw(Keyword::Limit) {
+            match self.advance() {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                _ => {
+                    return Err(ParseError::new(
+                        self.tokens[self.at - 1].pos,
+                        "LIMIT expects a non-negative integer",
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { items, table, filter, group_by, order_by, limit })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_sym(Sym::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw(Keyword::As) {
+                    Some(self.ident("alias after AS")?)
+                } else if let TokenKind::Ident(name) = self.peek().clone() {
+                    // Bare alias (`SELECT c0 total FROM …`).
+                    self.advance();
+                    Some(name)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    /// expr := and_expr (OR and_expr)*
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    /// and_expr := not_expr (AND not_expr)*
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.not_expr()?;
+            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw(Keyword::Not) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    /// comparison := additive [cmp additive | BETWEEN | IN | LIKE | IS NULL]
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.additive()?;
+        // `NOT BETWEEN / NOT IN / NOT LIKE` postfix form.
+        let negated = if *self.peek() == TokenKind::Keyword(Keyword::Not) {
+            // Only treat as postfix NOT when followed by BETWEEN/IN/LIKE.
+            match self.tokens.get(self.at + 1).map(|t| &t.kind) {
+                Some(TokenKind::Keyword(Keyword::Between))
+                | Some(TokenKind::Keyword(Keyword::In))
+                | Some(TokenKind::Keyword(Keyword::Like)) => {
+                    self.advance();
+                    true
+                }
+                _ => false,
+            }
+        } else {
+            false
+        };
+
+        if self.eat_kw(Keyword::Between) {
+            let lo = self.additive()?;
+            self.expect_kw(Keyword::And, "AND in BETWEEN")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::In) {
+            self.expect_sym(Sym::LParen, "'(' after IN")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.additive()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RParen, "')' closing IN list")?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw(Keyword::Like) {
+            match self.advance() {
+                TokenKind::Str(pattern) => {
+                    return Ok(Expr::Like { expr: Box::new(left), pattern, negated })
+                }
+                _ => {
+                    return Err(ParseError::new(
+                        self.tokens[self.at - 1].pos,
+                        "LIKE expects a string pattern",
+                    ))
+                }
+            }
+        }
+        if negated {
+            return Err(ParseError::new(self.pos(), "expected BETWEEN, IN or LIKE after NOT"));
+        }
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null, "NULL after IS")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+
+        let op = match self.peek() {
+            TokenKind::Sym(Sym::Eq) => Some(BinOp::Eq),
+            TokenKind::Sym(Sym::NotEq) => Some(BinOp::NotEq),
+            TokenKind::Sym(Sym::Lt) => Some(BinOp::Lt),
+            TokenKind::Sym(Sym::Le) => Some(BinOp::Le),
+            TokenKind::Sym(Sym::Gt) => Some(BinOp::Gt),
+            TokenKind::Sym(Sym::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.additive()?;
+            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+        }
+        Ok(left)
+    }
+
+    /// additive := multiplicative ((+|-) multiplicative)*
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Sym(Sym::Plus) => BinOp::Add,
+                TokenKind::Sym(Sym::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    /// multiplicative := unary ((*|/|%) unary)*
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Sym(Sym::Star) => BinOp::Mul,
+                TokenKind::Sym(Sym::Slash) => BinOp::Div,
+                TokenKind::Sym(Sym::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_sym(Sym::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.advance() {
+            TokenKind::Int(v) => Ok(Expr::Literal(Literal::Int(v))),
+            TokenKind::Float(v) => Ok(Expr::Literal(Literal::Float(v))),
+            TokenKind::Str(s) => Ok(Expr::Literal(Literal::Str(s))),
+            TokenKind::Keyword(Keyword::True) => Ok(Expr::Literal(Literal::Bool(true))),
+            TokenKind::Keyword(Keyword::False) => Ok(Expr::Literal(Literal::Bool(false))),
+            TokenKind::Keyword(Keyword::Null) => Ok(Expr::Literal(Literal::Null)),
+            TokenKind::Ident(name) => Ok(Expr::Column(name)),
+            TokenKind::Sym(Sym::LParen) => {
+                let e = self.expr()?;
+                self.expect_sym(Sym::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::Keyword(k)
+                if matches!(
+                    k,
+                    Keyword::Count | Keyword::Sum | Keyword::Avg | Keyword::Min | Keyword::Max
+                ) =>
+            {
+                let func = match k {
+                    Keyword::Count => AggFunc::Count,
+                    Keyword::Sum => AggFunc::Sum,
+                    Keyword::Avg => AggFunc::Avg,
+                    Keyword::Min => AggFunc::Min,
+                    Keyword::Max => AggFunc::Max,
+                    _ => unreachable!(),
+                };
+                self.expect_sym(Sym::LParen, "'(' after aggregate")?;
+                let distinct = self.eat_kw(Keyword::Distinct);
+                if self.eat_sym(Sym::Star) {
+                    if func != AggFunc::Count {
+                        return Err(ParseError::new(pos, "only COUNT accepts '*'"));
+                    }
+                    self.expect_sym(Sym::RParen, "')'")?;
+                    return Ok(Expr::Agg { func, arg: None, distinct });
+                }
+                let arg = self.expr()?;
+                self.expect_sym(Sym::RParen, "')'")?;
+                Ok(Expr::Agg { func, arg: Some(Box::new(arg)), distinct })
+            }
+            other => Err(ParseError::new(pos, format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_projection() {
+        let s = parse_select("SELECT c0, c3 FROM t").unwrap();
+        assert_eq!(s.table, "t");
+        assert_eq!(s.items.len(), 2);
+        assert!(s.filter.is_none());
+    }
+
+    #[test]
+    fn wildcard_and_limit() {
+        let s = parse_select("SELECT * FROM data LIMIT 10;").unwrap();
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn where_precedence_and_or() {
+        let s = parse_select("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        // OR binds looser than AND.
+        match s.filter.unwrap() {
+            Expr::Binary { op: BinOp::Or, right, .. } => match *right {
+                Expr::Binary { op: BinOp::And, .. } => {}
+                other => panic!("AND should nest under OR, got {other:?}"),
+            },
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_in_like_isnull() {
+        let s = parse_select(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1,2) AND c LIKE 'x%' AND d IS NOT NULL",
+        )
+        .unwrap();
+        let mut count = 0;
+        fn walk(e: &Expr, count: &mut usize) {
+            match e {
+                Expr::Between { .. }
+                | Expr::InList { .. }
+                | Expr::Like { .. }
+                | Expr::IsNull { .. } => *count += 1,
+                Expr::Binary { left, right, .. } => {
+                    walk(left, count);
+                    walk(right, count);
+                }
+                _ => {}
+            }
+        }
+        walk(&s.filter.unwrap(), &mut count);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn not_between_postfix() {
+        let s = parse_select("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 5").unwrap();
+        match s.filter.unwrap() {
+            Expr::Between { negated, .. } => assert!(negated),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let s = parse_select(
+            "SELECT c0, COUNT(*), SUM(c1), AVG(c2) FROM t GROUP BY c0 ORDER BY c0 DESC LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(s.items.len(), 4);
+        assert_eq!(s.group_by.len(), 1);
+        assert!(!s.order_by[0].ascending);
+        match &s.items[1] {
+            SelectItem::Expr { expr: Expr::Agg { func: AggFunc::Count, arg: None, .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_distinct() {
+        let s = parse_select("SELECT COUNT(DISTINCT c1) FROM t").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Agg { distinct: true, .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = parse_select("SELECT a + b * 2 FROM t").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aliases() {
+        let s = parse_select("SELECT c0 AS id, c1 total FROM t").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { alias: Some(a), .. } => assert_eq!(a, "id"),
+            other => panic!("{other:?}"),
+        }
+        match &s.items[1] {
+            SelectItem::Expr { alias: Some(a), .. } => assert_eq!(a, "total"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse_select("SELECT FROM t").unwrap_err();
+        assert!(e.position > 0);
+        assert!(parse_select("SELECT a FROM").is_err());
+        assert!(parse_select("SELECT a FROM t WHERE").is_err());
+        assert!(parse_select("SELECT a FROM t extra garbage !").is_err());
+    }
+
+    #[test]
+    fn sum_star_rejected() {
+        assert!(parse_select("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn negative_literals() {
+        let s = parse_select("SELECT a FROM t WHERE a > -5").unwrap();
+        match s.filter.unwrap() {
+            Expr::Binary { right, .. } => assert!(matches!(*right, Expr::Neg(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_boolean_grouping() {
+        let s = parse_select("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
+        match s.filter.unwrap() {
+            Expr::Binary { op: BinOp::And, left, .. } => {
+                assert!(matches!(*left, Expr::Binary { op: BinOp::Or, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-attribute statistics accumulator.
+//!
+//! Fed by the scan operator for *requested attributes only* (§3.3: "creates
+//! statistics only on requested attributes") and incrementally augmented as
+//! queries touch more rows.
+
+use nodb_rawcsv::Datum;
+
+use crate::histogram::EquiDepthHistogram;
+use crate::ndv::DistinctCounter;
+use crate::sample::Reservoir;
+
+/// Default reservoir capacity per attribute.
+pub const DEFAULT_SAMPLE_CAPACITY: usize = 1024;
+
+/// Running statistics for one attribute of one raw file.
+#[derive(Debug)]
+pub struct AttrStats {
+    attr: usize,
+    /// Values observed (including NULLs).
+    rows_seen: u64,
+    /// NULLs observed.
+    nulls: u64,
+    /// Smallest non-null value (total order).
+    min: Option<Datum>,
+    /// Largest non-null value (total order).
+    max: Option<Datum>,
+    reservoir: Reservoir,
+    ndv: DistinctCounter,
+    /// Histogram cache, invalidated when the reservoir changes.
+    histogram: Option<(u64, EquiDepthHistogram)>,
+}
+
+impl AttrStats {
+    /// Fresh accumulator for attribute `attr`. The reservoir seed derives
+    /// from the attribute index, keeping runs reproducible.
+    pub fn new(attr: usize) -> Self {
+        AttrStats {
+            attr,
+            rows_seen: 0,
+            nulls: 0,
+            min: None,
+            max: None,
+            reservoir: Reservoir::new(DEFAULT_SAMPLE_CAPACITY, 0x5eed_0000 + attr as u64),
+            ndv: DistinctCounter::default_size(),
+            histogram: None,
+        }
+    }
+
+    /// The attribute index this accumulator describes.
+    pub fn attr(&self) -> usize {
+        self.attr
+    }
+
+    /// Observe one value during a scan.
+    pub fn observe(&mut self, d: &Datum) {
+        self.rows_seen += 1;
+        if d.is_null() {
+            self.nulls += 1;
+            return;
+        }
+        match &self.min {
+            Some(m) if d.total_cmp(m) != std::cmp::Ordering::Less => {}
+            _ => self.min = Some(d.clone()),
+        }
+        match &self.max {
+            Some(m) if d.total_cmp(m) != std::cmp::Ordering::Greater => {}
+            _ => self.max = Some(d.clone()),
+        }
+        self.ndv.add(d);
+        self.reservoir.offer(d);
+    }
+
+    /// Values observed so far (including NULLs).
+    pub fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    /// Fraction of observed values that were NULL.
+    pub fn null_fraction(&self) -> f64 {
+        if self.rows_seen == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.rows_seen as f64
+        }
+    }
+
+    /// Estimated number of distinct non-null values.
+    pub fn ndv(&self) -> f64 {
+        self.ndv.estimate().max(1.0)
+    }
+
+    /// Observed minimum.
+    pub fn min(&self) -> Option<&Datum> {
+        self.min.as_ref()
+    }
+
+    /// Observed maximum.
+    pub fn max(&self) -> Option<&Datum> {
+        self.max.as_ref()
+    }
+
+    /// The current reservoir sample (non-null values, unordered).
+    pub fn sample(&self) -> &[Datum] {
+        self.reservoir.sample()
+    }
+
+    /// Equi-depth histogram over the current sample (rebuilt lazily when the
+    /// sample has grown since the last build).
+    pub fn histogram(&mut self) -> Option<&EquiDepthHistogram> {
+        let seen = self.reservoir.seen();
+        let stale = match &self.histogram {
+            Some((at, _)) => *at != seen,
+            None => true,
+        };
+        if stale {
+            self.histogram = EquiDepthHistogram::build(self.reservoir.sample(), 64)
+                .map(|h| (seen, h));
+        }
+        self.histogram.as_ref().map(|(_, h)| h)
+    }
+
+    /// Reset (file replaced).
+    pub fn clear(&mut self) {
+        self.rows_seen = 0;
+        self.nulls = 0;
+        self.min = None;
+        self.max = None;
+        self.reservoir.clear();
+        self.ndv.clear();
+        self.histogram = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_null_tracking() {
+        let mut s = AttrStats::new(0);
+        s.observe(&Datum::Int(5));
+        s.observe(&Datum::Null);
+        s.observe(&Datum::Int(-3));
+        s.observe(&Datum::Int(9));
+        assert_eq!(s.min(), Some(&Datum::Int(-3)));
+        assert_eq!(s.max(), Some(&Datum::Int(9)));
+        assert_eq!(s.rows_seen(), 4);
+        assert!((s.null_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ndv_counts_distinct() {
+        let mut s = AttrStats::new(1);
+        for i in 0..50 {
+            s.observe(&Datum::Int(i % 10));
+        }
+        let e = s.ndv();
+        assert!((e - 10.0).abs() < 3.0, "ndv = {e}");
+    }
+
+    #[test]
+    fn histogram_rebuilds_after_growth() {
+        let mut s = AttrStats::new(2);
+        for i in 0..100 {
+            s.observe(&Datum::Int(i));
+        }
+        let f1 = s.histogram().unwrap().fraction_le(&Datum::Int(50));
+        assert!(f1 > 0.3 && f1 < 0.7);
+        for i in 100..1000 {
+            s.observe(&Datum::Int(i));
+        }
+        let f2 = s.histogram().unwrap().fraction_le(&Datum::Int(50));
+        assert!(f2 < 0.2, "after growth le(50) = {f2}");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = AttrStats::new(3);
+        s.observe(&Datum::Int(1));
+        s.clear();
+        assert_eq!(s.rows_seen(), 0);
+        assert!(s.min().is_none());
+        assert!(s.histogram().is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! # nodb-stats — on-the-fly statistics (paper §3.3)
+//!
+//! Conventional optimizers build statistics *after load*; PostgresRaw
+//! "extends the scan operator to create statistics on-the-fly", only on
+//! requested attributes, incrementally augmented as queries touch more of
+//! the file. This crate provides:
+//!
+//! * [`sample::Reservoir`] — Algorithm-R reservoir sampling, the "sample of
+//!   the data" handed to the statistics routines;
+//! * [`ndv::DistinctCounter`] — linear-counting distinct-value estimation;
+//! * [`histogram::EquiDepthHistogram`] — equi-depth histograms built from
+//!   the reservoir, used for range selectivity;
+//! * [`attr::AttrStats`] — per-attribute accumulator (min/max, null count,
+//!   NDV, reservoir) fed by the scan;
+//! * [`table::TableStats`] — the per-file registry the optimizer consults,
+//!   with the [`estimate::SelectivityEstimator`] trait and the
+//!   [`estimate::PredicateSketch`] vocabulary shared with the engine.
+//!
+//! Everything here is deterministic given the scan order (the reservoir RNG
+//! is seeded from the attribute index), so experiments are reproducible.
+
+pub mod attr;
+pub mod estimate;
+pub mod histogram;
+pub mod ndv;
+pub mod sample;
+pub mod table;
+
+pub use attr::AttrStats;
+pub use estimate::{PredicateSketch, SelectivityEstimator};
+pub use histogram::EquiDepthHistogram;
+pub use ndv::DistinctCounter;
+pub use sample::Reservoir;
+pub use table::TableStats;

@@ -1,0 +1,130 @@
+//! Reservoir sampling (Vitter's Algorithm R).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use nodb_rawcsv::Datum;
+
+/// Fixed-capacity uniform sample over a stream of datums.
+///
+/// Deterministic: seeded at construction, so the same scan order yields the
+/// same sample — experiments stay reproducible.
+#[derive(Debug)]
+pub struct Reservoir {
+    sample: Vec<Datum>,
+    capacity: usize,
+    seen: u64,
+    rng: StdRng,
+}
+
+impl Reservoir {
+    /// Reservoir of `capacity` elements, seeded with `seed`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Reservoir {
+            sample: Vec::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Offer one (non-null) value to the reservoir.
+    pub fn offer(&mut self, d: &Datum) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(d.clone());
+            return;
+        }
+        let j = self.rng.random_range(0..self.seen);
+        if (j as usize) < self.capacity {
+            self.sample[j as usize] = d.clone();
+        }
+    }
+
+    /// Values offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample (unordered).
+    pub fn sample(&self) -> &[Datum] {
+        &self.sample
+    }
+
+    /// Number of sampled values currently held.
+    pub fn len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// True when nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.sample.is_empty()
+    }
+
+    /// Reset (file replaced).
+    pub fn clear(&mut self) {
+        self.sample.clear();
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_to_capacity_then_samples() {
+        let mut r = Reservoir::new(10, 1);
+        for i in 0..100 {
+            r.offer(&Datum::Int(i));
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 100);
+    }
+
+    #[test]
+    fn short_streams_keep_everything() {
+        let mut r = Reservoir::new(100, 1);
+        for i in 0..5 {
+            r.offer(&Datum::Int(i));
+        }
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut r = Reservoir::new(8, seed);
+            for i in 0..1000 {
+                r.offer(&Datum::Int(i));
+            }
+            r.sample().to_vec()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Mean of a uniform sample over 0..10000 should be near 5000.
+        let mut r = Reservoir::new(200, 3);
+        for i in 0..10_000 {
+            r.offer(&Datum::Int(i));
+        }
+        let mean: f64 = r
+            .sample()
+            .iter()
+            .filter_map(Datum::as_float)
+            .sum::<f64>()
+            / r.len() as f64;
+        assert!((mean - 5000.0).abs() < 1500.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = Reservoir::new(4, 1);
+        r.offer(&Datum::Int(1));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.seen(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Storage error type.
+
+use std::fmt;
+
+/// Errors from the conventional storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// I/O failure with context.
+    Io {
+        /// Operation description.
+        context: String,
+        /// OS error.
+        source: std::io::Error,
+    },
+    /// A tuple exceeds what a single page can hold.
+    TupleTooLarge {
+        /// Encoded tuple size.
+        size: usize,
+        /// Page size in force.
+        page_size: usize,
+    },
+    /// Raw CSV error during load.
+    Csv(nodb_rawcsv::RawCsvError),
+    /// Unknown table.
+    UnknownTable(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { context, source } => write!(f, "I/O during {context}: {source}"),
+            StorageError::TupleTooLarge { size, page_size } => {
+                write!(f, "tuple of {size} bytes exceeds page size {page_size}")
+            }
+            StorageError::Csv(e) => write!(f, "load error: {e}"),
+            StorageError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            StorageError::Csv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl StorageError {
+    /// Wrap an I/O error.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        StorageError::Io { context: context.into(), source }
+    }
+}
+
+impl From<nodb_rawcsv::RawCsvError> for StorageError {
+    fn from(e: nodb_rawcsv::RawCsvError) -> Self {
+        StorageError::Csv(e)
+    }
+}
+
+impl From<StorageError> for nodb_engine::EngineError {
+    fn from(e: StorageError) -> Self {
+        nodb_engine::EngineError::Execution(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,130 @@
+//! B-tree secondary indexes for the loaded stores.
+//!
+//! Built at load time (part of the "initialization" cost the friendly race
+//! measures), mapping key values to row ids. Range scans return row ids in
+//! row order so heap fetches stay sequential-ish.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use nodb_rawcsv::Datum;
+
+/// Total-ordered wrapper making [`Datum`] usable as a B-tree key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexKey(pub Datum);
+
+impl Eq for IndexKey {}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A single-attribute B-tree index.
+#[derive(Debug, Default)]
+pub struct BTreeIndex {
+    map: BTreeMap<IndexKey, Vec<u64>>,
+    entries: u64,
+}
+
+impl BTreeIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        BTreeIndex::default()
+    }
+
+    /// Insert one `(key, row_id)` pair. NULL keys are not indexed
+    /// (matching SQL index semantics for lookups).
+    pub fn insert(&mut self, key: &Datum, row_id: u64) {
+        if key.is_null() {
+            return;
+        }
+        self.map.entry(IndexKey(key.clone())).or_default().push(row_id);
+        self.entries += 1;
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Row ids with `key = v`, in insertion (row) order.
+    pub fn lookup_eq(&self, v: &Datum) -> Vec<u64> {
+        self.map
+            .get(&IndexKey(v.clone()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Row ids in the given bounds, sorted ascending.
+    pub fn lookup_range(&self, lo: Bound<&Datum>, hi: Bound<&Datum>) -> Vec<u64> {
+        let lo = map_bound(lo);
+        let hi = map_bound(hi);
+        let mut out: Vec<u64> = self
+            .map
+            .range((lo, hi))
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+fn map_bound(b: Bound<&Datum>) -> Bound<IndexKey> {
+    match b {
+        Bound::Included(d) => Bound::Included(IndexKey(d.clone())),
+        Bound::Excluded(d) => Bound::Excluded(IndexKey(d.clone())),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> BTreeIndex {
+        let mut ix = BTreeIndex::new();
+        for (row, v) in [5i64, 3, 8, 3, 1].iter().enumerate() {
+            ix.insert(&Datum::Int(*v), row as u64);
+        }
+        ix
+    }
+
+    #[test]
+    fn eq_lookup_finds_duplicates() {
+        let ix = build();
+        assert_eq!(ix.lookup_eq(&Datum::Int(3)), vec![1, 3]);
+        assert_eq!(ix.lookup_eq(&Datum::Int(99)), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn range_lookup_sorted_row_order() {
+        let ix = build();
+        let ids = ix.lookup_range(
+            Bound::Included(&Datum::Int(3)),
+            Bound::Included(&Datum::Int(5)),
+        );
+        assert_eq!(ids, vec![0, 1, 3]);
+        let all = ix.lookup_range(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nulls_not_indexed() {
+        let mut ix = BTreeIndex::new();
+        ix.insert(&Datum::Null, 0);
+        assert!(ix.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Slotted pages — the on-disk unit of the conventional row stores.
+//!
+//! Classic layout: a header (`nslots`, `free_offset`), a slot directory
+//! growing down from the header, and tuple bytes growing up from the end of
+//! the page. Page size is a profile knob (PostgreSQL-like uses 8 KiB,
+//! MySQL-like 16 KiB).
+
+/// Page header bytes: nslots (u16) + free_end (u16).
+const HEADER: usize = 4;
+/// Slot entry bytes: offset (u16) + length (u16).
+const SLOT: usize = 4;
+
+/// A fixed-size slotted page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    buf: Vec<u8>,
+}
+
+impl Page {
+    /// Fresh empty page of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        assert!((64..=32768).contains(&size), "page size {size}");
+        let mut buf = vec![0u8; size];
+        write_u16(&mut buf, 0, 0); // nslots
+        write_u16(&mut buf, 2, size as u16); // free_end = size
+        Page { buf }
+    }
+
+    /// Rehydrate a page from raw bytes (disk read).
+    pub fn from_bytes(buf: Vec<u8>) -> Self {
+        assert!(buf.len() >= 64);
+        Page { buf }
+    }
+
+    /// Raw bytes (disk write).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of tuples stored.
+    pub fn nslots(&self) -> usize {
+        read_u16(&self.buf, 0) as usize
+    }
+
+    fn free_end(&self) -> usize {
+        read_u16(&self.buf, 2) as usize
+    }
+
+    /// Bytes still available for one more tuple (including its slot entry).
+    pub fn free_space(&self) -> usize {
+        let slots_end = HEADER + self.nslots() * SLOT;
+        self.free_end().saturating_sub(slots_end)
+    }
+
+    /// Try to append a tuple; returns its slot index, or `None` when full.
+    pub fn insert(&mut self, tuple: &[u8]) -> Option<usize> {
+        if tuple.len() + SLOT > self.free_space() {
+            return None;
+        }
+        let slot = self.nslots();
+        let new_end = self.free_end() - tuple.len();
+        self.buf[new_end..new_end + tuple.len()].copy_from_slice(tuple);
+        let slot_off = HEADER + slot * SLOT;
+        write_u16(&mut self.buf, slot_off, new_end as u16);
+        write_u16(&mut self.buf, slot_off + 2, tuple.len() as u16);
+        write_u16(&mut self.buf, 0, (slot + 1) as u16);
+        write_u16(&mut self.buf, 2, new_end as u16);
+        Some(slot)
+    }
+
+    /// Tuple bytes at `slot`.
+    pub fn tuple(&self, slot: usize) -> Option<&[u8]> {
+        if slot >= self.nslots() {
+            return None;
+        }
+        let slot_off = HEADER + slot * SLOT;
+        let off = read_u16(&self.buf, slot_off) as usize;
+        let len = read_u16(&self.buf, slot_off + 2) as usize;
+        self.buf.get(off..off + len)
+    }
+
+    /// Iterator over all tuples in slot order.
+    pub fn tuples(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.nslots()).filter_map(|s| self.tuple(s))
+    }
+}
+
+fn read_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([buf[at], buf[at + 1]])
+}
+
+fn write_u16(buf: &mut [u8], at: usize, v: u16) {
+    buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut p = Page::new(256);
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.tuple(a).unwrap(), b"hello");
+        assert_eq!(p.tuple(b).unwrap(), b"world!");
+        assert_eq!(p.nslots(), 2);
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut p = Page::new(64);
+        let mut inserted = 0;
+        while p.insert(b"0123456789").is_some() {
+            inserted += 1;
+        }
+        assert!(inserted >= 2);
+        assert!(p.insert(b"0123456789").is_none());
+        // Existing tuples still intact.
+        assert_eq!(p.tuple(0).unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let mut p = Page::new(128);
+        p.insert(b"abc").unwrap();
+        p.insert(b"defg").unwrap();
+        let q = Page::from_bytes(p.bytes().to_vec());
+        let ts: Vec<&[u8]> = q.tuples().collect();
+        assert_eq!(ts, vec![&b"abc"[..], &b"defg"[..]]);
+    }
+
+    #[test]
+    fn empty_page_iterates_nothing() {
+        let p = Page::new(64);
+        assert_eq!(p.tuples().count(), 0);
+    }
+}

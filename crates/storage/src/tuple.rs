@@ -1,0 +1,181 @@
+//! Binary row serialization for the conventional row stores.
+//!
+//! Layout per tuple: for each attribute, a 1-byte tag followed by the
+//! payload (8-byte LE integers/floats, 1-byte bools, u32-length-prefixed
+//! strings). The format supports *skipping* unneeded attributes without
+//! decoding them — the row-store analogue of selective parsing, which keeps
+//! the loaded-vs-raw comparison honest.
+
+use nodb_rawcsv::Datum;
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BOOL_FALSE: u8 = 4;
+const TAG_BOOL_TRUE: u8 = 5;
+
+/// Serialize one row, appending to `out`. Returns the encoded length.
+pub fn encode_row(row: &[Datum], out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    for d in row {
+        match d {
+            Datum::Null => out.push(TAG_NULL),
+            Datum::Int(v) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Datum::Float(v) => {
+                out.push(TAG_FLOAT);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Datum::Str(s) => {
+                out.push(TAG_STR);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Datum::Bool(false) => out.push(TAG_BOOL_FALSE),
+            Datum::Bool(true) => out.push(TAG_BOOL_TRUE),
+        }
+    }
+    out.len() - start
+}
+
+/// Cursor over an encoded tuple.
+pub struct TupleReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> TupleReader<'a> {
+    /// Reader over one encoded tuple.
+    pub fn new(buf: &'a [u8]) -> Self {
+        TupleReader { buf, at: 0 }
+    }
+
+    /// Decode the next attribute.
+    pub fn next_value(&mut self) -> Option<Datum> {
+        let tag = *self.buf.get(self.at)?;
+        self.at += 1;
+        Some(match tag {
+            TAG_NULL => Datum::Null,
+            TAG_INT => {
+                let v = i64::from_le_bytes(self.take(8)?.try_into().ok()?);
+                Datum::Int(v)
+            }
+            TAG_FLOAT => {
+                let v = f64::from_le_bytes(self.take(8)?.try_into().ok()?);
+                Datum::Float(v)
+            }
+            TAG_STR => {
+                let len = u32::from_le_bytes(self.take(4)?.try_into().ok()?) as usize;
+                let bytes = self.take(len)?;
+                Datum::Str(String::from_utf8_lossy(bytes).into())
+            }
+            TAG_BOOL_FALSE => Datum::Bool(false),
+            TAG_BOOL_TRUE => Datum::Bool(true),
+            _ => return None,
+        })
+    }
+
+    /// Skip the next attribute without materializing it.
+    pub fn skip_value(&mut self) -> Option<()> {
+        let tag = *self.buf.get(self.at)?;
+        self.at += 1;
+        match tag {
+            TAG_NULL | TAG_BOOL_FALSE | TAG_BOOL_TRUE => {}
+            TAG_INT | TAG_FLOAT => {
+                self.take(8)?;
+            }
+            TAG_STR => {
+                let len = u32::from_le_bytes(self.take(4)?.try_into().ok()?) as usize;
+                self.take(len)?;
+            }
+            _ => return None,
+        }
+        Some(())
+    }
+
+    /// Decode exactly the attributes in `wanted` (ascending positions within
+    /// the tuple), skipping the rest. Missing trailing attributes are NULL.
+    pub fn project(&mut self, wanted: &[usize], nattrs: usize, out: &mut Vec<Datum>) {
+        let mut w = 0;
+        for attr in 0..nattrs {
+            if w < wanted.len() && wanted[w] == attr {
+                out.push(self.next_value().unwrap_or(Datum::Null));
+                w += 1;
+                if w == wanted.len() {
+                    return; // row-store selective decode: stop early
+                }
+            } else if self.skip_value().is_none() {
+                break;
+            }
+        }
+        while w < wanted.len() {
+            out.push(Datum::Null);
+            w += 1;
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> Vec<Datum> {
+        vec![
+            Datum::Int(42),
+            Datum::Null,
+            Datum::from("hello"),
+            Datum::Float(2.5),
+            Datum::Bool(true),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut buf = Vec::new();
+        encode_row(&sample_row(), &mut buf);
+        let mut r = TupleReader::new(&buf);
+        for expect in sample_row() {
+            assert_eq!(r.next_value().unwrap(), expect);
+        }
+        assert!(r.next_value().is_none());
+    }
+
+    #[test]
+    fn skip_then_read() {
+        let mut buf = Vec::new();
+        encode_row(&sample_row(), &mut buf);
+        let mut r = TupleReader::new(&buf);
+        r.skip_value().unwrap();
+        r.skip_value().unwrap();
+        assert_eq!(r.next_value().unwrap(), Datum::from("hello"));
+    }
+
+    #[test]
+    fn project_selected_attrs() {
+        let mut buf = Vec::new();
+        encode_row(&sample_row(), &mut buf);
+        let mut r = TupleReader::new(&buf);
+        let mut out = Vec::new();
+        r.project(&[0, 3], 5, &mut out);
+        assert_eq!(out, vec![Datum::Int(42), Datum::Float(2.5)]);
+    }
+
+    #[test]
+    fn project_past_end_pads_null() {
+        let mut buf = Vec::new();
+        encode_row(&[Datum::Int(1)], &mut buf);
+        let mut r = TupleReader::new(&buf);
+        let mut out = Vec::new();
+        r.project(&[0, 2], 3, &mut out);
+        assert_eq!(out, vec![Datum::Int(1), Datum::Null]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Interactive NoDB shell — the closest thing to the paper's live demo.
+//!
+//! ```text
+//! cargo run --release --example repl -- path/to/file.csv
+//! ```
+//! (without an argument, a 100k-row synthetic file is generated)
+//!
+//! Commands:
+//! * any `SELECT ... FROM t ...` — run it and print result + breakdown;
+//! * `\panel`   — the Fig 2 monitoring panel;
+//! * `\plan`    — EXPLAIN of the last query;
+//! * `\cache N` / `\map N` — set budgets to N bytes (demo sliders);
+//! * `\q`       — quit.
+
+use std::io::{BufRead, Write};
+
+use nodb_repro::prelude::*;
+
+fn main() {
+    let mut db = NoDb::new(NoDbConfig::default());
+    let arg = std::env::args().nth(1);
+    let _scratch;
+    match arg {
+        Some(path) => {
+            db.register_csv("t", &path).expect("register file");
+            println!("registered {path} as table t (schema inferred):");
+        }
+        None => {
+            let dir = std::env::temp_dir().join(format!("nodb_repl_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("scratch");
+            let csv = dir.join("demo.csv");
+            GeneratorConfig::uniform_ints(10, 100_000, 1)
+                .generate_file(&csv)
+                .expect("generate");
+            db.register_csv("t", &csv).expect("register");
+            println!("no file given — generated {} (100k rows) as table t:", csv.display());
+            _scratch = dir;
+        }
+    }
+    println!("  {}", db.schema("t").unwrap());
+    println!("type SQL, \\panel, \\plan, \\cache N, \\map N, or \\q\n");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("nodb> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "\\q" | "\\quit" | "exit" => break,
+            "\\panel" => match db.snapshot("t") {
+                Some(s) => println!("{}", s.panel()),
+                None => println!("no table registered"),
+            },
+            "\\plan" => match db.last_report() {
+                Some(r) => println!("{}", r.plan),
+                None => println!("no query has run yet"),
+            },
+            _ if line.starts_with("\\cache ") || line.starts_with("\\map ") => {
+                let mut parts = line.split_whitespace();
+                let which = parts.next().unwrap_or("");
+                match parts.next().and_then(|n| n.parse::<usize>().ok()) {
+                    Some(bytes) if which == "\\cache" => {
+                        db.set_cache_budget(bytes);
+                        println!("cache budget = {bytes} bytes");
+                    }
+                    Some(bytes) => {
+                        db.set_map_budget(bytes);
+                        println!("map budget = {bytes} bytes");
+                    }
+                    None => println!("usage: {which} <bytes>"),
+                }
+            }
+            sql => match db.query(sql) {
+                Ok(r) => {
+                    println!("{r}");
+                    if let Some(rep) = db.last_report() {
+                        println!(
+                            "time {:?}  fully_cached={}  [{}]\n",
+                            rep.total,
+                            rep.fully_cached,
+                            rep.breakdown.panel_row()
+                        );
+                    }
+                }
+                Err(e) => println!("error: {e}\n"),
+            },
+        }
+    }
+    println!("bye");
+}

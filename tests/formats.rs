@@ -1,0 +1,114 @@
+//! File-format integration tests: delimiter sniffing (TSV, semicolon,
+//! pipe) and quoted CSV end-to-end through the adaptive raw scan.
+
+use nodb_repro::core::{NoDb, NoDbConfig};
+use nodb_repro::prelude::*;
+use nodb_repro::rawcsv::tokenizer::TokenizerConfig;
+
+fn tmp(tag: &str, content: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nodb_fmt_{tag}_{}", std::process::id()));
+    std::fs::write(&p, content).unwrap();
+    p
+}
+
+#[test]
+fn tsv_is_sniffed_and_queryable() {
+    let p = tmp("tsv", "id\tname\tscore\n1\talice\t2.5\n2\tbob\t3.5\n3\tcarol\t1.0\n");
+    let mut db = NoDb::new(NoDbConfig::default());
+    db.register_csv("t", &p).unwrap();
+    let r = db.query("SELECT name FROM t WHERE score > 2 ORDER BY id").unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Datum::from("alice")], vec![Datum::from("bob")]]
+    );
+    // Adaptive rerun over the TSV must agree.
+    let r2 = db.query("SELECT name FROM t WHERE score > 2 ORDER BY id").unwrap();
+    assert_eq!(r, r2);
+    std::fs::remove_file(p).unwrap();
+}
+
+#[test]
+fn semicolon_and_pipe_files_sniffed() {
+    for (tag, delim) in [("semi", ';'), ("pipe", '|')] {
+        let content = format!("a{delim}b\n1{delim}10\n2{delim}20\n");
+        let p = tmp(tag, &content);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv("t", &p).unwrap();
+        let r = db.query("SELECT b FROM t WHERE a = 2").unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Int(20)]], "{tag}");
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
+#[test]
+fn quoted_csv_with_embedded_delimiters() {
+    // Fields containing commas and escaped quotes.
+    let p = tmp(
+        "quoted",
+        "1,\"Smith, John\",100\n2,\"O''Brien, Pat\",200\n3,plain,300\n"
+            .replace("''", "\"\"")
+            .as_str(),
+    );
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", ColumnType::Int),
+        ColumnDef::new("name", ColumnType::Str),
+        ColumnDef::new("amount", ColumnType::Int),
+    ]);
+    let mut db = NoDb::new(NoDbConfig::default());
+    db.register_csv_with_options(
+        "t",
+        &p,
+        schema,
+        false,
+        TokenizerConfig { delimiter: b',', quote: Some(b'"') },
+    )
+    .unwrap();
+
+    // The quoted commas must not split fields.
+    let r = db.query("SELECT name, amount FROM t ORDER BY id").unwrap();
+    assert_eq!(r.len(), 3);
+    assert_eq!(r.rows[0][0], Datum::from("Smith, John"));
+    assert_eq!(r.rows[0][1], Datum::Int(100));
+    assert_eq!(r.rows[1][0], Datum::from("O\"Brien, Pat"), "escaped quote unescaped");
+    assert_eq!(r.rows[2][0], Datum::from("plain"));
+
+    // Warm rerun (cache-served) must agree exactly.
+    let r2 = db.query("SELECT name, amount FROM t ORDER BY id").unwrap();
+    assert_eq!(r, r2);
+
+    // The positional map must have stayed out of the way (quote-unsafe).
+    let snap = db.snapshot("t").unwrap();
+    assert!(snap.map_chunks.is_empty(), "map bypassed for quoted files");
+    assert!(snap.cache_bytes > 0, "cache still active for quoted files");
+    std::fs::remove_file(p).unwrap();
+}
+
+#[test]
+fn quoted_aggregation_and_like() {
+    let p = tmp(
+        "quoted_agg",
+        "\"a,b\",1\n\"a,b\",2\n\"c\",3\nplain,4\n",
+    );
+    let schema = Schema::new(vec![
+        ColumnDef::new("k", ColumnType::Str),
+        ColumnDef::new("v", ColumnType::Int),
+    ]);
+    let mut db = NoDb::new(NoDbConfig::default());
+    db.register_csv_with_options(
+        "t",
+        &p,
+        schema,
+        false,
+        TokenizerConfig { delimiter: b',', quote: Some(b'"') },
+    )
+    .unwrap();
+    let r = db
+        .query("SELECT k, SUM(v) FROM t GROUP BY k ORDER BY k")
+        .unwrap();
+    assert_eq!(r.len(), 3);
+    assert_eq!(r.rows[0], vec![Datum::from("a,b"), Datum::Int(3)]);
+    let l = db.query("SELECT COUNT(*) FROM t WHERE k LIKE 'a%'").unwrap();
+    assert_eq!(l.scalar(), Some(&Datum::Int(2)));
+    std::fs::remove_file(p).unwrap();
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over the core invariants:
+//!
+//! 1. *Adaptive transparency* — for any dataset and any query, PostgresRaw
+//!    (PM+C, any budgets) returns exactly what the stateless baseline
+//!    returns, cold and warm.
+//! 2. *Tokenizer equivalence* — selective/resumable tokenizing agrees with
+//!    full tokenizing on arbitrary byte soup.
+//! 3. *Cache round-trip* — any sequence of typed values read back from the
+//!    cache equals what was appended.
+//! 4. *Histogram sanity* — `fraction_le` is monotone and bounded.
+
+use proptest::prelude::*;
+
+use nodb_repro::core::{NoDb, NoDbConfig};
+use nodb_repro::prelude::*;
+use nodb_repro::rawcache::{CachePolicy, RawCache};
+use nodb_repro::rawcsv::tokenizer::{Tokens, TokenizerConfig};
+use nodb_repro::stats::EquiDepthHistogram;
+
+fn scratch(tag: &str, n: u64) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nodb_prop_{tag}_{n}_{}", std::process::id()));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn adaptive_equals_baseline(
+        seed in 0u64..1_000,
+        cols in 2usize..8,
+        rows in 1u64..400,
+        proj in 0usize..8,
+        pred in 0usize..8,
+        cut in 0i64..1_000_000_000,
+        map_budget in prop::sample::select(vec![0usize, 1_000, 1 << 22]),
+        cache_budget in prop::sample::select(vec![0usize, 1_000, 1 << 22]),
+    ) {
+        let proj = proj % cols;
+        let pred = pred % cols;
+        let gen = GeneratorConfig::uniform_ints(cols, rows, seed);
+        let path = scratch("adapt", seed * 1_000 + rows);
+        gen.generate_file(&path).unwrap();
+        let sql = format!("SELECT c{proj} FROM t WHERE c{pred} < {cut}");
+
+        let mut base = NoDb::new(NoDbConfig::baseline());
+        base.register_csv_with_schema("t", &path, gen.schema(), false).unwrap();
+        let expect = base.query(&sql).unwrap();
+
+        let cfg = NoDbConfig { map_budget_bytes: map_budget, cache_budget_bytes: cache_budget, ..NoDbConfig::pm_c() };
+        let mut sys = NoDb::new(cfg);
+        sys.register_csv_with_schema("t", &path, gen.schema(), false).unwrap();
+        let cold = sys.query(&sql).unwrap();
+        let warm = sys.query(&sql).unwrap();
+        prop_assert_eq!(&cold, &expect);
+        prop_assert_eq!(&warm, &expect);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn selective_tokenizing_agrees_with_full(
+        line in prop::collection::vec(
+            prop_oneof![Just(b','), Just(b'a'), Just(b'1'), Just(b'x'), Just(b'.')], 0..200),
+        upto in 0usize..30,
+    ) {
+        let cfg = TokenizerConfig::default();
+        let mut full = Tokens::new();
+        let mut sel = Tokens::new();
+        cfg.tokenize_into(&line, &mut full);
+        let n = cfg.tokenize_selective(&line, upto, &mut sel);
+        prop_assert_eq!(n, full.len().min(upto + 1));
+        for f in 0..n {
+            prop_assert_eq!(sel.get(f), full.get(f), "field {}", f);
+        }
+    }
+
+    #[test]
+    fn resumable_tokenizing_agrees_with_full(
+        line in prop::collection::vec(
+            prop_oneof![Just(b','), Just(b'q'), Just(b'7')], 1..150),
+        anchor in 0usize..10,
+        extra in 0usize..10,
+    ) {
+        let cfg = TokenizerConfig::default();
+        let mut full = Tokens::new();
+        cfg.tokenize_into(&line, &mut full);
+        prop_assume!(anchor < full.len());
+        let upto = anchor + extra;
+        let anchor_off = full.get(anchor).unwrap().start as usize;
+        let mut res = Tokens::new();
+        cfg.tokenize_from(&line, anchor, anchor_off, upto, &mut res);
+        for f in anchor..=upto.min(full.len() - 1) {
+            prop_assert_eq!(res.get(f), full.get(f), "field {}", f);
+        }
+    }
+
+    #[test]
+    fn cache_round_trips_arbitrary_values(
+        vals in prop::collection::vec(
+            prop_oneof![
+                Just(Datum::Null),
+                any::<i64>().prop_map(Datum::Int),
+                "[a-z]{0,12}".prop_map(Datum::from),
+            ], 0..300),
+    ) {
+        // Split by type class into two attrs (cache columns are typed).
+        let mut cache = RawCache::new(CachePolicy::default());
+        let tick = cache.begin_query(&[0, 1]);
+        let mut ints = Vec::new();
+        let mut strs = Vec::new();
+        for v in &vals {
+            match v {
+                Datum::Str(_) => {
+                    prop_assert!(cache.append(1, ColumnType::Str, v, tick));
+                    strs.push(v.clone());
+                }
+                other => {
+                    prop_assert!(cache.append(0, ColumnType::Int, other, tick));
+                    ints.push(other.clone());
+                }
+            }
+        }
+        for (i, v) in ints.iter().enumerate() {
+            prop_assert_eq!(cache.peek(0, i), Some(v.clone()));
+        }
+        for (i, v) in strs.iter().enumerate() {
+            prop_assert_eq!(cache.peek(1, i), Some(v.clone()));
+        }
+    }
+
+    #[test]
+    fn histogram_fraction_le_is_monotone(
+        sample in prop::collection::vec(-1_000i64..1_000, 1..400),
+        probes in prop::collection::vec(-1_200i64..1_200, 2..20),
+        buckets in 1usize..40,
+    ) {
+        let datums: Vec<Datum> = sample.iter().map(|&v| Datum::Int(v)).collect();
+        let h = EquiDepthHistogram::build(&datums, buckets).unwrap();
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        let mut prev = 0.0f64;
+        for v in sorted {
+            let f = h.fraction_le(&Datum::Int(v));
+            prop_assert!((0.0..=1.0).contains(&f), "f = {}", f);
+            prop_assert!(f + 1e-9 >= prev, "monotonicity: {} then {}", prev, f);
+            prev = f;
+        }
+        let max = sample.iter().max().unwrap();
+        prop_assert!((h.fraction_le(&Datum::Int(*max)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_int_matches_std(v in any::<i64>()) {
+        let text = v.to_string();
+        prop_assert_eq!(
+            nodb_repro::rawcsv::parser::parse_int(text.as_bytes()),
+            Some(v)
+        );
+    }
+
+    #[test]
+    fn generated_files_always_queryable(
+        cols in 1usize..6,
+        rows in 0u64..200,
+        seed in 0u64..500,
+    ) {
+        let gen = GeneratorConfig::uniform_ints(cols, rows, seed);
+        let path = scratch("gen", seed * 7 + rows);
+        gen.generate_file(&path).unwrap();
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &path, gen.schema(), false).unwrap();
+        let r = db.query("SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(r.scalar(), Some(&Datum::Int(rows as i64)));
+        std::fs::remove_file(path).ok();
+    }
+}
