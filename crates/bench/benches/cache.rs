@@ -6,7 +6,7 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nodb_rawcache::{CachePolicy, RawCache};
-use nodb_rawcsv::tokenizer::{Tokens, TokenizerConfig};
+use nodb_rawcsv::tokenizer::{TokenizerConfig, Tokens};
 use nodb_rawcsv::{parser, ColumnType, Datum, GeneratorConfig};
 use nodb_stats::TableStats;
 

@@ -6,7 +6,7 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nodb_posmap::{ChunkBuilder, MapPolicy, PositionalMap};
-use nodb_rawcsv::tokenizer::{find_byte, Tokens, TokenizerConfig};
+use nodb_rawcsv::tokenizer::{find_byte, TokenizerConfig, Tokens};
 use nodb_rawcsv::GeneratorConfig;
 
 fn lines(cols: usize, rows: u64) -> Vec<Vec<u8>> {
@@ -52,7 +52,9 @@ fn bench_access_ladder(c: &mut Criterion) {
                 let mut acc = 0usize;
                 for (row, l) in data.iter().enumerate() {
                     let start = map.offset_in(chunk, target, row).unwrap() as usize;
-                    let end = find_byte(&l[start..], b',').map(|p| start + p).unwrap_or(l.len());
+                    let end = find_byte(&l[start..], b',')
+                        .map(|p| start + p)
+                        .unwrap_or(l.len());
                     acc += end - start;
                 }
                 black_box(acc)

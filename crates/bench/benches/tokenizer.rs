@@ -6,7 +6,7 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use nodb_rawcsv::tokenizer::{find_byte, Tokens, TokenizerConfig};
+use nodb_rawcsv::tokenizer::{find_byte, TokenizerConfig, Tokens};
 use nodb_rawcsv::GeneratorConfig;
 
 fn sample_lines(cols: usize, rows: u64) -> Vec<Vec<u8>> {

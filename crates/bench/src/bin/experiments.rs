@@ -21,7 +21,11 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage("--out needs a path")));
+                out_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--out needs a path")),
+                );
             }
             "all" => ids = experiments::ALL.iter().map(|s| s.to_string()).collect(),
             other if experiments::ALL.contains(&other) => ids.push(other.to_string()),
@@ -46,7 +50,8 @@ fn main() {
     }
     if let Some(p) = out_path {
         let mut f = std::fs::File::create(&p).expect("create --out file");
-        f.write_all(full_output.as_bytes()).expect("write --out file");
+        f.write_all(full_output.as_bytes())
+            .expect("write --out file");
         eprintln!("wrote {p}");
     }
 }

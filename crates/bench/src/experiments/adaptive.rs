@@ -89,7 +89,15 @@ pub fn adapt(scale: Scale) -> ExperimentReport {
 
     let mut t = Table::new(
         "ADAPT — per-epoch behaviour",
-        &["epoch", "window", "first_q_ms", "last_q_ms", "map_evict", "cache_evict", "cached_attrs"],
+        &[
+            "epoch",
+            "window",
+            "first_q_ms",
+            "last_q_ms",
+            "map_evict",
+            "cache_evict",
+            "cached_attrs",
+        ],
     );
     let mut prev_map_evict = 0;
     let mut prev_cache_evict = 0;
@@ -105,8 +113,11 @@ pub fn adapt(scale: Scale) -> ExperimentReport {
         let cache_e = snap.cache_evictions - prev_cache_evict;
         prev_map_evict = snap.map_evictions;
         prev_cache_evict = snap.cache_evictions;
-        let resident: Vec<String> =
-            snap.cache_resident.iter().map(|(a, _)| format!("c{a}")).collect();
+        let resident: Vec<String> = snap
+            .cache_resident
+            .iter()
+            .map(|(a, _)| format!("c{a}"))
+            .collect();
         epoch_rows.push((lats[0], *lats.last().unwrap(), cache_e));
         t.row(vec![
             format!("{e}"),

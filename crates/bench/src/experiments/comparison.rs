@@ -71,7 +71,9 @@ pub fn race(scale: Scale) -> ExperimentReport {
         .unwrap_or_default();
     let best_loaded = first_answer
         .iter()
-        .filter(|(n, _)| !n.contains("PostgresRaw") && !n.contains("Baseline") && !n.contains("External"))
+        .filter(|(n, _)| {
+            !n.contains("PostgresRaw") && !n.contains("Baseline") && !n.contains("External")
+        })
         .map(|(_, d)| *d)
         .min()
         .unwrap_or_default();
@@ -108,7 +110,13 @@ pub fn updates(scale: Scale) -> ExperimentReport {
     let count_sql = "SELECT COUNT(*) FROM t";
     let mut t = Table::new(
         "UPDATES — event timeline",
-        &["event", "count(*)", "latency_ms", "cache_bytes_before_query", "correct"],
+        &[
+            "event",
+            "count(*)",
+            "latency_ms",
+            "cache_bytes_before_query",
+            "correct",
+        ],
     );
     let mut record = |sys: &mut RawContestant, event: &str, expect: i64| {
         let before = sys.db.snapshot("t").unwrap().cache_bytes;
@@ -153,10 +161,8 @@ pub fn updates(scale: Scale) -> ExperimentReport {
 /// {Baseline, PM, C, PM+C} × map/cache budget sweep, plus the
 /// selective-tokenizing and force-full-parse ablations.
 pub fn knobs(scale: Scale) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "knobs",
-        "Component toggles and budget sweep (ablation)",
-    );
+    let mut report =
+        ExperimentReport::new("knobs", "Component toggles and budget sweep (ablation)");
     let dir = scratch_dir("knobs");
     let rows = scale.rows() / 2;
     let cols = 10usize;

@@ -34,7 +34,15 @@ pub fn fig2(scale: Scale) -> ExperimentReport {
 
     let mut t = Table::new(
         "Fig 2 — utilization per query",
-        &["q#", "attrs", "map_util_%", "cache_util_%", "hit_ratio", "evictions", "latency_ms"],
+        &[
+            "q#",
+            "attrs",
+            "map_util_%",
+            "cache_util_%",
+            "hit_ratio",
+            "evictions",
+            "latency_ms",
+        ],
     );
     // Workload: drift attribute focus left → right across the file.
     let mut utils = Vec::new();
@@ -87,7 +95,18 @@ pub fn fig3(scale: Scale) -> ExperimentReport {
 
     let mut t = Table::new(
         "Fig 3 — time to first answer (cold system), seconds",
-        &["system", "init_s", "q1_s", "io_ms", "tok_ms", "parse_ms", "conv_ms", "nodb_ms", "proc_ms", "total_to_answer_s"],
+        &[
+            "system",
+            "init_s",
+            "q1_s",
+            "io_ms",
+            "tok_ms",
+            "parse_ms",
+            "conv_ms",
+            "nodb_ms",
+            "proc_ms",
+            "total_to_answer_s",
+        ],
     );
 
     // PostgreSQL-like: init = full load; query runs over binary pages.
@@ -133,7 +152,15 @@ pub fn fig3(scale: Scale) -> ExperimentReport {
     // The adaptive payoff: the same query again on the warm PM+C system.
     let mut warm = Table::new(
         "Fig 3b — PostgresRaw (PM+C), same query warm",
-        &["run", "latency_ms", "io_ms", "tok_ms", "parse_ms", "conv_ms", "fully_cached"],
+        &[
+            "run",
+            "latency_ms",
+            "io_ms",
+            "tok_ms",
+            "parse_ms",
+            "conv_ms",
+            "fully_cached",
+        ],
     );
     let (_, _, _, mut pmc) = raw_rows.pop().unwrap();
     for run in 2..=3 {

@@ -1,6 +1,75 @@
-//! Text tables for experiment output (the demo panels, printable).
+//! Text tables for experiment output (the demo panels, printable), plus the
+//! machine-readable `BENCH_*.json` records future PRs use to track the
+//! performance trajectory.
 
 use std::fmt::Write as _;
+use std::path::Path;
+
+/// One benchmark measurement destined for a `BENCH_*.json` trajectory file.
+///
+/// `scan_threads` is a first-class column so the parallel-scan scaling
+/// curve (1..N threads over the same dataset) is directly comparable across
+/// PRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name, e.g. `cold_scan`.
+    pub name: String,
+    /// `NoDbConfig::scan_threads` the measurement ran with (resolved, not 0).
+    pub scan_threads: usize,
+    /// Data rows in the benchmark's input file.
+    pub rows: u64,
+    /// Mean wall-clock per iteration, milliseconds.
+    pub mean_ms: f64,
+    /// Fastest iteration, milliseconds.
+    pub min_ms: f64,
+}
+
+impl BenchRecord {
+    /// Build a record from raw per-iteration durations.
+    pub fn from_samples(
+        name: impl Into<String>,
+        scan_threads: usize,
+        rows: u64,
+        samples: &[std::time::Duration],
+    ) -> Self {
+        let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        let mean = if ms.is_empty() {
+            0.0
+        } else {
+            ms.iter().sum::<f64>() / ms.len() as f64
+        };
+        let min = ms.iter().copied().fold(f64::INFINITY, f64::min);
+        BenchRecord {
+            name: name.into(),
+            scan_threads,
+            rows,
+            mean_ms: mean,
+            min_ms: if min.is_finite() { min } else { 0.0 },
+        }
+    }
+}
+
+/// Render records as the `BENCH_*.json` document (hand-rolled JSON: the
+/// environment has no serde, and the schema is five flat fields).
+pub fn bench_records_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": {:?}, \"scan_threads\": {}, \"rows\": {}, \
+             \"mean_ms\": {:.3}, \"min_ms\": {:.3}}}",
+            r.name, r.scan_threads, r.rows, r.mean_ms, r.min_ms
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write records to `path` as JSON.
+pub fn write_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> std::io::Result<()> {
+    std::fs::write(path, bench_records_json(records))
+}
 
 /// A simple aligned text table builder.
 #[derive(Debug, Default, Clone)]
@@ -99,5 +168,43 @@ mod tests {
     fn duration_formatting() {
         assert_eq!(ms(std::time::Duration::from_millis(1500)), "1500.00");
         assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+
+    #[test]
+    fn bench_records_render_as_json() {
+        use std::time::Duration;
+        let records = vec![
+            BenchRecord::from_samples(
+                "cold_scan",
+                1,
+                1_000_000,
+                &[Duration::from_millis(100), Duration::from_millis(200)],
+            ),
+            BenchRecord::from_samples("cold_scan", 4, 1_000_000, &[Duration::from_millis(50)]),
+        ];
+        assert!((records[0].mean_ms - 150.0).abs() < 1e-9);
+        assert!((records[0].min_ms - 100.0).abs() < 1e-9);
+        let json = bench_records_json(&records);
+        assert!(json.contains("\"scan_threads\": 1"));
+        assert!(json.contains("\"scan_threads\": 4"));
+        assert!(json.contains("\"mean_ms\": 150.000"));
+        assert!(json.contains("\"rows\": 1000000"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn bench_json_round_trips_to_disk() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nodb_bench_json_{}", std::process::id()));
+        let records = vec![BenchRecord::from_samples(
+            "x",
+            2,
+            10,
+            &[std::time::Duration::from_millis(5)],
+        )];
+        write_bench_json(&p, &records).unwrap();
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(body, bench_records_json(&records));
+        std::fs::remove_file(p).unwrap();
     }
 }

@@ -33,7 +33,10 @@ pub struct RawContestant {
 impl RawContestant {
     /// Contestant with the given configuration.
     pub fn new(config: NoDbConfig) -> Self {
-        RawContestant { label: config.label().to_string(), db: NoDb::new(config) }
+        RawContestant {
+            label: config.label().to_string(),
+            db: NoDb::new(config),
+        }
     }
 
     /// The paper's PostgresRaw PM+C.
@@ -81,7 +84,12 @@ impl LoadedContestant {
     /// data structures such as indices", §4.3).
     pub fn new(profile: DbProfile, index_attrs: Vec<usize>) -> Self {
         let dir = crate::workload::scratch_dir(&format!("dbms_{profile:?}"));
-        LoadedContestant { db: ConventionalDb::new(profile, &dir), profile, index_attrs, _dir: dir }
+        LoadedContestant {
+            db: ConventionalDb::new(profile, &dir),
+            profile,
+            index_attrs,
+            _dir: dir,
+        }
     }
 }
 

@@ -141,14 +141,41 @@ pub fn race_queries(table: &str, ncols: usize) -> Vec<String> {
     let c = |i: usize| i.min(ncols - 1);
     vec![
         format!("SELECT c{} FROM {table} WHERE c{} < 100000000", c(0), c(1)),
-        format!("SELECT c{}, c{} FROM {table} WHERE c{} > 900000000", c(2), c(3), c(0)),
+        format!(
+            "SELECT c{}, c{} FROM {table} WHERE c{} > 900000000",
+            c(2),
+            c(3),
+            c(0)
+        ),
         format!("SELECT COUNT(*) FROM {table}"),
-        format!("SELECT AVG(c{}) FROM {table} WHERE c{} < 500000000", c(1), c(2)),
-        format!("SELECT c{} FROM {table} WHERE c{} BETWEEN 200000000 AND 300000000", c(4), c(4)),
+        format!(
+            "SELECT AVG(c{}) FROM {table} WHERE c{} < 500000000",
+            c(1),
+            c(2)
+        ),
+        format!(
+            "SELECT c{} FROM {table} WHERE c{} BETWEEN 200000000 AND 300000000",
+            c(4),
+            c(4)
+        ),
         format!("SELECT MIN(c{}), MAX(c{}) FROM {table}", c(0), c(0)),
-        format!("SELECT c{}, c{} FROM {table} WHERE c{} < 50000000 ORDER BY c{} LIMIT 100", c(1), c(2), c(3), c(1)),
-        format!("SELECT COUNT(*) FROM {table} WHERE c{} > 500000000 AND c{} < 500000000", c(0), c(1)),
-        format!("SELECT SUM(c{}) FROM {table} WHERE c{} > 100000000", c(2), c(2)),
+        format!(
+            "SELECT c{}, c{} FROM {table} WHERE c{} < 50000000 ORDER BY c{} LIMIT 100",
+            c(1),
+            c(2),
+            c(3),
+            c(1)
+        ),
+        format!(
+            "SELECT COUNT(*) FROM {table} WHERE c{} > 500000000 AND c{} < 500000000",
+            c(0),
+            c(1)
+        ),
+        format!(
+            "SELECT SUM(c{}) FROM {table} WHERE c{} > 100000000",
+            c(2),
+            c(2)
+        ),
         format!("SELECT c{} FROM {table} WHERE c{} = 123456789", c(0), c(0)),
     ]
 }

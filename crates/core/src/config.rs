@@ -43,6 +43,14 @@ pub struct NoDbConfig {
     /// Check the raw file for appends/replacement before every query (§4.2
     /// *Updates*).
     pub detect_updates: bool,
+    /// Number of scan worker threads for streaming raw scans. `0` means
+    /// auto-detect (`std::thread::available_parallelism`). `1` forces the
+    /// single-threaded scan path — byte-for-byte the pre-parallel code, kept
+    /// for fallback and A/B benchmarking. Values `>= 2` split the file into
+    /// that many line-aligned partitions scanned concurrently; post-scan
+    /// positional map, cache and statistics are identical to a sequential
+    /// scan (see `rawscan`'s module docs for the merge invariants).
+    pub scan_threads: usize,
 }
 
 impl Default for NoDbConfig {
@@ -60,6 +68,7 @@ impl Default for NoDbConfig {
             io_block_size: 1 << 20,
             detailed_timing: true,
             detect_updates: true,
+            scan_threads: 0,
         }
     }
 }
@@ -86,12 +95,29 @@ impl NoDbConfig {
 
     /// Positional map only (the *PostgresRaw PM* variant).
     pub fn pm_only() -> Self {
-        NoDbConfig { enable_cache: false, ..NoDbConfig::default() }
+        NoDbConfig {
+            enable_cache: false,
+            ..NoDbConfig::default()
+        }
     }
 
     /// Cache only (the *PostgresRaw C* variant).
     pub fn cache_only() -> Self {
-        NoDbConfig { enable_positional_map: false, ..NoDbConfig::default() }
+        NoDbConfig {
+            enable_positional_map: false,
+            ..NoDbConfig::default()
+        }
+    }
+
+    /// Resolved scan worker count: `scan_threads`, with `0` mapped to the
+    /// machine's available parallelism.
+    pub fn effective_scan_threads(&self) -> usize {
+        match self.scan_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
     }
 
     /// Short label for experiment tables.
@@ -123,5 +149,22 @@ mod tests {
         assert!(!NoDbConfig::baseline().selective_tokenizing);
         assert!(NoDbConfig::pm_only().enable_positional_map);
         assert!(!NoDbConfig::pm_only().enable_cache);
+    }
+
+    #[test]
+    fn scan_threads_zero_means_auto() {
+        let cfg = NoDbConfig::default();
+        assert_eq!(cfg.scan_threads, 0);
+        assert!(cfg.effective_scan_threads() >= 1);
+        let one = NoDbConfig {
+            scan_threads: 1,
+            ..NoDbConfig::default()
+        };
+        assert_eq!(one.effective_scan_threads(), 1);
+        let four = NoDbConfig {
+            scan_threads: 4,
+            ..NoDbConfig::default()
+        };
+        assert_eq!(four.effective_scan_threads(), 4);
     }
 }

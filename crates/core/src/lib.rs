@@ -24,10 +24,10 @@ pub mod config;
 pub mod metrics;
 pub mod rawscan;
 pub mod table;
+mod worker;
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use nodb_engine::{execute, plan_select, EngineError, EngineResult, QueryResult};
@@ -40,7 +40,7 @@ use nodb_stats::table::StatsEstimator;
 
 pub use config::NoDbConfig;
 pub use metrics::{Breakdown, QueryReport, SystemSnapshot};
-pub use rawscan::{RawScanSource, ScanTelemetry};
+pub use rawscan::{RawScanSource, ScanTelemetry, TelemetryHandle};
 pub use table::RawTable;
 
 /// The NoDB system: a set of registered raw files and their adaptive
@@ -54,7 +54,11 @@ pub struct NoDb {
 impl NoDb {
     /// A new instance with the given configuration.
     pub fn new(config: NoDbConfig) -> Self {
-        NoDb { config, tables: HashMap::new(), last_report: None }
+        NoDb {
+            config,
+            tables: HashMap::new(),
+            last_report: None,
+        }
     }
 
     /// Configuration in force.
@@ -139,24 +143,27 @@ impl NoDb {
         let hits0 = table.cache.metrics().hits;
         let misses0 = table.cache.metrics().misses;
 
-        let telemetry = Rc::new(RefCell::new(ScanTelemetry::default()));
+        let telemetry: TelemetryHandle = Arc::new(Mutex::new(ScanTelemetry::default()));
         let result = {
             let source = RawScanSource::new(
                 table,
                 self.config,
                 planned.scan.clone(),
-                Rc::clone(&telemetry),
+                Arc::clone(&telemetry),
             );
             execute(&planned, Box::new(source))?
         };
 
         let total = t0.elapsed();
         let table = self.tables.get(&stmt.table).expect("still registered");
-        let tel = telemetry.borrow();
+        let tel = telemetry.lock().expect("telemetry lock");
         let mut breakdown = tel.breakdown;
         // Processing = everything not attributed to a scan phase.
         breakdown.processing = total.saturating_sub(
-            breakdown.io + breakdown.tokenizing + breakdown.parsing + breakdown.convert
+            breakdown.io
+                + breakdown.tokenizing
+                + breakdown.parsing
+                + breakdown.convert
                 + breakdown.nodb,
         );
         self.last_report = Some(QueryReport {
@@ -251,15 +258,20 @@ mod tests {
     fn zero_load_query_and_adaptive_speedup_state() {
         let (p, gen) = tmp_csv(6, 1000, 11);
         let mut db = NoDb::new(NoDbConfig::default());
-        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
 
-        let r1 = db.query("SELECT c1, c4 FROM t WHERE c2 > 500000000").unwrap();
+        let r1 = db
+            .query("SELECT c1, c4 FROM t WHERE c2 > 500000000")
+            .unwrap();
         let rep1 = db.last_report().unwrap().clone();
         assert_eq!(rep1.rows_scanned, 1000);
         assert!(!rep1.fully_cached);
         assert!(rep1.io.bytes_read > 0);
 
-        let r2 = db.query("SELECT c1, c4 FROM t WHERE c2 > 500000000").unwrap();
+        let r2 = db
+            .query("SELECT c1, c4 FROM t WHERE c2 > 500000000")
+            .unwrap();
         let rep2 = db.last_report().unwrap().clone();
         assert_eq!(r1, r2, "adaptive rerun must be identical");
         assert!(rep2.fully_cached, "second run served from cache");
@@ -271,7 +283,8 @@ mod tests {
     fn snapshot_evolves_with_queries() {
         let (p, gen) = tmp_csv(5, 200, 12);
         let mut db = NoDb::new(NoDbConfig::default());
-        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
         let s0 = db.snapshot("t").unwrap();
         assert_eq!(s0.map_bytes + s0.cache_bytes, 0);
         db.query("SELECT c0 FROM t").unwrap();
@@ -298,7 +311,8 @@ mod tests {
     fn aggregates_over_raw_files() {
         let (p, gen) = tmp_csv(3, 500, 13);
         let mut db = NoDb::new(NoDbConfig::default());
-        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
         let r = db.query("SELECT COUNT(*) FROM t").unwrap();
         assert_eq!(r.scalar(), Some(&Datum::Int(500)));
         std::fs::remove_file(p).unwrap();
@@ -308,7 +322,8 @@ mod tests {
     fn append_detected_next_query_sees_new_rows() {
         let (p, gen) = tmp_csv(3, 100, 14);
         let mut db = NoDb::new(NoDbConfig::default());
-        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
         assert_eq!(
             db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
             Some(&Datum::Int(100))
@@ -326,7 +341,8 @@ mod tests {
     fn replacement_detected_and_state_dropped() {
         let (p, gen) = tmp_csv(3, 100, 15);
         let mut db = NoDb::new(NoDbConfig::default());
-        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
         db.query("SELECT c0 FROM t").unwrap();
         assert!(db.snapshot("t").unwrap().cache_bytes > 0);
         // Replace with a smaller file of the same shape.
@@ -343,7 +359,8 @@ mod tests {
     fn budget_knobs_apply_immediately() {
         let (p, gen) = tmp_csv(4, 200, 16);
         let mut db = NoDb::new(NoDbConfig::default());
-        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
         db.query("SELECT c0, c1 FROM t").unwrap();
         assert!(db.snapshot("t").unwrap().cache_bytes > 0);
         db.set_cache_budget(0);
@@ -367,7 +384,8 @@ mod tests {
     fn baseline_config_answers_but_learns_nothing() {
         let (p, gen) = tmp_csv(4, 300, 17);
         let mut db = NoDb::new(NoDbConfig::baseline());
-        db.register_csv_with_schema("t", &p, gen.schema(), false).unwrap();
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
         db.query("SELECT c1 FROM t").unwrap();
         db.query("SELECT c1 FROM t").unwrap();
         let rep = db.last_report().unwrap();

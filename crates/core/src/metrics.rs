@@ -219,8 +219,14 @@ mod tests {
 
     #[test]
     fn breakdown_total_and_merge() {
-        let mut a = Breakdown { io: Duration::from_millis(10), ..Default::default() };
-        let b = Breakdown { convert: Duration::from_millis(5), ..Default::default() };
+        let mut a = Breakdown {
+            io: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let b = Breakdown {
+            convert: Duration::from_millis(5),
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.total(), Duration::from_millis(15));
         assert!(a.panel_row().contains("io="));
@@ -232,7 +238,11 @@ mod tests {
             map_bytes: 100,
             map_budget: 1000,
             map_utilization: 0.1,
-            map_chunks: vec![ChunkInfo { attrs: vec![0, 2], rows: 10, bytes: 40 }],
+            map_chunks: vec![ChunkInfo {
+                attrs: vec![0, 2],
+                rows: 10,
+                bytes: 40,
+            }],
             cache_resident: vec![(2, 10)],
             attr_access_counts: vec![(0, 3), (1, 0)],
             row_count: Some(10),

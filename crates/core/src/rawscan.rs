@@ -18,27 +18,86 @@
 //! When the cache covers every requested attribute for every known row, the
 //! scan never opens the file at all — the paper's "eliminating the need to
 //! access hot raw data via caching".
+//!
+//! # Threading model
+//!
+//! Streaming scans run on `NoDbConfig::scan_threads` workers (`0` =
+//! auto-detect, `1` = the original single-threaded path, kept verbatim for
+//! fallback and A/B benchmarking). The in-situ scan is embarrassingly
+//! parallel over row-ordered CSV, so the driver splits the file into
+//! line-aligned partitions, one worker per partition (`crate::worker`), and
+//! deterministically merges the partial results. Two partitioning modes:
+//!
+//! * **Row-partitioned (warm)** — when the shared row index is complete
+//!   (some earlier query scanned to EOF with the map enabled), partitions
+//!   are row ranges: every worker knows its global row base up front and can
+//!   therefore use per-row cache reads and exact positional-map jumps,
+//!   exactly like the sequential scan.
+//! * **Byte-partitioned (cold)** — otherwise the file is split at byte
+//!   targets snapped forward to line boundaries
+//!   ([`nodb_rawcsv::reader::partition_line_ranges`]). Global row numbers
+//!   are unknown until the workers count their partitions, so workers
+//!   resolve every value from raw bytes; partitions whose tokenizer is
+//!   plain use the fused single-pass scan
+//!   ([`nodb_rawcsv::reader::BlockScanner::next_line_tokenized`]).
+//!
+//! # Merge invariants
+//!
+//! Workers never touch shared mutable state; each returns partition-local
+//! partials that the driver merges **in partition order**, which makes the
+//! post-scan state byte-identical to a sequential scan (property-tested in
+//! `tests/property_based.rs`):
+//!
+//! * *Row index* — per-partition line-start lists are replayed in order
+//!   ([`nodb_posmap::RowIndex::note_rows`]); offsets are absolute, so
+//!   rebasing is concatenation.
+//! * *Positional map* — per-partition `ChunkBuilder`s hold line-relative
+//!   offsets keyed by local row; `ChunkBuilder::append_partial` rebases by
+//!   concatenating in partition order, then the usual install path
+//!   (subsumption, LRU, budget) runs once on the merged chunk.
+//! * *Cache* — workers buffer one value per row per requested attribute
+//!   (partial columns); the driver replays the sequential scan's exact
+//!   admission loop — row-major, attribute-interleaved, stopping a column
+//!   permanently at the first refused append — so budget/LRU behavior
+//!   matches the sequential scan decision for decision.
+//! * *Statistics* — observations are replayed from the buffered columns in
+//!   global row order under the same sampling stride. Replay (not
+//!   accumulator merging) is deliberate: the reservoir sample depends on
+//!   arrival order, so only order-preserving replay keeps statistics
+//!   identical.
+//! * *Results* — per-partition output batches are concatenated in partition
+//!   order (`Batch::extend_from`), no reordering anywhere downstream.
+//! * *Telemetry* — `Breakdown` and `IoCounters` are summed.
+//!
+//! The `cache_force_full_parse` ablation always runs sequentially (it
+//! exists to demonstrate a pathology, not to be fast). Parse errors abort
+//! the parallel scan without merging any side effects.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use nodb_engine::batch::{Batch, SliceRow, BATCH_SIZE};
-use nodb_engine::{EngineResult, ScanRequest, ScanSource};
+use nodb_engine::{EngineError, EngineResult, ScanRequest, ScanSource};
 use nodb_posmap::{AccessPlan, AttrSource, ChunkBuilder};
-use nodb_rawcsv::reader::BlockScanner;
+use nodb_rawcache::TypedColumn;
+use nodb_rawcsv::reader::{partition_line_ranges, BlockScanner, LineRange};
 use nodb_rawcsv::tokenizer::{find_byte, Tokens};
-use nodb_rawcsv::{parser, Datum, IoCounters};
+use nodb_rawcsv::{parser, Datum, IoCounters, RawCsvError};
 
 use crate::config::NoDbConfig;
 use crate::metrics::{Breakdown, PhaseClock};
 use crate::table::RawTable;
+use crate::worker::{self, Partition, PartitionOutput, ScanContext};
 
 /// Telemetry the scan writes as it finishes; the facade keeps a handle and
 /// reads it after execution.
 #[derive(Debug, Default)]
 pub struct ScanTelemetry {
-    /// Phase breakdown (I/O, tokenizing, parsing, convert, nodb).
+    /// Phase breakdown (I/O, tokenizing, parsing, convert, nodb). With
+    /// `scan_threads > 1` the slices are summed *thread time* across
+    /// workers, so their total can exceed the query's wall clock (and the
+    /// facade's derived `processing` remainder can clamp to zero).
     pub breakdown: Breakdown,
     /// Raw-file I/O counters.
     pub io: IoCounters,
@@ -50,12 +109,47 @@ pub struct ScanTelemetry {
     pub installed_chunk: bool,
 }
 
+/// Rewrite a partition-local row number in a worker error to the global
+/// file row: cold byte-partitioned workers count rows from their partition
+/// start, so the driver adds the preceding partitions' row counts before
+/// surfacing the error (warm workers already use global rows).
+fn rebase_row_error(e: EngineError, base: u64) -> EngineError {
+    match e {
+        EngineError::Csv(RawCsvError::ParseField {
+            row,
+            attr,
+            ty,
+            text,
+        }) => EngineError::Csv(RawCsvError::ParseField {
+            row: row + base,
+            attr,
+            ty,
+            text,
+        }),
+        EngineError::Csv(RawCsvError::MissingField { row, attr, present }) => {
+            EngineError::Csv(RawCsvError::MissingField {
+                row: row + base,
+                attr,
+                present,
+            })
+        }
+        other => other,
+    }
+}
+
+/// Shared handle to the telemetry a scan publishes when it finishes.
+///
+/// `Arc<Mutex<…>>` rather than `Rc<RefCell<…>>`: the parallel scan path
+/// requires every scan-adjacent type to be `Send`, and the facade keeps its
+/// clone across the engine call. The lock is touched once per query.
+pub type TelemetryHandle = Arc<Mutex<ScanTelemetry>>;
+
 /// The adaptive raw scan.
 pub struct RawScanSource<'a> {
     table: &'a mut RawTable,
     config: NoDbConfig,
     req: ScanRequest,
-    telemetry: Rc<RefCell<ScanTelemetry>>,
+    telemetry: TelemetryHandle,
     bd: Breakdown,
 
     // Query-lifetime planning state.
@@ -74,6 +168,12 @@ pub struct RawScanSource<'a> {
     header_skipped: bool,
     row: usize,
     done: bool,
+    /// Buffered result batches of a completed parallel scan, drained by
+    /// `next_batch`. `Some` once the parallel driver has run.
+    parallel_queue: Option<VecDeque<Batch>>,
+    /// I/O performed by parallel workers, folded into the telemetry at
+    /// finish (the sequential path reads its own scanner's counters).
+    pending_io: IoCounters,
 
     // Reused per-row buffers (workhorse pattern: zero allocation per row in
     // the common paths).
@@ -97,7 +197,7 @@ impl<'a> RawScanSource<'a> {
         table: &'a mut RawTable,
         config: NoDbConfig,
         req: ScanRequest,
-        telemetry: Rc<RefCell<ScanTelemetry>>,
+        telemetry: TelemetryHandle,
     ) -> Self {
         let n = req.attrs.len();
         let cache_cov: Vec<usize> = if config.enable_cache {
@@ -137,7 +237,7 @@ impl<'a> RawScanSource<'a> {
             }
             _ => (false, 0),
         };
-        telemetry.borrow_mut().fully_cached = fully_cached;
+        telemetry.lock().expect("telemetry lock").fully_cached = fully_cached;
 
         RawScanSource {
             table,
@@ -156,6 +256,8 @@ impl<'a> RawScanSource<'a> {
             header_skipped: false,
             row: 0,
             done: false,
+            parallel_queue: None,
+            pending_io: IoCounters::default(),
             tokens: Tokens::new(),
             values: vec![None; n],
             spans: vec![None; n],
@@ -284,13 +386,8 @@ impl<'a> RawScanSource<'a> {
                         match self.table.tokenizer.quote {
                             // Quoted string fields keep `""` escapes in
                             // their spans; unescape when materializing.
-                            Some(q)
-                                if ty == nodb_rawcsv::ColumnType::Str
-                                    && raw.contains(&q) =>
-                            {
-                                Datum::Str(
-                                    parser::unescape_quoted(raw, q).into_boxed_str(),
-                                )
+                            Some(q) if ty == nodb_rawcsv::ColumnType::Str && raw.contains(&q) => {
+                                Datum::Str(parser::unescape_quoted(raw, q).into_boxed_str())
                             }
                             _ => parser::parse_field(raw, ty, row as u64, attr)?,
                         }
@@ -311,7 +408,11 @@ impl<'a> RawScanSource<'a> {
                     if self.cache_next[i] == row {
                         let d = self.values[i].clone().unwrap_or(Datum::Null);
                         let ty = self.table.schema.ty(self.req.attrs[i]);
-                        if self.table.cache.append(self.req.attrs[i], ty, &d, self.query_tick) {
+                        if self
+                            .table
+                            .cache
+                            .append(self.req.attrs[i], ty, &d, self.query_tick)
+                        {
                             self.cache_next[i] += 1;
                         } else {
                             self.cache_next[i] = usize::MAX;
@@ -319,7 +420,7 @@ impl<'a> RawScanSource<'a> {
                     }
                 }
             }
-            if self.config.enable_stats && (row as u64).is_multiple_of(self.table.stats.sample_every) {
+            if self.config.enable_stats && self.table.stats.should_sample(row as u64) {
                 for i in 0..n {
                     if let Some(d) = &self.values[i] {
                         self.table.stats.attr_mut(self.req.attrs[i]).observe(d);
@@ -426,8 +527,9 @@ impl<'a> RawScanSource<'a> {
             .as_mut()
             .map(BlockScanner::take_counters)
             .unwrap_or_default();
-        let mut tel = self.telemetry.borrow_mut();
+        let mut tel = self.telemetry.lock().expect("telemetry lock");
         tel.io.merge(io);
+        tel.io.merge(self.pending_io);
         tel.rows_scanned = self.row as u64;
         tel.installed_chunk = installed;
         tel.breakdown = self.bd;
@@ -492,6 +594,276 @@ impl<'a> RawScanSource<'a> {
         Ok(if batch.is_empty() { None } else { Some(batch) })
     }
 
+    /// The parallel driver: partition the file, run one worker per
+    /// partition under `std::thread::scope`, then merge the partials in
+    /// partition order (see the module docs for the merge invariants).
+    /// Fills `self.parallel_queue` and performs all end-of-scan
+    /// bookkeeping; the ordinary `next_batch` path then drains the queue.
+    fn run_parallel(&mut self) -> EngineResult<()> {
+        let threads = self.config.effective_scan_threads();
+        let n = self.req.attrs.len();
+        let table = &mut *self.table;
+
+        // Partitioning. Row-partitioned (warm) mode needs a complete row
+        // index so every worker knows its global row base; otherwise split
+        // by bytes, snapped to line starts.
+        let warm =
+            self.plan.is_some() && table.map.row_index().is_complete() && table.row_count.is_some();
+        let mut partitions: Vec<Partition> = Vec::new();
+        if warm {
+            let total = table.row_count.expect("warm mode") as usize;
+            let idx = table.map.row_index();
+            let parts = threads.min(total.max(1));
+            for k in 0..parts {
+                let lo = total * k / parts;
+                let hi = total * (k + 1) / parts;
+                if lo >= hi {
+                    continue;
+                }
+                let start = idx.offset(lo).expect("complete row index");
+                let end = if hi < total {
+                    idx.offset(hi).expect("complete row index")
+                } else {
+                    u64::MAX // last partition runs to EOF
+                };
+                partitions.push(Partition {
+                    range: LineRange { start, end },
+                    skip_header: false, // data-row offsets already skip it
+                    row_base: Some(lo),
+                });
+            }
+        } else {
+            let t = self.clock.start();
+            let ranges = partition_line_ranges(&table.path, threads)?;
+            self.clock.lap(t, &mut self.bd.io);
+            for (i, range) in ranges.into_iter().enumerate() {
+                partitions.push(Partition {
+                    range,
+                    skip_header: table.has_header && i == 0,
+                    row_base: None,
+                });
+            }
+        }
+
+        // Fan out. The context borrows the table's adaptive structures
+        // immutably; workers are plain `Send` functions over it.
+        let collected: Vec<EngineResult<PartitionOutput>> = {
+            let ctx = ScanContext {
+                config: self.config,
+                req: &self.req,
+                tokenizer: table.tokenizer,
+                schema: &table.schema,
+                path: &table.path,
+                map: warm.then_some(&table.map),
+                plan: if warm { self.plan.as_ref() } else { None },
+                cache: if warm && self.config.enable_cache {
+                    Some(&table.cache)
+                } else {
+                    None
+                },
+                cache_cov: &self.cache_cov,
+                collect_side: self.config.enable_cache || self.config.enable_stats,
+                build_chunk: self.builder.is_some(),
+                // A warm scan's row index is complete by definition —
+                // collecting offsets there would only replay no-ops.
+                collect_offsets: self.plan.is_some() && !warm,
+            };
+            std::thread::scope(|s| {
+                let handles: Vec<_> = partitions
+                    .iter()
+                    .map(|&p| {
+                        let ctx = &ctx;
+                        s.spawn(move || worker::run_partition(ctx, p))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(EngineError::Execution("scan worker panicked".into()))
+                        })
+                    })
+                    .collect()
+            })
+        };
+        let mut results: Vec<PartitionOutput> = Vec::with_capacity(collected.len());
+        for r in collected {
+            match r {
+                Ok(o) => results.push(o),
+                Err(e) => {
+                    // Abort without merging any side effects; the error a
+                    // caller sees is the lowest-partition one. Cold-mode
+                    // workers number rows partition-locally, so rebase row
+                    // references by the preceding partitions' row counts to
+                    // report the true file row (warm-mode workers already
+                    // use global rows).
+                    let e = if warm {
+                        e
+                    } else {
+                        let base: usize = results.iter().map(|o| o.rows).sum();
+                        rebase_row_error(e, base as u64)
+                    };
+                    self.done = true;
+                    self.parallel_queue = Some(VecDeque::new());
+                    return Err(e);
+                }
+            }
+        }
+
+        // Ordered merge. Timed as NoDB-structure maintenance, like the
+        // sequential scan's chunk install.
+        let t = self.clock.start();
+        let bases: Vec<usize> = results
+            .iter()
+            .scan(0usize, |acc, o| {
+                let b = *acc;
+                *acc += o.rows;
+                Some(b)
+            })
+            .collect();
+        let total =
+            bases.last().copied().unwrap_or(0) + results.last().map(|o| o.rows).unwrap_or(0);
+
+        for o in &results {
+            self.bd.merge(&o.breakdown);
+            self.pending_io.merge(o.io);
+        }
+
+        if self.plan.is_some() {
+            for (p, o) in results.iter().enumerate() {
+                table
+                    .map
+                    .row_index_mut()
+                    .note_rows(bases[p], &o.line_starts);
+            }
+        }
+
+        if let Some(mut merged) = self.builder.take() {
+            for o in &mut results {
+                if let Some(wb) = o.builder.take() {
+                    merged.append_partial(wb);
+                }
+            }
+            self.builder = Some(merged);
+        }
+
+        // Side columns: concatenate the per-partition partial cache columns
+        // in partition order (segment merge) — one full column per
+        // requested attribute, addressed by global row below.
+        let collect_side = self.config.enable_cache || self.config.enable_stats;
+        let side: Vec<TypedColumn> = if collect_side {
+            let mut it = results.iter_mut();
+            let mut side = it
+                .next()
+                .map(|o| std::mem::take(&mut o.side_cols))
+                .unwrap_or_else(|| {
+                    self.req
+                        .attrs
+                        .iter()
+                        .map(|&a| TypedColumn::new(table.schema.ty(a)))
+                        .collect()
+                });
+            for o in it {
+                for (full, seg) in side.iter_mut().zip(o.side_cols.drain(..)) {
+                    full.append_segment(seg);
+                }
+            }
+            side
+        } else {
+            Vec::new()
+        };
+
+        // Cache: replay the sequential admission loop — row-major,
+        // attribute-interleaved, a column stopping permanently at its first
+        // refused append — so budget/LRU decisions are identical.
+        if self.config.enable_cache && total > 0 {
+            let hits: u64 = results.iter().map(|o| o.cache_hits).sum();
+            let misses: u64 = results.iter().map(|o| o.cache_misses).sum();
+            table.cache.record_reads(hits, misses);
+            let mut next = self.cache_next.clone();
+            let mut row = next
+                .iter()
+                .copied()
+                .filter(|&v| v != usize::MAX)
+                .min()
+                .unwrap_or(total);
+            while row < total {
+                if next.iter().all(|&v| v == usize::MAX || v > row) {
+                    // Nothing appends at this row; jump to the next frontier.
+                    match next
+                        .iter()
+                        .copied()
+                        .filter(|&v| v != usize::MAX && v > row)
+                        .min()
+                    {
+                        Some(r) => {
+                            row = r;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                for (i, slot) in next.iter_mut().enumerate() {
+                    if *slot == row {
+                        let d = side[i].datum(row).unwrap_or(Datum::Null);
+                        let ty = table.schema.ty(self.req.attrs[i]);
+                        if table
+                            .cache
+                            .append(self.req.attrs[i], ty, &d, self.query_tick)
+                        {
+                            *slot += 1;
+                        } else {
+                            *slot = usize::MAX;
+                        }
+                    }
+                }
+                row += 1;
+            }
+            self.cache_next = next;
+        }
+
+        // Statistics: order-preserving replay under the shared stride (see
+        // module docs on why replay, not accumulator merging).
+        if self.config.enable_stats {
+            let mut row = 0u64;
+            while (row as usize) < total {
+                if table.stats.should_sample(row) {
+                    for (col, &attr) in side.iter().zip(&self.req.attrs) {
+                        let d = col.datum(row as usize).unwrap_or(Datum::Null);
+                        table.stats.attr_mut(attr).observe(&d);
+                    }
+                }
+                row += 1;
+            }
+        }
+
+        // Results: concatenate per-partition batches in partition order,
+        // re-packing to full batches (reorder-free concatenation).
+        let mut queue: VecDeque<Batch> = VecDeque::new();
+        let mut acc = Batch::with_columns(n);
+        for mut o in results {
+            for b in o.batches.drain(..) {
+                if acc.is_empty() && b.rows() >= BATCH_SIZE {
+                    queue.push_back(b);
+                } else {
+                    acc.extend_from(b);
+                    if acc.rows() >= BATCH_SIZE {
+                        queue.push_back(std::mem::replace(&mut acc, Batch::with_columns(n)));
+                    }
+                }
+            }
+        }
+        if !acc.is_empty() {
+            queue.push_back(acc);
+        }
+
+        self.row = total;
+        self.clock.lap(t, &mut self.bd.nodb);
+        self.finish(true);
+        self.parallel_queue = Some(queue);
+        Ok(())
+    }
+
     /// Serve one batch purely from the cache.
     fn next_cached_batch(&mut self) -> EngineResult<Option<Batch>> {
         let n = self.req.attrs.len();
@@ -513,14 +885,24 @@ impl<'a> RawScanSource<'a> {
 
 impl ScanSource for RawScanSource<'_> {
     fn next_batch(&mut self) -> EngineResult<Option<Batch>> {
+        if let Some(q) = self.parallel_queue.as_mut() {
+            return Ok(q.pop_front());
+        }
         if self.done {
             return Ok(None);
         }
         if self.fully_cached {
-            self.next_cached_batch()
-        } else {
-            self.next_streaming_batch()
+            return self.next_cached_batch();
         }
+        // The ablation that force-parses whole tuples stays sequential: it
+        // exists to demonstrate a pathology, not to be fast.
+        let threads = self.config.effective_scan_threads();
+        if threads >= 2 && !self.config.cache_force_full_parse {
+            self.run_parallel()?;
+            let q = self.parallel_queue.as_mut().expect("parallel scan ran");
+            return Ok(q.pop_front());
+        }
+        self.next_streaming_batch()
     }
 }
 
@@ -560,12 +942,12 @@ mod tests {
         config: NoDbConfig,
         req: ScanRequest,
     ) -> (Vec<Vec<Datum>>, ScanTelemetry) {
-        let tel = Rc::new(RefCell::new(ScanTelemetry::default()));
+        let tel: TelemetryHandle = Arc::new(Mutex::new(ScanTelemetry::default()));
         let rows = {
-            let mut src = RawScanSource::new(table, config, req, Rc::clone(&tel));
+            let mut src = RawScanSource::new(table, config, req, Arc::clone(&tel));
             drain(&mut src)
         };
-        let t = Rc::try_unwrap(tel).unwrap().into_inner();
+        let t = Arc::try_unwrap(tel).unwrap().into_inner().unwrap();
         (rows, t)
     }
 
@@ -605,11 +987,14 @@ mod tests {
         let (p, schema) = tmp_csv(6, 200, 3);
         let mut t_pm =
             RawTable::register(&p, schema.clone(), false, &NoDbConfig::pm_only()).unwrap();
-        let mut t_base =
-            RawTable::register(&p, schema, false, &NoDbConfig::baseline()).unwrap();
+        let mut t_base = RawTable::register(&p, schema, false, &NoDbConfig::baseline()).unwrap();
         let req = ScanRequest::project(vec![2, 4]);
         // Warm the map with a first query on different attrs.
-        let (_, _) = scan_once(&mut t_pm, NoDbConfig::pm_only(), ScanRequest::project(vec![1]));
+        let (_, _) = scan_once(
+            &mut t_pm,
+            NoDbConfig::pm_only(),
+            ScanRequest::project(vec![1]),
+        );
         let (a, _) = scan_once(&mut t_pm, NoDbConfig::pm_only(), req.clone());
         let (b, _) = scan_once(&mut t_base, NoDbConfig::baseline(), req);
         assert_eq!(a, b);
@@ -684,10 +1069,17 @@ mod tests {
     #[test]
     fn force_full_parse_caches_unrequested_attrs() {
         let (p, schema) = tmp_csv(5, 50, 8);
-        let cfg = NoDbConfig { cache_force_full_parse: true, ..NoDbConfig::default() };
+        let cfg = NoDbConfig {
+            cache_force_full_parse: true,
+            ..NoDbConfig::default()
+        };
         let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
         let (_, _) = scan_once(&mut t, cfg, ScanRequest::project(vec![1]));
-        assert_eq!(t.cache.coverage(0), 50, "unrequested attr cached by ablation");
+        assert_eq!(
+            t.cache.coverage(0),
+            50,
+            "unrequested attr cached by ablation"
+        );
         assert_eq!(t.cache.coverage(4), 50);
         std::fs::remove_file(p).unwrap();
     }
@@ -712,6 +1104,339 @@ mod tests {
         let (rows, _) = scan_once(&mut t, cfg, ScanRequest::project(vec![0, 1]));
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0], vec![Datum::Int(1), Datum::Int(2)]);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    /// Scan the same table twice — `scan_threads = 1` vs `threads` — against
+    /// two freshly registered tables, and assert identical results and
+    /// identical post-scan adaptive state.
+    fn assert_parallel_matches_sequential(
+        cols: usize,
+        rows: u64,
+        seed: u64,
+        threads: usize,
+        mk_cfg: fn(usize) -> NoDbConfig,
+        reqs: &[ScanRequest],
+    ) {
+        let (p, schema) = tmp_csv(cols, rows, seed);
+        let cfg_seq = mk_cfg(1);
+        let cfg_par = mk_cfg(threads);
+        let mut t_seq = RawTable::register(&p, schema.clone(), false, &cfg_seq).unwrap();
+        let mut t_par = RawTable::register(&p, schema, false, &cfg_par).unwrap();
+        for (qi, req) in reqs.iter().enumerate() {
+            let (a, tel_a) = scan_once(&mut t_seq, cfg_seq, req.clone());
+            let (b, tel_b) = scan_once(&mut t_par, cfg_par, req.clone());
+            assert_eq!(a, b, "query {qi} rows differ (threads = {threads})");
+            assert_eq!(
+                tel_a.rows_scanned, tel_b.rows_scanned,
+                "query {qi} rows_scanned"
+            );
+            assert_eq!(
+                tel_a.fully_cached, tel_b.fully_cached,
+                "query {qi} fully_cached"
+            );
+        }
+        assert_eq!(t_seq.row_count, t_par.row_count);
+        // Hit/miss telemetry matches whenever warm (row-partitioned) mode
+        // is reachable. Without the positional map there is no row index,
+        // so parallel scans stay cold and honestly report zero cache reads
+        // (they re-parse instead of peeking) — contents still match, but
+        // read counters diverge by design; skip the comparison there.
+        if cfg_seq.enable_positional_map {
+            assert_eq!(
+                t_seq.cache.metrics().hits,
+                t_par.cache.metrics().hits,
+                "cache hit accounting must match"
+            );
+            assert_eq!(
+                t_seq.cache.metrics().misses,
+                t_par.cache.metrics().misses,
+                "cache miss accounting must match"
+            );
+        }
+        assert_eq!(t_seq.map.row_index().len(), t_par.map.row_index().len());
+        assert_eq!(
+            t_seq.map.row_index().is_complete(),
+            t_par.map.row_index().is_complete()
+        );
+        for attr in 0..cols {
+            assert_eq!(
+                t_seq.map.coverage(attr),
+                t_par.map.coverage(attr),
+                "map c{attr}"
+            );
+            assert_eq!(
+                t_seq.cache.coverage(attr),
+                t_par.cache.coverage(attr),
+                "cache c{attr}"
+            );
+            for row in 0..t_seq.cache.coverage(attr) {
+                assert_eq!(
+                    t_seq.cache.peek(attr, row),
+                    t_par.cache.peek(attr, row),
+                    "cache c{attr} row {row}"
+                );
+            }
+            match (t_seq.stats.attr(attr), t_par.stats.attr(attr)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.rows_seen(), b.rows_seen(), "stats rows c{attr}");
+                    assert_eq!(a.sample(), b.sample(), "stats reservoir c{attr}");
+                }
+                other => panic!("stats presence differs for c{attr}: {other:?}"),
+            }
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn parallel_cold_scan_matches_sequential_state() {
+        for threads in [2, 3, 8] {
+            assert_parallel_matches_sequential(
+                6,
+                1000,
+                21,
+                threads,
+                |t| NoDbConfig {
+                    scan_threads: t,
+                    ..NoDbConfig::default()
+                },
+                &[ScanRequest::project(vec![1, 4])],
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_warm_scan_uses_map_and_cache() {
+        // Second query on other attrs runs in row-partitioned (warm) mode.
+        assert_parallel_matches_sequential(
+            8,
+            600,
+            22,
+            4,
+            |t| NoDbConfig {
+                scan_threads: t,
+                ..NoDbConfig::default()
+            },
+            &[
+                ScanRequest::project(vec![0, 3]),
+                ScanRequest::project(vec![3, 6]),
+                ScanRequest::project(vec![1]),
+            ],
+        );
+    }
+
+    #[test]
+    fn parallel_predicate_filters_like_sequential() {
+        use nodb_engine::RExpr;
+        use nodb_sqlparse::ast::BinOp;
+        let (p, schema) = tmp_csv(4, 700, 23);
+        let req = ScanRequest {
+            attrs: vec![0, 2],
+            predicate: Some(RExpr::Binary {
+                op: BinOp::Lt,
+                left: Box::new(RExpr::Col(1)),
+                right: Box::new(RExpr::Const(Datum::Int(400_000_000))),
+            }),
+            materialize: vec![true, false],
+        };
+        let cfg1 = NoDbConfig {
+            scan_threads: 1,
+            ..NoDbConfig::default()
+        };
+        let cfg4 = NoDbConfig {
+            scan_threads: 4,
+            ..NoDbConfig::default()
+        };
+        let mut t1 = RawTable::register(&p, schema.clone(), false, &cfg1).unwrap();
+        let mut t4 = RawTable::register(&p, schema, false, &cfg4).unwrap();
+        let (a, tel_a) = scan_once(&mut t1, cfg1, req.clone());
+        let (b, tel_b) = scan_once(&mut t4, cfg4, req);
+        assert_eq!(a, b);
+        assert_eq!(tel_a.rows_scanned, 700);
+        assert_eq!(tel_b.rows_scanned, 700);
+        assert!(!a.is_empty() && a.len() < 700);
+        assert!(a.iter().all(|r| r[1] == Datum::Null), "predicate-only col");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn parallel_respects_cache_budget_stalls() {
+        // Tight budget: only a prefix fits; admission decisions must match.
+        assert_parallel_matches_sequential(
+            4,
+            300,
+            24,
+            4,
+            |t| NoDbConfig {
+                scan_threads: t,
+                cache_budget_bytes: 900,
+                enable_positional_map: false,
+                ..NoDbConfig::default()
+            },
+            &[ScanRequest::project(vec![1]), ScanRequest::project(vec![1])],
+        );
+    }
+
+    #[test]
+    fn parallel_baseline_keeps_no_state() {
+        let (p, schema) = tmp_csv(4, 200, 25);
+        let cfg = NoDbConfig {
+            scan_threads: 4,
+            ..NoDbConfig::baseline()
+        };
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let (rows, tel) = scan_once(&mut t, cfg, ScanRequest::project(vec![0, 3]));
+        assert_eq!(rows.len(), 200);
+        assert!(!tel.installed_chunk);
+        assert!(t.map.chunks().is_empty());
+        assert_eq!(t.cache.bytes_used(), 0);
+        assert!(t.stats.covered_attrs().is_empty());
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn parallel_empty_and_tiny_files() {
+        for rows in [0u64, 1, 3] {
+            assert_parallel_matches_sequential(
+                3,
+                rows,
+                26,
+                8,
+                |t| NoDbConfig {
+                    scan_threads: t,
+                    ..NoDbConfig::default()
+                },
+                &[ScanRequest::project(vec![0, 2])],
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_scan_with_header() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nodb_rawscan_par_hdr_{}", std::process::id()));
+        let mut content = String::from("a,b\n");
+        for i in 0..500 {
+            content.push_str(&format!("{i},{}\n", i * 2));
+        }
+        std::fs::write(&p, content).unwrap();
+        let schema = nodb_rawcsv::Schema::new(vec![
+            nodb_rawcsv::ColumnDef::new("a", nodb_rawcsv::ColumnType::Int),
+            nodb_rawcsv::ColumnDef::new("b", nodb_rawcsv::ColumnType::Int),
+        ]);
+        let cfg = NoDbConfig {
+            scan_threads: 4,
+            ..NoDbConfig::default()
+        };
+        let mut t = RawTable::register(&p, schema, true, &cfg).unwrap();
+        let (rows, _) = scan_once(&mut t, cfg, ScanRequest::project(vec![0, 1]));
+        assert_eq!(rows.len(), 500);
+        assert_eq!(rows[0], vec![Datum::Int(0), Datum::Int(0)]);
+        assert_eq!(rows[499], vec![Datum::Int(499), Datum::Int(998)]);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn parallel_warm_partial_coverage_counts_cache_hits() {
+        // Tight cache budget + posmap on: the second scan runs warm
+        // (row-partitioned) with only a prefix cached, so workers peek the
+        // cache for covered rows — hit/miss telemetry must match the
+        // sequential scan's `get` accounting.
+        assert_parallel_matches_sequential(
+            4,
+            400,
+            27,
+            4,
+            |t| NoDbConfig {
+                scan_threads: t,
+                cache_budget_bytes: 1200,
+                ..NoDbConfig::default()
+            },
+            &[ScanRequest::project(vec![1]), ScanRequest::project(vec![1])],
+        );
+    }
+
+    #[test]
+    fn parallel_cold_error_reports_global_row() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nodb_rawscan_par_badrow_{}", std::process::id()));
+        let mut content = String::new();
+        for i in 0..800 {
+            if i == 700 {
+                content.push_str("oops,1\n");
+            } else {
+                content.push_str(&format!("{i},{}\n", i * 2));
+            }
+        }
+        std::fs::write(&p, content).unwrap();
+        let schema = nodb_rawcsv::Schema::new(vec![
+            nodb_rawcsv::ColumnDef::new("a", nodb_rawcsv::ColumnType::Int),
+            nodb_rawcsv::ColumnDef::new("b", nodb_rawcsv::ColumnType::Int),
+        ]);
+        for threads in [1usize, 4] {
+            let cfg = NoDbConfig {
+                scan_threads: threads,
+                ..NoDbConfig::default()
+            };
+            let mut t = RawTable::register(&p, schema.clone(), false, &cfg).unwrap();
+            let tel: TelemetryHandle = Arc::new(Mutex::new(ScanTelemetry::default()));
+            let mut src = RawScanSource::new(&mut t, cfg, ScanRequest::project(vec![0]), tel);
+            let err = loop {
+                match src.next_batch() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => panic!("scan must fail on the malformed row"),
+                    Err(e) => break e,
+                }
+            };
+            let msg = err.to_string();
+            assert!(
+                msg.contains("row 700"),
+                "threads={threads}: error must name the global row, got: {msg}"
+            );
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn parallel_quoted_file_matches_sequential() {
+        use nodb_rawcsv::tokenizer::TokenizerConfig;
+        let mut p = std::env::temp_dir();
+        p.push(format!("nodb_rawscan_par_quoted_{}", std::process::id()));
+        let mut content = String::new();
+        for i in 0..400 {
+            content.push_str(&format!("{i},\"name, {i}\",\"say \"\"hi\"\"\"\n"));
+        }
+        std::fs::write(&p, content).unwrap();
+        let schema = nodb_rawcsv::Schema::new(vec![
+            nodb_rawcsv::ColumnDef::new("id", nodb_rawcsv::ColumnType::Int),
+            nodb_rawcsv::ColumnDef::new("name", nodb_rawcsv::ColumnType::Str),
+            nodb_rawcsv::ColumnDef::new("quip", nodb_rawcsv::ColumnType::Str),
+        ]);
+        let tok = TokenizerConfig {
+            delimiter: b',',
+            quote: Some(b'"'),
+        };
+        let cfg1 = NoDbConfig {
+            scan_threads: 1,
+            ..NoDbConfig::default()
+        };
+        let cfg4 = NoDbConfig {
+            scan_threads: 4,
+            ..NoDbConfig::default()
+        };
+        let mut t1 =
+            RawTable::register_with_tokenizer(&p, schema.clone(), false, &cfg1, tok).unwrap();
+        let mut t4 = RawTable::register_with_tokenizer(&p, schema, false, &cfg4, tok).unwrap();
+        let req = ScanRequest::project(vec![0, 1, 2]);
+        let (a, _) = scan_once(&mut t1, cfg1, req.clone());
+        let (b, _) = scan_once(&mut t4, cfg4, req);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 400);
+        assert_eq!(a[7][1], Datum::from("name, 7"));
+        assert_eq!(a[7][2], Datum::from("say \"hi\""));
+        // Quoted files bypass the positional map but still cache.
+        assert_eq!(t1.cache.coverage(1), t4.cache.coverage(1));
         std::fs::remove_file(p).unwrap();
     }
 

@@ -84,6 +84,21 @@ impl RawTable {
         &self.path
     }
 
+    /// Read access to the positional map (harness / tests).
+    pub fn map(&self) -> &PositionalMap {
+        &self.map
+    }
+
+    /// Read access to the binary cache (harness / tests).
+    pub fn cache(&self) -> &RawCache {
+        &self.cache
+    }
+
+    /// Read access to the statistics registry (harness / tests).
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
     /// Probe the file and reconcile adaptive state with any change (§4.2
     /// *Updates*): appends keep all prefix state; replacement drops
     /// everything.

@@ -1,0 +1,414 @@
+//! The per-partition scan worker of the parallel raw scan.
+//!
+//! One worker owns one [`LineRange`] of the file and everything it needs to
+//! process it without synchronization: its own [`RangeScanner`], a reusable
+//! [`Tokens`] buffer, a partial positional-map [`ChunkBuilder`], partial
+//! cache columns ([`TypedColumn`] per requested attribute) and per-phase
+//! timing. All shared state is borrowed immutably ([`ScanContext`]); the
+//! mutable merge into the table's positional map, cache and statistics
+//! happens on the driver thread afterwards (`rawscan`), in partition order,
+//! so the post-scan state is identical to a sequential scan.
+//!
+//! The worker is deliberately a plain function over `Send + Sync` borrows —
+//! no `Rc`/`RefCell` — so it can run under `std::thread::scope`.
+
+use std::path::Path;
+use std::time::Duration;
+
+use nodb_engine::batch::{Batch, SliceRow, BATCH_SIZE};
+use nodb_engine::{EngineResult, ScanRequest};
+use nodb_posmap::{AccessPlan, AttrSource, ChunkBuilder, PositionalMap};
+use nodb_rawcache::{RawCache, TypedColumn};
+use nodb_rawcsv::reader::{LineRange, RangeScanner};
+use nodb_rawcsv::tokenizer::{find_byte, TokenizerConfig, Tokens};
+use nodb_rawcsv::{parser, ColumnType, Datum, IoCounters, Schema};
+
+use crate::config::NoDbConfig;
+use crate::metrics::{Breakdown, PhaseClock};
+
+/// Immutable scan-wide state shared by every worker.
+///
+/// `map`/`plan`/`cache` are only populated in *row-partitioned* (warm) mode,
+/// where partition row bases are known up front and per-row adaptive reads
+/// are therefore addressable; in cold byte-partitioned mode workers resolve
+/// everything from raw bytes (see `rawscan` module docs).
+pub(crate) struct ScanContext<'a> {
+    pub config: NoDbConfig,
+    pub req: &'a ScanRequest,
+    pub tokenizer: TokenizerConfig,
+    pub schema: &'a Schema,
+    pub path: &'a Path,
+    pub map: Option<&'a PositionalMap>,
+    pub plan: Option<&'a AccessPlan>,
+    pub cache: Option<&'a RawCache>,
+    /// Cache coverage per requested position at query start.
+    pub cache_cov: &'a [usize],
+    /// Buffer one value per row per requested attribute (needed whenever the
+    /// cache or statistics will be merged after the scan).
+    pub collect_side: bool,
+    /// Collect per-row positional-map offsets into a partial chunk builder.
+    pub build_chunk: bool,
+    /// Record line-start offsets for the shared row index.
+    pub collect_offsets: bool,
+}
+
+/// One partition of work.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Partition {
+    pub range: LineRange,
+    /// Partition 0 of a file with a header skips its first line.
+    pub skip_header: bool,
+    /// Global index of this partition's first data row, when known
+    /// (row-partitioned mode); `None` in cold byte-partitioned mode.
+    pub row_base: Option<usize>,
+}
+
+/// Everything a worker hands back for the deterministic merge.
+pub(crate) struct PartitionOutput {
+    /// Data rows scanned in this partition.
+    pub rows: usize,
+    /// Line-start byte offsets, one per row (empty unless requested).
+    pub line_starts: Vec<u64>,
+    /// Per requested attribute: every row's value, in partition row order
+    /// (empty unless `collect_side`).
+    pub side_cols: Vec<TypedColumn>,
+    /// Partial positional-map chunk over this partition's rows.
+    pub builder: Option<ChunkBuilder>,
+    /// Predicate-filtered output batches, in row order.
+    pub batches: Vec<Batch>,
+    /// Cache reads served / refused via `RawCache::peek` (workers cannot
+    /// take `&mut` to count on the shared metrics; the driver folds these
+    /// in at merge so hit/miss telemetry matches a sequential scan).
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub breakdown: Breakdown,
+    pub io: IoCounters,
+}
+
+/// Scan one partition to completion.
+pub(crate) fn run_partition(
+    ctx: &ScanContext<'_>,
+    part: Partition,
+) -> EngineResult<PartitionOutput> {
+    let n = ctx.req.attrs.len();
+    let clock = PhaseClock::new(ctx.config.detailed_timing);
+    let mut d_io = Duration::ZERO;
+    let mut d_tok = Duration::ZERO;
+    let mut d_parse = Duration::ZERO;
+    let mut d_conv = Duration::ZERO;
+    let mut d_nodb = Duration::ZERO;
+
+    let t = clock.start();
+    let mut scanner = RangeScanner::open(ctx.path, ctx.config.io_block_size, part.range, 0)?;
+    clock.lap(t, &mut d_io);
+
+    let mut out = PartitionOutput {
+        rows: 0,
+        line_starts: Vec::new(),
+        side_cols: if ctx.collect_side {
+            ctx.req
+                .attrs
+                .iter()
+                .map(|&a| TypedColumn::new(ctx.schema.ty(a)))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        builder: ctx
+            .build_chunk
+            .then(|| ChunkBuilder::new(ctx.req.attrs.clone())),
+        batches: Vec::new(),
+        cache_hits: 0,
+        cache_misses: 0,
+        breakdown: Breakdown::default(),
+        io: IoCounters::default(),
+    };
+
+    // Per-row reusable buffers (the sequential scan's workhorse pattern).
+    let mut tokens = Tokens::new();
+    let mut values: Vec<Option<Datum>> = vec![None; n];
+    let mut spans: Vec<Option<(u32, u32)>> = vec![None; n];
+    let mut offsets_buf: Vec<(usize, u32)> = Vec::with_capacity(n);
+    let mut pred_row: Vec<Datum> = Vec::with_capacity(n);
+    let mut line_buf: Vec<u8> = Vec::new();
+    let mut batch = Batch::with_columns(n);
+
+    // Will any row of this partition read the cache or jump via the map?
+    let cache_reads = match (ctx.cache, part.row_base) {
+        (Some(_), Some(base)) => ctx.cache_cov.iter().any(|&c| c > base),
+        _ => false,
+    };
+    let map_reads = ctx.map.is_some() && ctx.plan.is_some() && part.row_base.is_some();
+    let upto = if ctx.config.selective_tokenizing {
+        ctx.req.attrs.last().copied().unwrap_or(0)
+    } else {
+        usize::MAX
+    };
+    // Fused fast path: when no per-row adaptive reads can occur and the
+    // tokenizer is plain, line splitting and tokenizing share one SWAR pass
+    // (`find_byte2` — each prefix byte is visited once, not twice).
+    let fused = ctx.tokenizer.quote.is_none() && !cache_reads && !map_reads;
+
+    let mut header_pending = part.skip_header;
+    let mut local = 0usize;
+    loop {
+        let t = clock.start();
+        let line_meta: Option<u64> = if fused {
+            match scanner.next_line_tokenized(ctx.tokenizer.delimiter, upto, &mut tokens)? {
+                Some(l) => {
+                    line_buf.clear();
+                    line_buf.extend_from_slice(l.bytes);
+                    Some(l.offset)
+                }
+                None => None,
+            }
+        } else {
+            match scanner.next_line()? {
+                Some(l) => {
+                    line_buf.clear();
+                    line_buf.extend_from_slice(l.bytes);
+                    Some(l.offset)
+                }
+                None => None,
+            }
+        };
+        // The fused pass does the tokenizing work inside the line fetch, so
+        // its time lands in the tokenizing slice; the plain path's fetch is
+        // pure I/O + newline discovery, as in the sequential scan.
+        clock.lap(t, if fused { &mut d_tok } else { &mut d_io });
+        let Some(offset) = line_meta else { break };
+        if header_pending {
+            header_pending = false;
+            continue;
+        }
+        if ctx.collect_offsets {
+            out.line_starts.push(offset);
+        }
+
+        resolve_row(
+            ctx,
+            part.row_base.map(|b| b + local),
+            local,
+            &line_buf,
+            &mut tokens,
+            fused,
+            &mut values,
+            &mut spans,
+            (&mut out.cache_hits, &mut out.cache_misses),
+            &clock,
+            &mut d_tok,
+            &mut d_parse,
+            &mut d_conv,
+        )?;
+
+        // Side effects into partition-local partials.
+        {
+            let t = clock.start();
+            if ctx.collect_side {
+                for (col, v) in out.side_cols.iter_mut().zip(&values) {
+                    match v {
+                        Some(d) => col.push(d),
+                        None => col.push(&Datum::Null),
+                    }
+                }
+            }
+            if let Some(b) = &mut out.builder {
+                offsets_buf.clear();
+                for (&attr, span) in ctx.req.attrs.iter().zip(&spans) {
+                    if let Some((s, _)) = span {
+                        offsets_buf.push((attr, *s));
+                    }
+                }
+                b.push_row_offsets(&offsets_buf);
+            }
+            clock.lap(t, &mut d_nodb);
+        }
+
+        // Selective tuple formation (identical to the sequential scan).
+        if let Some(pred) = &ctx.req.predicate {
+            pred_row.clear();
+            for v in &values {
+                pred_row.push(v.clone().unwrap_or(Datum::Null));
+            }
+            if !pred.eval_filter(&SliceRow(&pred_row)) {
+                local += 1;
+                continue;
+            }
+        }
+        for (i, v) in values.iter_mut().enumerate() {
+            let d = if ctx.req.materialize.get(i).copied().unwrap_or(true) {
+                v.take().unwrap_or(Datum::Null)
+            } else {
+                Datum::Null
+            };
+            batch.push_value(i, d);
+        }
+        batch.finish_row();
+        if batch.rows() >= BATCH_SIZE {
+            out.batches
+                .push(std::mem::replace(&mut batch, Batch::with_columns(n)));
+        }
+        local += 1;
+    }
+
+    if !batch.is_empty() {
+        out.batches.push(batch);
+    }
+    out.rows = local;
+    out.io = scanner.take_counters();
+    out.breakdown.io = d_io;
+    out.breakdown.tokenizing = d_tok;
+    out.breakdown.parsing = d_parse;
+    out.breakdown.convert = d_conv;
+    out.breakdown.nodb = d_nodb;
+    Ok(out)
+}
+
+/// Resolve every requested position of one row: cache reads and exact
+/// positional-map jumps (warm mode), then tokenizing for the rest, then
+/// selective parsing. Mirrors the sequential scan's `resolve_row` with the
+/// shared state behind immutable borrows.
+#[allow(clippy::too_many_arguments)]
+fn resolve_row(
+    ctx: &ScanContext<'_>,
+    global_row: Option<usize>,
+    local_row: usize,
+    line: &[u8],
+    tokens: &mut Tokens,
+    fused: bool,
+    values: &mut [Option<Datum>],
+    spans: &mut [Option<(u32, u32)>],
+    (cache_hits, cache_misses): (&mut u64, &mut u64),
+    clock: &PhaseClock,
+    d_tok: &mut Duration,
+    d_parse: &mut Duration,
+    d_conv: &mut Duration,
+) -> EngineResult<()> {
+    let n = ctx.req.attrs.len();
+    for i in 0..n {
+        values[i] = None;
+        spans[i] = None;
+    }
+
+    // 1. Cache reads (warm mode only: global rows addressable). `peek`
+    // cannot count on the shared metrics, so hits/misses are tallied here
+    // and folded in by the driver — same accounting as sequential `get`.
+    if let (Some(cache), Some(row)) = (ctx.cache, global_row) {
+        for (i, v) in values.iter_mut().enumerate() {
+            if row < ctx.cache_cov[i] {
+                *v = cache.peek(ctx.req.attrs[i], row);
+                match v {
+                    Some(_) => *cache_hits += 1,
+                    None => *cache_misses += 1,
+                }
+            }
+        }
+    }
+
+    // 2. Exact positional-map jumps for positions the cache missed.
+    let mut missing_lo: Option<usize> = None;
+    let mut missing_hi: Option<usize> = None;
+    for i in 0..n {
+        if values[i].is_some() {
+            continue;
+        }
+        if let (Some(plan), Some(map), Some(row)) = (ctx.plan, ctx.map, global_row) {
+            if let Some(AttrSource::Exact { chunk }) = plan.source_for(ctx.req.attrs[i]) {
+                if let Some(off) = map.offset_in(chunk, ctx.req.attrs[i], row) {
+                    let t = clock.start();
+                    let start = (off as usize).min(line.len());
+                    let end = find_byte(&line[start..], ctx.tokenizer.delimiter)
+                        .map(|p| start + p)
+                        .unwrap_or(line.len());
+                    spans[i] = Some((start as u32, end as u32));
+                    clock.lap(t, d_parse);
+                    continue;
+                }
+            }
+        }
+        missing_lo = missing_lo.or(Some(i));
+        missing_hi = Some(i);
+    }
+
+    // 3. Tokenize for the positions still missing. On the fused path the
+    // spans were already produced during line splitting; otherwise run the
+    // sequential scan's selective/resumable tokenizing.
+    if let (Some(lo), Some(hi)) = (missing_lo, missing_hi) {
+        if !fused {
+            let t = clock.start();
+            let first_attr = ctx.req.attrs[lo];
+            let last_attr = ctx.req.attrs[hi];
+            let upto = if ctx.config.selective_tokenizing {
+                last_attr
+            } else {
+                usize::MAX
+            };
+            // Best anchor: the largest attribute < first_attr already
+            // resolved this row, else the plan's anchor chunk.
+            let mut anchor: Option<(usize, usize)> = None;
+            for i in (0..lo).rev() {
+                if let Some((s, _)) = spans[i] {
+                    anchor = Some((ctx.req.attrs[i], s as usize));
+                    break;
+                }
+            }
+            if anchor.is_none() {
+                if let (Some(plan), Some(map), Some(row)) = (ctx.plan, ctx.map, global_row) {
+                    if let Some(AttrSource::Anchor { chunk, anchor_attr }) =
+                        plan.source_for(first_attr)
+                    {
+                        if let Some(off) = map.offset_in(chunk, anchor_attr, row) {
+                            anchor = Some((anchor_attr, off as usize));
+                        }
+                    }
+                }
+            }
+            match anchor {
+                Some((attr, off)) if ctx.config.selective_tokenizing && off <= line.len() => {
+                    ctx.tokenizer.tokenize_from(line, attr, off, upto, tokens);
+                }
+                _ => {
+                    ctx.tokenizer.tokenize_selective(line, upto, tokens);
+                }
+            }
+            clock.lap(t, d_tok);
+        }
+        for i in lo..=hi {
+            if values[i].is_some() || spans[i].is_some() {
+                continue;
+            }
+            if let Some(span) = tokens.get(ctx.req.attrs[i]) {
+                spans[i] = Some((span.start, span.end));
+            }
+        }
+    }
+
+    // 4. Selective parsing: convert only what is needed.
+    let t = clock.start();
+    let err_row = global_row.unwrap_or(local_row) as u64;
+    for i in 0..n {
+        if values[i].is_some() {
+            continue;
+        }
+        let attr = ctx.req.attrs[i];
+        let ty = ctx.schema.ty(attr);
+        let d = match spans[i] {
+            Some((s, e)) => {
+                let raw = &line[s as usize..e as usize];
+                match ctx.tokenizer.quote {
+                    // Quoted string fields keep `""` escapes in their spans;
+                    // unescape when materializing.
+                    Some(q) if ty == ColumnType::Str && raw.contains(&q) => {
+                        Datum::Str(parser::unescape_quoted(raw, q).into_boxed_str())
+                    }
+                    _ => parser::parse_field(raw, ty, err_row, attr)?,
+                }
+            }
+            // Short row: attribute absent → NULL.
+            None => Datum::Null,
+        };
+        values[i] = Some(d);
+    }
+    clock.lap(t, d_conv);
+    Ok(())
+}

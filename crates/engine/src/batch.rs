@@ -101,7 +101,28 @@ impl Batch {
             .iter()
             .map(|c| keep.iter().map(|&i| c[i].clone()).collect())
             .collect();
-        Batch { cols, rows: keep.len() }
+        Batch {
+            cols,
+            rows: keep.len(),
+        }
+    }
+
+    /// Append every row of `other` after this batch's rows.
+    ///
+    /// This is the reorder-free concatenation the parallel scan relies on:
+    /// per-partition output batches are stitched back together in partition
+    /// order, so downstream operators observe exactly the row order a
+    /// sequential scan would have produced. Column-wise `Vec::append` moves
+    /// the datums without cloning.
+    ///
+    /// # Panics
+    /// Panics when the column counts differ.
+    pub fn extend_from(&mut self, other: Batch) {
+        assert_eq!(self.cols.len(), other.cols.len(), "batch arity mismatch");
+        for (col, mut ocol) in self.cols.iter_mut().zip(other.cols) {
+            col.append(&mut ocol);
+        }
+        self.rows += other.rows;
     }
 
     /// Consume into raw columns.
@@ -179,6 +200,29 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_batch_panics() {
         let _ = Batch::from_columns(vec![vec![Datum::Int(1)], vec![]]);
+    }
+
+    #[test]
+    fn extend_from_preserves_row_order() {
+        let mut a = Batch::with_columns(2);
+        a.push_row(&[Datum::Int(1), Datum::from("a")]);
+        let mut b = Batch::with_columns(2);
+        b.push_row(&[Datum::Int(2), Datum::from("b")]);
+        b.push_row(&[Datum::Int(3), Datum::from("c")]);
+        a.extend_from(b);
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.row(0), vec![Datum::Int(1), Datum::from("a")]);
+        assert_eq!(a.row(2), vec![Datum::Int(3), Datum::from("c")]);
+        // Extending with an empty batch is a no-op.
+        a.extend_from(Batch::with_columns(2));
+        assert_eq!(a.rows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn extend_from_rejects_arity_mismatch() {
+        let mut a = Batch::with_columns(1);
+        a.extend_from(Batch::with_columns(2));
     }
 
     #[test]

@@ -114,18 +114,31 @@ impl RExpr {
             },
             RExpr::Neg(e) => RExpr::Neg(Box::new(e.map_columns(f))),
             RExpr::Not(e) => RExpr::Not(Box::new(e.map_columns(f))),
-            RExpr::Between { expr, lo, hi, negated } => RExpr::Between {
+            RExpr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => RExpr::Between {
                 expr: Box::new(expr.map_columns(f)),
                 lo: Box::new(lo.map_columns(f)),
                 hi: Box::new(hi.map_columns(f)),
                 negated: *negated,
             },
-            RExpr::InList { expr, list, negated } => RExpr::InList {
+            RExpr::InList {
+                expr,
+                list,
+                negated,
+            } => RExpr::InList {
                 expr: Box::new(expr.map_columns(f)),
                 list: list.iter().map(|e| e.map_columns(f)).collect(),
                 negated: *negated,
             },
-            RExpr::Like { expr, pattern, negated } => RExpr::Like {
+            RExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => RExpr::Like {
                 expr: Box::new(expr.map_columns(f)),
                 pattern: pattern.clone(),
                 negated: *negated,
@@ -143,9 +156,7 @@ impl RExpr {
         match self {
             RExpr::Col(c) => row.value(*c).clone(),
             RExpr::Const(d) => d.clone(),
-            RExpr::Binary { op, left, right } => {
-                eval_binary(*op, left, right, row)
-            }
+            RExpr::Binary { op, left, right } => eval_binary(*op, left, right, row),
             RExpr::Neg(e) => match e.eval(row) {
                 Datum::Int(v) => Datum::Int(v.wrapping_neg()),
                 Datum::Float(v) => Datum::Float(-v),
@@ -155,7 +166,12 @@ impl RExpr {
                 Datum::Bool(b) => Datum::Bool(!b),
                 _ => Datum::Null,
             },
-            RExpr::Between { expr, lo, hi, negated } => {
+            RExpr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
                 let v = expr.eval(row);
                 let lo = lo.eval(row);
                 let hi = hi.eval(row);
@@ -164,7 +180,11 @@ impl RExpr {
                 let within = and3(ge_lo, le_hi);
                 negate3(within, *negated)
             }
-            RExpr::InList { expr, list, negated } => {
+            RExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = expr.eval(row);
                 if v.is_null() {
                     return Datum::Null;
@@ -184,7 +204,11 @@ impl RExpr {
                     negate3(Some(false), *negated)
                 }
             }
-            RExpr::Like { expr, pattern, negated } => match expr.eval(row) {
+            RExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => match expr.eval(row) {
                 Datum::Str(s) => negate3(Some(pattern.matches(&s)), *negated),
                 Datum::Null => Datum::Null,
                 _ => Datum::Null,
@@ -384,7 +408,11 @@ impl LikePattern {
             [LikeToken::Literal(p), LikeToken::AnyRun] => Some(p.clone()),
             _ => None,
         };
-        LikePattern { tokens, prefix_only, source: pattern.to_string() }
+        LikePattern {
+            tokens,
+            prefix_only,
+            source: pattern.to_string(),
+        }
     }
 
     /// Pattern text as written.
@@ -444,14 +472,12 @@ fn match_tokens(tokens: &[LikeToken], s: &str) -> bool {
 /// `resolve` returns the column position for a name, or `None` for unknown
 /// names (reported as planning errors). Aggregates are rejected here — the
 /// planner lowers them before resolution.
-pub fn resolve_expr(
-    expr: &Expr,
-    resolve: &impl Fn(&str) -> Option<usize>,
-) -> EngineResult<RExpr> {
+pub fn resolve_expr(expr: &Expr, resolve: &impl Fn(&str) -> Option<usize>) -> EngineResult<RExpr> {
     Ok(match expr {
-        Expr::Column(name) => RExpr::Col(resolve(name).ok_or_else(|| {
-            EngineError::Planning(format!("unknown column {name:?}"))
-        })?),
+        Expr::Column(name) => RExpr::Col(
+            resolve(name)
+                .ok_or_else(|| EngineError::Planning(format!("unknown column {name:?}")))?,
+        ),
         Expr::Literal(l) => RExpr::Const(literal_to_datum(l)),
         Expr::Binary { op, left, right } => RExpr::Binary {
             op: *op,
@@ -460,13 +486,22 @@ pub fn resolve_expr(
         },
         Expr::Neg(e) => RExpr::Neg(Box::new(resolve_expr(e, resolve)?)),
         Expr::Not(e) => RExpr::Not(Box::new(resolve_expr(e, resolve)?)),
-        Expr::Between { expr, lo, hi, negated } => RExpr::Between {
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => RExpr::Between {
             expr: Box::new(resolve_expr(expr, resolve)?),
             lo: Box::new(resolve_expr(lo, resolve)?),
             hi: Box::new(resolve_expr(hi, resolve)?),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => RExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => RExpr::InList {
             expr: Box::new(resolve_expr(expr, resolve)?),
             list: list
                 .iter()
@@ -474,7 +509,11 @@ pub fn resolve_expr(
                 .collect::<EngineResult<Vec<_>>>()?,
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => RExpr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => RExpr::Like {
             expr: Box::new(resolve_expr(expr, resolve)?),
             pattern: LikePattern::compile(pattern),
             negated: *negated,
@@ -546,7 +585,11 @@ mod tests {
             left: Box::new(null_gt.clone()),
             right: Box::new(f),
         };
-        assert_eq!(eval(&and_nf, &[]), Datum::Bool(false), "NULL AND FALSE = FALSE");
+        assert_eq!(
+            eval(&and_nf, &[]),
+            Datum::Bool(false),
+            "NULL AND FALSE = FALSE"
+        );
         let or_nt = RExpr::Binary {
             op: BinOp::Or,
             left: Box::new(null_gt.clone()),
@@ -587,9 +630,18 @@ mod tests {
         let add = |l: Datum, r: Datum| arith(BinOp::Add, &l, &r);
         assert_eq!(add(Datum::Int(2), Datum::Int(3)), Datum::Int(5));
         assert_eq!(add(Datum::Int(2), Datum::Float(0.5)), Datum::Float(2.5));
-        assert_eq!(arith(BinOp::Div, &Datum::Int(7), &Datum::Int(2)), Datum::Int(3));
-        assert_eq!(arith(BinOp::Div, &Datum::Int(7), &Datum::Int(0)), Datum::Null);
-        assert_eq!(arith(BinOp::Mod, &Datum::Int(7), &Datum::Int(4)), Datum::Int(3));
+        assert_eq!(
+            arith(BinOp::Div, &Datum::Int(7), &Datum::Int(2)),
+            Datum::Int(3)
+        );
+        assert_eq!(
+            arith(BinOp::Div, &Datum::Int(7), &Datum::Int(0)),
+            Datum::Null
+        );
+        assert_eq!(
+            arith(BinOp::Mod, &Datum::Int(7), &Datum::Int(4)),
+            Datum::Int(3)
+        );
     }
 
     #[test]

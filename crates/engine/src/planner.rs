@@ -167,7 +167,9 @@ pub fn plan_select(
     }
     attrs.sort_unstable();
     let pos_of = |file_attr: usize| -> usize {
-        attrs.binary_search(&file_attr).expect("attr collected above")
+        attrs
+            .binary_search(&file_attr)
+            .expect("attr collected above")
     };
     let resolve = |name: &str| -> Option<usize> { schema.index_of(name).map(pos_of) };
 
@@ -195,7 +197,11 @@ pub fn plan_select(
                 .collect();
             // Stable sort keeps the written order among equal estimates.
             priced.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-            estimated_selectivity = priced.iter().map(|(s, _)| s).product::<f64>().clamp(0.0, 1.0);
+            estimated_selectivity = priced
+                .iter()
+                .map(|(s, _)| s)
+                .product::<f64>()
+                .clamp(0.0, 1.0);
             let ordered: Vec<RExpr> = priced.into_iter().map(|(_, c)| c).collect();
             join_conjuncts(&ordered)
         }
@@ -203,8 +209,7 @@ pub fn plan_select(
     };
 
     // 5. Aggregate vs plain projection.
-    let has_agg = stmt.group_by.is_empty()
-        && items.iter().any(|(e, _)| e.contains_aggregate())
+    let has_agg = stmt.group_by.is_empty() && items.iter().any(|(e, _)| e.contains_aggregate())
         || !stmt.group_by.is_empty();
 
     let (mut pipeline_projections, column_names, aggregate) = if has_agg {
@@ -259,7 +264,11 @@ pub fn plan_select(
     }
 
     Ok(PlannedQuery {
-        scan: ScanRequest { attrs, predicate, materialize },
+        scan: ScanRequest {
+            attrs,
+            predicate,
+            materialize,
+        },
         pipeline: Pipeline {
             projections: pipeline_projections,
             column_names,
@@ -304,7 +313,9 @@ fn plan_aggregate(
     let mut group_exprs = Vec::with_capacity(stmt.group_by.len());
     for g in &stmt.group_by {
         if g.contains_aggregate() {
-            return Err(EngineError::Planning("aggregates not allowed in GROUP BY".into()));
+            return Err(EngineError::Planning(
+                "aggregates not allowed in GROUP BY".into(),
+            ));
         }
         group_exprs.push(resolve_expr(g, resolve)?);
     }
@@ -316,7 +327,11 @@ fn plan_aggregate(
     for (expr, name) in items {
         names.push(name.clone());
         match expr {
-            Expr::Agg { func, arg, distinct } => {
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
                 if *distinct && *func != AggFunc::Count {
                     return Err(EngineError::Planning(
                         "DISTINCT is only supported with COUNT".into(),
@@ -331,7 +346,11 @@ fn plan_aggregate(
                     }
                     None => None,
                 };
-                aggs.push(AggCall { func: *func, arg, distinct: *distinct });
+                aggs.push(AggCall {
+                    func: *func,
+                    arg,
+                    distinct: *distinct,
+                });
                 output.push(AggOutput::Agg(aggs.len() - 1));
             }
             plain => {
@@ -342,11 +361,14 @@ fn plan_aggregate(
                 }
                 let resolved = resolve_expr(plain, resolve)?;
                 // Must match a group key.
-                let pos = group_exprs.iter().position(|g| *g == resolved).ok_or_else(|| {
-                    EngineError::Planning(format!(
-                        "column {name:?} must appear in GROUP BY or an aggregate"
-                    ))
-                })?;
+                let pos = group_exprs
+                    .iter()
+                    .position(|g| *g == resolved)
+                    .ok_or_else(|| {
+                        EngineError::Planning(format!(
+                            "column {name:?} must appear in GROUP BY or an aggregate"
+                        ))
+                    })?;
                 output.push(AggOutput::Group(pos));
             }
         }
@@ -355,7 +377,11 @@ fn plan_aggregate(
     Ok((
         Vec::new(),
         names,
-        Some(AggSpec { group_exprs, aggs, output }),
+        Some(AggSpec {
+            group_exprs,
+            aggs,
+            output,
+        }),
     ))
 }
 
@@ -417,24 +443,42 @@ pub fn display_expr(e: &Expr) -> String {
         Expr::Column(n) => n.clone(),
         Expr::Literal(l) => l.to_string(),
         Expr::Binary { op, left, right } => {
-            format!("{} {} {}", display_expr(left), op.symbol(), display_expr(right))
+            format!(
+                "{} {} {}",
+                display_expr(left),
+                op.symbol(),
+                display_expr(right)
+            )
         }
         Expr::Neg(e) => format!("-{}", display_expr(e)),
         Expr::Not(e) => format!("NOT {}", display_expr(e)),
-        Expr::Between { expr, lo, hi, negated } => format!(
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => format!(
             "{} {}BETWEEN {} AND {}",
             display_expr(expr),
             if *negated { "NOT " } else { "" },
             display_expr(lo),
             display_expr(hi)
         ),
-        Expr::InList { expr, list, negated } => format!(
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => format!(
             "{} {}IN ({})",
             display_expr(expr),
             if *negated { "NOT " } else { "" },
             list.iter().map(display_expr).collect::<Vec<_>>().join(", ")
         ),
-        Expr::Like { expr, pattern, negated } => format!(
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => format!(
             "{} {}LIKE '{}'",
             display_expr(expr),
             if *negated { "NOT " } else { "" },
@@ -445,11 +489,17 @@ pub fn display_expr(e: &Expr) -> String {
             display_expr(expr),
             if *negated { "NOT " } else { "" }
         ),
-        Expr::Agg { func, arg, distinct } => format!(
+        Expr::Agg {
+            func,
+            arg,
+            distinct,
+        } => format!(
             "{}({}{})",
             func.name().to_lowercase(),
             if *distinct { "DISTINCT " } else { "" },
-            arg.as_ref().map(|a| display_expr(a)).unwrap_or_else(|| "*".into())
+            arg.as_ref()
+                .map(|a| display_expr(a))
+                .unwrap_or_else(|| "*".into())
         ),
     }
 }
@@ -586,7 +636,10 @@ mod tests {
         crate::sketch::split_conjuncts(&pred, &mut parts);
         assert!(matches!(
             &parts[0],
-            RExpr::Binary { op: nodb_sqlparse::ast::BinOp::Eq, .. }
+            RExpr::Binary {
+                op: nodb_sqlparse::ast::BinOp::Eq,
+                ..
+            }
         ));
     }
 }

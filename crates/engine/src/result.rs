@@ -16,7 +16,10 @@ pub struct QueryResult {
 impl QueryResult {
     /// Empty result with the given column names.
     pub fn empty(columns: Vec<String>) -> Self {
-        QueryResult { columns, rows: Vec::new() }
+        QueryResult {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -78,7 +81,12 @@ impl fmt::Display for QueryResult {
             }
             writeln!(f)?;
         }
-        write!(f, "({} row{})", self.rows.len(), if self.rows.len() == 1 { "" } else { "s" })
+        write!(
+            f,
+            "({} row{})",
+            self.rows.len(),
+            if self.rows.len() == 1 { "" } else { "s" }
+        )
     }
 }
 
@@ -102,7 +110,10 @@ mod tests {
 
     #[test]
     fn scalar_reads_first_cell() {
-        let r = QueryResult { columns: vec!["n".into()], rows: vec![vec![Datum::Int(7)]] };
+        let r = QueryResult {
+            columns: vec!["n".into()],
+            rows: vec![vec![Datum::Int(7)]],
+        };
         assert_eq!(r.scalar(), Some(&Datum::Int(7)));
         assert_eq!(QueryResult::empty(vec!["n".into()]).scalar(), None);
     }

@@ -17,7 +17,11 @@ use crate::expr::RExpr;
 /// Split a predicate into top-level AND conjuncts.
 pub fn split_conjuncts(expr: &RExpr, out: &mut Vec<RExpr>) {
     match expr {
-        RExpr::Binary { op: BinOp::And, left, right } => {
+        RExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
             split_conjuncts(left, out);
             split_conjuncts(right, out);
         }
@@ -45,24 +49,27 @@ pub fn sketch_conjunct(expr: &RExpr) -> Option<(usize, PredicateSketch)> {
         RExpr::Binary { op, left, right } if op.is_comparison() => {
             // col ⊙ const or const ⊙ col (flip the operator).
             match (&**left, &**right) {
-                (RExpr::Col(c), RExpr::Const(v)) => {
-                    Some((*c, cmp_sketch(*op, v.clone())))
-                }
-                (RExpr::Const(v), RExpr::Col(c)) => {
-                    Some((*c, cmp_sketch(flip(*op), v.clone())))
-                }
+                (RExpr::Col(c), RExpr::Const(v)) => Some((*c, cmp_sketch(*op, v.clone()))),
+                (RExpr::Const(v), RExpr::Col(c)) => Some((*c, cmp_sketch(flip(*op), v.clone()))),
                 _ => None,
             }
         }
-        RExpr::Between { expr, lo, hi, negated: false } => {
-            match (&**expr, &**lo, &**hi) {
-                (RExpr::Col(c), RExpr::Const(l), RExpr::Const(h)) => {
-                    Some((*c, PredicateSketch::Between(l.clone(), h.clone())))
-                }
-                _ => None,
+        RExpr::Between {
+            expr,
+            lo,
+            hi,
+            negated: false,
+        } => match (&**expr, &**lo, &**hi) {
+            (RExpr::Col(c), RExpr::Const(l), RExpr::Const(h)) => {
+                Some((*c, PredicateSketch::Between(l.clone(), h.clone())))
             }
-        }
-        RExpr::InList { expr, list, negated: false } => match &**expr {
+            _ => None,
+        },
+        RExpr::InList {
+            expr,
+            list,
+            negated: false,
+        } => match &**expr {
             RExpr::Col(c) if list.iter().all(|e| matches!(e, RExpr::Const(_))) => {
                 Some((*c, PredicateSketch::InList(list.len())))
             }
@@ -79,7 +86,11 @@ pub fn sketch_conjunct(expr: &RExpr) -> Option<(usize, PredicateSketch)> {
             )),
             _ => None,
         },
-        RExpr::Like { expr, pattern, negated: false } => match (&**expr, pattern.as_prefix()) {
+        RExpr::Like {
+            expr,
+            pattern,
+            negated: false,
+        } => match (&**expr, pattern.as_prefix()) {
             (RExpr::Col(c), Some(p)) => Some((*c, PredicateSketch::StrPrefix(p.to_string()))),
             _ => None,
         },
@@ -193,7 +204,10 @@ mod tests {
             Some((2, PredicateSketch::InList(2)))
         ));
 
-        let isnull = RExpr::IsNull { expr: Box::new(RExpr::Col(0)), negated: false };
+        let isnull = RExpr::IsNull {
+            expr: Box::new(RExpr::Col(0)),
+            negated: false,
+        };
         assert!(matches!(
             sketch_conjunct(&isnull),
             Some((0, PredicateSketch::IsNull))

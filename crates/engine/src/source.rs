@@ -33,7 +33,11 @@ impl ScanRequest {
     /// Request reading `attrs` with no predicate.
     pub fn project(attrs: Vec<usize>) -> Self {
         let materialize = vec![true; attrs.len()];
-        ScanRequest { attrs, predicate: None, materialize }
+        ScanRequest {
+            attrs,
+            predicate: None,
+            materialize,
+        }
     }
 
     /// Highest attribute index touched (drives selective tokenizing: the
@@ -61,7 +65,11 @@ pub struct MemSource {
 impl MemSource {
     /// Source over `rows`, each of `ncols` values.
     pub fn new(rows: Vec<Vec<Datum>>, ncols: usize) -> Self {
-        MemSource { rows: rows.into_iter(), ncols, batch_size: crate::batch::BATCH_SIZE }
+        MemSource {
+            rows: rows.into_iter(),
+            ncols,
+            batch_size: crate::batch::BATCH_SIZE,
+        }
     }
 
     /// Override the batch size (tests).
@@ -75,8 +83,11 @@ impl MemSource {
     pub fn from_table(table: &[Vec<Datum>], req: &ScanRequest) -> Self {
         let mut out = Vec::new();
         for row in table {
-            let projected: Vec<Datum> =
-                req.attrs.iter().map(|&a| row.get(a).cloned().unwrap_or(Datum::Null)).collect();
+            let projected: Vec<Datum> = req
+                .attrs
+                .iter()
+                .map(|&a| row.get(a).cloned().unwrap_or(Datum::Null))
+                .collect();
             if let Some(pred) = &req.predicate {
                 if !pred.eval_filter(&crate::batch::SliceRow(&projected)) {
                     continue;

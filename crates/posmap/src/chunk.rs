@@ -96,7 +96,11 @@ impl ChunkBuilder {
         attrs.sort_unstable();
         attrs.dedup();
         let cols = attrs.iter().map(|_| Vec::new()).collect();
-        ChunkBuilder { attrs, cols, rows: 0 }
+        ChunkBuilder {
+            attrs,
+            cols,
+            rows: 0,
+        }
     }
 
     /// Builder with capacity for `rows` tuples (avoids regrowth when the
@@ -105,7 +109,11 @@ impl ChunkBuilder {
         attrs.sort_unstable();
         attrs.dedup();
         let cols = attrs.iter().map(|_| Vec::with_capacity(rows)).collect();
-        ChunkBuilder { attrs, cols, rows: 0 }
+        ChunkBuilder {
+            attrs,
+            cols,
+            rows: 0,
+        }
     }
 
     /// Attributes this builder collects.
@@ -141,7 +149,13 @@ impl ChunkBuilder {
             let off = offsets
                 .iter()
                 .find(|(a, _)| *a == attr)
-                .map(|&(_, o)| if o < NO_OFFSET as u32 { o as u16 } else { NO_OFFSET })
+                .map(|&(_, o)| {
+                    if o < NO_OFFSET as u32 {
+                        o as u16
+                    } else {
+                        NO_OFFSET
+                    }
+                })
                 .unwrap_or(NO_OFFSET);
             self.cols[i].push(off);
         }
@@ -151,6 +165,28 @@ impl ChunkBuilder {
     /// Approximate current footprint (for admission decisions mid-scan).
     pub fn footprint(&self) -> usize {
         self.cols.iter().map(|c| c.len() * 2).sum::<usize>()
+    }
+
+    /// Append every row of `other` after this builder's rows — the partition
+    /// merge of the parallel scan.
+    ///
+    /// Each worker collects positions for *its* partition with local row
+    /// numbering; because offsets are stored relative to each tuple's line
+    /// start, rebasing to global rows is pure concatenation in partition
+    /// order. Both builders must target the same attribute combination.
+    ///
+    /// # Panics
+    /// Panics when the attribute sets differ (the driver always derives all
+    /// partial builders from one request, so a mismatch is a logic error).
+    pub fn append_partial(&mut self, other: ChunkBuilder) {
+        assert_eq!(
+            self.attrs, other.attrs,
+            "cannot merge chunk builders over different attribute sets"
+        );
+        for (col, mut ocol) in self.cols.iter_mut().zip(other.cols) {
+            col.append(&mut ocol);
+        }
+        self.rows += other.rows;
     }
 
     /// Freeze into an installable chunk. `id` is assigned by the map.
@@ -230,6 +266,38 @@ mod tests {
         }
         let c = b.freeze(ChunkId(4), 0);
         assert!(c.footprint() >= 400); // 100 rows * 2 attrs * 2 bytes
+    }
+
+    #[test]
+    fn append_partial_concatenates_partitions() {
+        let mut lo = ChunkBuilder::new(vec![0, 2]);
+        lo.push_row(&tokens_for(b"aa,bb,cc"));
+        lo.push_row(&tokens_for(b"x,y,z"));
+        let mut hi = ChunkBuilder::new(vec![0, 2]);
+        hi.push_row(&tokens_for(b"pppp,q,r"));
+
+        let mut whole = ChunkBuilder::new(vec![0, 2]);
+        for line in [b"aa,bb,cc".as_slice(), b"x,y,z", b"pppp,q,r"] {
+            whole.push_row(&tokens_for(line));
+        }
+
+        lo.append_partial(hi);
+        assert_eq!(lo.rows(), 3);
+        let merged = lo.freeze(ChunkId(10), 0);
+        let direct = whole.freeze(ChunkId(11), 0);
+        for attr in [0usize, 2] {
+            for row in 0..3 {
+                assert_eq!(merged.offset(attr, row), direct.offset(attr, row));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different attribute sets")]
+    fn append_partial_rejects_mismatched_attrs() {
+        let mut a = ChunkBuilder::new(vec![0]);
+        let b = ChunkBuilder::new(vec![1]);
+        a.append_partial(b);
     }
 
     #[test]

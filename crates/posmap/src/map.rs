@@ -48,9 +48,43 @@ impl RowIndex {
             std::cmp::Ordering::Equal => self.starts.push(offset),
             std::cmp::Ordering::Less => debug_assert_eq!(self.starts[row], offset),
             std::cmp::Ordering::Greater => {
-                debug_assert!(false, "row index gap: got row {row}, have {}", self.starts.len())
+                debug_assert!(
+                    false,
+                    "row index gap: got row {row}, have {}",
+                    self.starts.len()
+                )
             }
         }
+    }
+
+    /// Record a contiguous run of row starts beginning at `first_row` — the
+    /// bulk form of [`Self::note_row`] used when merging the per-partition
+    /// offset lists of a parallel scan.
+    ///
+    /// Rows already known are skipped (replays of a known prefix are no-ops,
+    /// with the same debug-time consistency check as `note_row`); rows at
+    /// the frontier extend the index. A gap beyond the frontier is a logic
+    /// error, as in `note_row`.
+    pub fn note_rows(&mut self, first_row: usize, offsets: &[u64]) {
+        debug_assert!(
+            first_row <= self.starts.len(),
+            "row index gap: got run starting at {first_row}, have {}",
+            self.starts.len()
+        );
+        let known = self
+            .starts
+            .len()
+            .saturating_sub(first_row)
+            .min(offsets.len());
+        debug_assert!(
+            offsets[..known]
+                .iter()
+                .zip(&self.starts[first_row..])
+                .all(|(a, b)| a == b),
+            "row index replay mismatch at rows {first_row}..{}",
+            first_row + known
+        );
+        self.starts.extend_from_slice(&offsets[known..]);
     }
 
     /// Mark the index as covering the whole file.
@@ -261,7 +295,13 @@ impl PositionalMap {
                 .max_by_key(|&(_, a, rows)| (a, rows));
             match anchor {
                 Some((idx, anchor_attr, _)) => {
-                    sources.push((attr, AttrSource::Anchor { chunk: idx, anchor_attr }));
+                    sources.push((
+                        attr,
+                        AttrSource::Anchor {
+                            chunk: idx,
+                            anchor_attr,
+                        },
+                    ));
                     if !used_chunks.contains(&idx) {
                         used_chunks.push(idx);
                     }
@@ -294,7 +334,12 @@ impl PositionalMap {
             self.policy.trigger.fires(requested.len(), distinct_chunks)
         };
 
-        AccessPlan { sources, distinct_chunks, uncovered, should_index }
+        AccessPlan {
+            sources,
+            distinct_chunks,
+            uncovered,
+            should_index,
+        }
     }
 
     /// Offset of `attr` in `row` according to chunk `chunk_idx`
@@ -327,8 +372,10 @@ impl PositionalMap {
         let before = self.chunks.len();
         let new_attrs: Vec<usize> = attrs.to_vec();
         self.chunks.retain(|c| {
-            let subsumed =
-                c.rows() <= rows && c.attrs().iter().all(|&a| new_attrs.binary_search(&a).is_ok());
+            let subsumed = c.rows() <= rows
+                && c.attrs()
+                    .iter()
+                    .all(|&a| new_attrs.binary_search(&a).is_ok());
             !subsumed
         });
         let dropped = before - self.chunks.len();
@@ -390,7 +437,7 @@ impl PositionalMap {
 mod tests {
     use super::*;
     use crate::policy::CombinationTrigger;
-    use nodb_rawcsv::tokenizer::{Tokens, TokenizerConfig};
+    use nodb_rawcsv::tokenizer::{TokenizerConfig, Tokens};
 
     fn builder_with_rows(attrs: Vec<usize>, lines: &[&[u8]]) -> ChunkBuilder {
         let cfg = TokenizerConfig::default();
@@ -559,6 +606,24 @@ mod tests {
         assert_eq!(m.row_index().offset(2), None);
         m.row_index_mut().mark_complete();
         assert!(m.row_index().is_complete());
+    }
+
+    #[test]
+    fn note_rows_bulk_matches_note_row() {
+        let mut a = default_map();
+        let mut b = default_map();
+        let offsets: Vec<u64> = (0..10).map(|i| i * 11).collect();
+        for (i, &o) in offsets.iter().enumerate() {
+            a.row_index_mut().note_row(i, o);
+        }
+        b.row_index_mut().note_rows(0, &offsets[..4]);
+        b.row_index_mut().note_rows(4, &offsets[4..]);
+        // Replay of a known prefix is a no-op.
+        b.row_index_mut().note_rows(2, &offsets[2..6]);
+        assert_eq!(a.row_index().len(), b.row_index().len());
+        for i in 0..10 {
+            assert_eq!(a.row_index().offset(i), b.row_index().offset(i));
+        }
     }
 
     #[test]

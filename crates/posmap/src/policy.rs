@@ -34,9 +34,7 @@ impl CombinationTrigger {
     /// attributes force indexing regardless of the trigger.
     pub fn fires(self, requested: usize, distinct_chunks: usize) -> bool {
         match self {
-            CombinationTrigger::AllDifferentChunks => {
-                requested > 1 && distinct_chunks == requested
-            }
+            CombinationTrigger::AllDifferentChunks => requested > 1 && distinct_chunks == requested,
             CombinationTrigger::SpreadAtLeast(k) => requested > 1 && distinct_chunks >= k,
             CombinationTrigger::Always => true,
             CombinationTrigger::Never => false,
@@ -67,7 +65,10 @@ impl Default for MapPolicy {
 impl MapPolicy {
     /// Policy with a specific budget and the paper-default trigger.
     pub fn with_budget(budget_bytes: usize) -> Self {
-        MapPolicy { budget_bytes, ..Default::default() }
+        MapPolicy {
+            budget_bytes,
+            ..Default::default()
+        }
     }
 }
 

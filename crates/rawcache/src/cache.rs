@@ -16,7 +16,9 @@ pub struct CachePolicy {
 
 impl Default for CachePolicy {
     fn default() -> Self {
-        CachePolicy { budget_bytes: 1 << 30 } // 1 GiB: effectively unbounded on demo data
+        CachePolicy {
+            budget_bytes: 1 << 30,
+        } // 1 GiB: effectively unbounded on demo data
     }
 }
 
@@ -128,8 +130,11 @@ impl RawCache {
 
     /// Attributes currently resident, with their coverage (rows cached).
     pub fn resident(&self) -> Vec<(usize, usize)> {
-        let mut v: Vec<(usize, usize)> =
-            self.entries.iter().map(|(&a, e)| (a, e.col.len())).collect();
+        let mut v: Vec<(usize, usize)> = self
+            .entries
+            .iter()
+            .map(|(&a, e)| (a, e.col.len()))
+            .collect();
         v.sort_unstable();
         v
     }
@@ -174,6 +179,17 @@ impl RawCache {
         self.entries.get(&attr).and_then(|e| e.col.datum(row))
     }
 
+    /// Fold externally tallied read counts into the hit/miss metrics.
+    ///
+    /// Parallel scan workers read through [`Self::peek`] (they hold the
+    /// cache by shared reference), so the per-row accounting [`Self::get`]
+    /// would have done happens on the worker and is merged here — keeping
+    /// the hit ratio identical to a sequential scan.
+    pub fn record_reads(&mut self, hits: u64, misses: u64) {
+        self.metrics.hits += hits;
+        self.metrics.misses += misses;
+    }
+
     /// Append the value of `attr` at the next uncached row. `query_tick` is
     /// the value from [`Self::begin_query`]; columns touched at that tick are
     /// never evicted to make room (they belong to the running query).
@@ -194,7 +210,11 @@ impl RawCache {
             }
             self.entries.insert(
                 attr,
-                Entry { col: TypedColumn::new(ty), last_used: query_tick, frozen: false },
+                Entry {
+                    col: TypedColumn::new(ty),
+                    last_used: query_tick,
+                    frozen: false,
+                },
             );
         }
         let frozen = self.entries.get(&attr).map(|e| e.frozen).unwrap_or(false);

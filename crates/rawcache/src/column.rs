@@ -51,6 +51,22 @@ impl NullMask {
     pub fn footprint(&self) -> usize {
         self.words.len() * 8
     }
+
+    /// Append every bit of `other` after this mask's bits (segment merge).
+    pub fn append_segment(&mut self, other: &NullMask) {
+        if !other.any_null {
+            // Fast path: extend with zeros by just bumping the length.
+            self.len += other.len;
+            let words_needed = self.len.div_ceil(64);
+            if self.words.len() < words_needed {
+                self.words.resize(words_needed, 0);
+            }
+            return;
+        }
+        for i in 0..other.len {
+            self.push(other.is_null(i));
+        }
+    }
 }
 
 /// One cached attribute's values in typed, post-parse form.
@@ -92,13 +108,18 @@ impl TypedColumn {
     /// Empty column of the given type.
     pub fn new(ty: ColumnType) -> Self {
         match ty {
-            ColumnType::Int => TypedColumn::Int { values: Vec::new(), nulls: NullMask::default() },
-            ColumnType::Float => {
-                TypedColumn::Float { values: Vec::new(), nulls: NullMask::default() }
-            }
-            ColumnType::Bool => {
-                TypedColumn::Bool { values: Vec::new(), nulls: NullMask::default() }
-            }
+            ColumnType::Int => TypedColumn::Int {
+                values: Vec::new(),
+                nulls: NullMask::default(),
+            },
+            ColumnType::Float => TypedColumn::Float {
+                values: Vec::new(),
+                nulls: NullMask::default(),
+            },
+            ColumnType::Bool => TypedColumn::Bool {
+                values: Vec::new(),
+                nulls: NullMask::default(),
+            },
             ColumnType::Str => TypedColumn::Str {
                 values: Vec::new(),
                 str_bytes: 0,
@@ -171,7 +192,11 @@ impl TypedColumn {
                     nulls.push(true);
                 }
             },
-            TypedColumn::Str { values, str_bytes, nulls } => match d {
+            TypedColumn::Str {
+                values,
+                str_bytes,
+                nulls,
+            } => match d {
                 Datum::Str(s) => {
                     *str_bytes += s.len();
                     values.push(s.clone());
@@ -220,6 +245,69 @@ impl TypedColumn {
         }
     }
 
+    /// Append every row of `other` after this column's rows — the segment
+    /// merge of the parallel scan, which concatenates per-partition partial
+    /// columns in partition order.
+    ///
+    /// # Panics
+    /// Panics when the column types differ (partials are always derived from
+    /// one schema, so a mismatch is a logic error).
+    pub fn append_segment(&mut self, other: TypedColumn) {
+        match (self, other) {
+            (
+                TypedColumn::Int { values, nulls },
+                TypedColumn::Int {
+                    values: ov,
+                    nulls: on,
+                },
+            ) => {
+                values.extend_from_slice(&ov);
+                nulls.append_segment(&on);
+            }
+            (
+                TypedColumn::Float { values, nulls },
+                TypedColumn::Float {
+                    values: ov,
+                    nulls: on,
+                },
+            ) => {
+                values.extend_from_slice(&ov);
+                nulls.append_segment(&on);
+            }
+            (
+                TypedColumn::Bool { values, nulls },
+                TypedColumn::Bool {
+                    values: ov,
+                    nulls: on,
+                },
+            ) => {
+                values.extend_from_slice(&ov);
+                nulls.append_segment(&on);
+            }
+            (
+                TypedColumn::Str {
+                    values,
+                    str_bytes,
+                    nulls,
+                },
+                TypedColumn::Str {
+                    values: ov,
+                    str_bytes: ob,
+                    nulls: on,
+                },
+            ) => {
+                values.extend(ov);
+                *str_bytes += ob;
+                nulls.append_segment(&on);
+            }
+            (a, b) => panic!(
+                "cannot merge column segments of different types: {:?} vs {:?}",
+                a.ty(),
+                b.ty()
+            ),
+        }
+    }
+
     /// Value bytes held (budget accounting). Deliberately counts *data*
     /// bytes (`len`), not allocator capacity: capacity slack is bounded at
     /// 2x by Vec's growth policy and charging it would make per-row budget
@@ -229,9 +317,11 @@ impl TypedColumn {
             TypedColumn::Int { values, nulls } => values.len() * 8 + nulls.footprint(),
             TypedColumn::Float { values, nulls } => values.len() * 8 + nulls.footprint(),
             TypedColumn::Bool { values, nulls } => values.len() + nulls.footprint(),
-            TypedColumn::Str { values, str_bytes, nulls } => {
-                values.len() * std::mem::size_of::<Box<str>>() + str_bytes + nulls.footprint()
-            }
+            TypedColumn::Str {
+                values,
+                str_bytes,
+                nulls,
+            } => values.len() * std::mem::size_of::<Box<str>>() + str_bytes + nulls.footprint(),
         }
     }
 }
@@ -247,7 +337,9 @@ pub struct ColumnBuilder {
 impl ColumnBuilder {
     /// New builder of the given type.
     pub fn new(ty: ColumnType) -> Self {
-        ColumnBuilder { col: TypedColumn::new(ty) }
+        ColumnBuilder {
+            col: TypedColumn::new(ty),
+        }
     }
 
     /// Append a value.
@@ -320,6 +412,80 @@ mod tests {
         let mut c = TypedColumn::new(ColumnType::Int);
         c.push(&Datum::Str("oops".into()));
         assert_eq!(c.datum(0), Some(Datum::Null));
+    }
+
+    #[test]
+    fn null_mask_append_segment_matches_pushes() {
+        for (la, lb) in [(0usize, 5usize), (64, 64), (63, 130), (70, 1)] {
+            let mut direct = NullMask::default();
+            let mut a = NullMask::default();
+            let mut b = NullMask::default();
+            for i in 0..la {
+                let null = i % 3 == 0;
+                direct.push(null);
+                a.push(null);
+            }
+            for i in 0..lb {
+                let null = i % 5 == 0;
+                direct.push(null);
+                b.push(null);
+            }
+            a.append_segment(&b);
+            assert_eq!(a.len(), direct.len());
+            for i in 0..direct.len() {
+                assert_eq!(a.is_null(i), direct.is_null(i), "({la},{lb}) bit {i}");
+            }
+            // Appending after an all-zero fast-path merge stays consistent.
+            a.push(true);
+            direct.push(true);
+            assert!(a.is_null(direct.len() - 1));
+        }
+    }
+
+    #[test]
+    fn column_append_segment_matches_pushes() {
+        let vals = [
+            Datum::Int(3),
+            Datum::Null,
+            Datum::Int(-7),
+            Datum::Int(42),
+            Datum::Null,
+        ];
+        let mut direct = TypedColumn::new(ColumnType::Int);
+        let mut lo = TypedColumn::new(ColumnType::Int);
+        let mut hi = TypedColumn::new(ColumnType::Int);
+        for (i, v) in vals.iter().enumerate() {
+            direct.push(v);
+            if i < 2 {
+                lo.push(v);
+            } else {
+                hi.push(v);
+            }
+        }
+        lo.append_segment(hi);
+        assert_eq!(lo.len(), direct.len());
+        assert_eq!(lo.footprint(), direct.footprint());
+        for i in 0..vals.len() {
+            assert_eq!(lo.datum(i), direct.datum(i), "row {i}");
+        }
+
+        let mut s1 = TypedColumn::new(ColumnType::Str);
+        let mut s2 = TypedColumn::new(ColumnType::Str);
+        s1.push(&Datum::Str("ab".into()));
+        s2.push(&Datum::Null);
+        s2.push(&Datum::Str("cdef".into()));
+        s1.append_segment(s2);
+        assert_eq!(s1.len(), 3);
+        assert_eq!(s1.datum(1), Some(Datum::Null));
+        assert_eq!(s1.datum(2), Some(Datum::Str("cdef".into())));
+        assert!(s1.footprint() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different types")]
+    fn column_append_segment_rejects_type_mismatch() {
+        let mut a = TypedColumn::new(ColumnType::Int);
+        a.append_segment(TypedColumn::new(ColumnType::Str));
     }
 
     #[test]

@@ -54,7 +54,12 @@ impl fmt::Display for RawCsvError {
                 f,
                 "row {row} has {present} fields but attribute {attr} was requested"
             ),
-            RawCsvError::ParseField { row, attr, ty, text } => write!(
+            RawCsvError::ParseField {
+                row,
+                attr,
+                ty,
+                text,
+            } => write!(
                 f,
                 "row {row}, attribute {attr}: cannot parse {text:?} as {ty}"
             ),
@@ -78,6 +83,9 @@ impl std::error::Error for RawCsvError {
 impl RawCsvError {
     /// Wrap an [`std::io::Error`] with a context string.
     pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
-        RawCsvError::Io { context: context.into(), source }
+        RawCsvError::Io {
+            context: context.into(),
+            source,
+        }
     }
 }

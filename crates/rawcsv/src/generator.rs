@@ -98,7 +98,11 @@ pub struct ColumnGenSpec {
 impl ColumnGenSpec {
     /// Column with no NULLs.
     pub fn new(name: impl Into<String>, dist: ValueDistribution) -> Self {
-        ColumnGenSpec { name: name.into(), dist, null_fraction: 0.0 }
+        ColumnGenSpec {
+            name: name.into(),
+            dist,
+            null_fraction: 0.0,
+        }
     }
 }
 
@@ -126,7 +130,10 @@ impl GeneratorConfig {
                 .map(|i| {
                     ColumnGenSpec::new(
                         format!("c{i}"),
-                        ValueDistribution::IntUniform { min: 0, max: 999_999_999 },
+                        ValueDistribution::IntUniform {
+                            min: 0,
+                            max: 999_999_999,
+                        },
                     )
                 })
                 .collect(),
@@ -142,9 +149,7 @@ impl GeneratorConfig {
     pub fn fixed_width_strings(cols: usize, width: usize, rows: u64, seed: u64) -> Self {
         GeneratorConfig {
             columns: (0..cols)
-                .map(|i| {
-                    ColumnGenSpec::new(format!("c{i}"), ValueDistribution::StrFixed { width })
-                })
+                .map(|i| ColumnGenSpec::new(format!("c{i}"), ValueDistribution::StrFixed { width }))
                 .collect(),
             rows,
             delimiter: b',',
@@ -166,7 +171,8 @@ impl GeneratorConfig {
     /// Generate into an in-memory buffer (tests, small files).
     pub fn generate_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        self.write_to(&mut out).expect("in-memory write cannot fail");
+        self.write_to(&mut out)
+            .expect("in-memory write cannot fail");
         out
     }
 
@@ -175,7 +181,10 @@ impl GeneratorConfig {
         let path = path.as_ref();
         let file = File::create(path)
             .map_err(|e| RawCsvError::io(format!("create {}", path.display()), e))?;
-        let mut w = CountingWriter { inner: BufWriter::new(file), written: 0 };
+        let mut w = CountingWriter {
+            inner: BufWriter::new(file),
+            written: 0,
+        };
         self.write_to(&mut w)
             .map_err(|e| RawCsvError::io(format!("write {}", path.display()), e))?;
         w.inner
@@ -194,7 +203,10 @@ impl GeneratorConfig {
             .append(true)
             .open(path)
             .map_err(|e| RawCsvError::io(format!("open append {}", path.display()), e))?;
-        let mut w = CountingWriter { inner: BufWriter::new(file), written: 0 };
+        let mut w = CountingWriter {
+            inner: BufWriter::new(file),
+            written: 0,
+        };
         let mut state = GenState::new(self);
         // Fast-forward deterministically.
         let mut sink = Vec::with_capacity(256);
@@ -393,7 +405,10 @@ mod tests {
     fn row_and_column_counts_match() {
         let cfg = GeneratorConfig::uniform_ints(7, 50, 1);
         let bytes = cfg.generate_bytes();
-        let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+        let lines: Vec<&[u8]> = bytes
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .collect();
         assert_eq!(lines.len(), 50);
         for l in lines {
             assert_eq!(l.iter().filter(|&&b| b == b',').count(), 6);
@@ -472,10 +487,7 @@ mod tests {
             seed: 5,
         };
         let bytes = cfg.generate_bytes();
-        let zeros = bytes
-            .split(|&b| b == b'\n')
-            .filter(|l| *l == b"0")
-            .count();
+        let zeros = bytes.split(|&b| b == b'\n').filter(|l| *l == b"0").count();
         // Value 0 should dominate under heavy skew.
         assert!(zeros > 200, "zeros = {zeros}");
     }

@@ -12,7 +12,7 @@ use crate::error::RawCsvError;
 use crate::parser::{parse_bool, parse_float, parse_int};
 use crate::reader::BlockScanner;
 use crate::schema::{ColumnDef, ColumnType, Schema};
-use crate::tokenizer::{Tokens, TokenizerConfig};
+use crate::tokenizer::{TokenizerConfig, Tokens};
 use crate::Result;
 
 /// Outcome of schema inference.
@@ -50,10 +50,7 @@ pub fn sniff_delimiter(line: &[u8]) -> u8 {
 /// [`infer_schema`] with the delimiter sniffed from the file's first line —
 /// the default registration path, so TSV / semicolon / pipe files work with
 /// zero configuration.
-pub fn infer_schema_sniffed(
-    path: impl AsRef<Path>,
-    sample_rows: u64,
-) -> Result<InferredSchema> {
+pub fn infer_schema_sniffed(path: impl AsRef<Path>, sample_rows: u64) -> Result<InferredSchema> {
     let path = path.as_ref();
     let mut scanner = BlockScanner::open_default(path)?;
     let first = scanner
@@ -140,7 +137,9 @@ pub fn infer_schema(
     let mut guesses = vec![TypeGuess::Unknown; ncols];
     let mut sampled = 0u64;
     while sampled < sample_rows {
-        let Some(line) = scanner.next_line()? else { break };
+        let Some(line) = scanner.next_line()? else {
+            break;
+        };
         tokenizer.tokenize_into(line.bytes, &mut tokens);
         for (i, span) in tokens.spans().iter().enumerate().take(ncols) {
             guesses[i] = guesses[i].update(span.of(line.bytes));
@@ -201,7 +200,10 @@ mod tests {
 
     #[test]
     fn infers_types_with_header() {
-        let p = tmp("hdr", b"id,score,name,ok\n1,2.5,alice,true\n2,3.5,bob,false\n");
+        let p = tmp(
+            "hdr",
+            b"id,score,name,ok\n1,2.5,alice,true\n2,3.5,bob,false\n",
+        );
         let r = infer_schema(&p, TokenizerConfig::default(), 100).unwrap();
         assert!(r.has_header);
         assert_eq!(r.schema.column(0).name, "id");

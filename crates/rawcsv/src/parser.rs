@@ -14,7 +14,12 @@ use crate::schema::ColumnType;
 /// Parse one raw field as `ty`. Empty fields are NULL.
 ///
 /// `row` and `attr` are used only for error reporting.
-pub fn parse_field(raw: &[u8], ty: ColumnType, row: u64, attr: usize) -> Result<Datum, RawCsvError> {
+pub fn parse_field(
+    raw: &[u8],
+    ty: ColumnType,
+    row: u64,
+    attr: usize,
+) -> Result<Datum, RawCsvError> {
     if raw.is_empty() {
         return Ok(Datum::Null);
     }
@@ -35,7 +40,12 @@ pub fn parse_field(raw: &[u8], ty: ColumnType, row: u64, attr: usize) -> Result<
 fn parse_err(raw: &[u8], ty: &'static str, row: u64, attr: usize) -> RawCsvError {
     let mut text = String::from_utf8_lossy(raw).into_owned();
     text.truncate(64);
-    RawCsvError::ParseField { row, attr, ty, text }
+    RawCsvError::ParseField {
+        row,
+        attr,
+        ty,
+        text,
+    }
 }
 
 /// Hand-rolled `i64` parser: optional sign, decimal digits, overflow-checked.

@@ -17,7 +17,7 @@ use std::path::{Path, PathBuf};
 use std::time::SystemTime;
 
 use crate::error::RawCsvError;
-use crate::tokenizer::{find_byte, trim_cr};
+use crate::tokenizer::{find_byte, find_byte2, trim_cr, Tokens};
 use crate::Result;
 
 /// Default block size for sequential scans (1 MiB).
@@ -143,7 +143,11 @@ impl BlockScanner {
                 let line_no = self.next_line_no;
                 self.next_line_no += 1;
                 let bytes = trim_cr(&self.buf[start..end]);
-                return Ok(Some(LineRef { line_no, offset, bytes }));
+                return Ok(Some(LineRef {
+                    line_no,
+                    offset,
+                    bytes,
+                }));
             }
             if self.eof {
                 // Final unterminated line, if any.
@@ -154,11 +158,117 @@ impl BlockScanner {
                     let line_no = self.next_line_no;
                     self.next_line_no += 1;
                     let bytes = trim_cr(&self.buf[start..self.filled]);
-                    return Ok(Some(LineRef { line_no, offset, bytes }));
+                    return Ok(Some(LineRef {
+                        line_no,
+                        offset,
+                        bytes,
+                    }));
                 }
                 return Ok(None);
             }
             self.refill()?;
+        }
+    }
+
+    /// Produce the next line *and* tokenize its leading fields in the same
+    /// byte pass (plain, unquoted configurations only).
+    ///
+    /// The classic loop pays two passes over every tuple prefix: one SWAR
+    /// scan locating `\n` (line splitting) and a second locating delimiters
+    /// (tokenizing). This fused variant uses [`find_byte2`] to match
+    /// *delimiter or newline* per 8-byte word, so each prefix byte is
+    /// visited once; once `upto_field` fields are delimited (selective
+    /// tokenizing), the remainder of the tuple degrades to a single-needle
+    /// newline scan. `out` afterwards holds exactly what
+    /// [`crate::tokenizer::TokenizerConfig::tokenize_selective`] would have
+    /// produced for the returned line.
+    pub fn next_line_tokenized(
+        &mut self,
+        delimiter: u8,
+        upto_field: usize,
+        out: &mut Tokens,
+    ) -> Result<Option<LineRef<'_>>> {
+        out.begin_line();
+        // All cursors are relative to the line start (`self.pos`), which
+        // does not advance until the line is complete: `refill` compacts the
+        // buffer so absolute positions shift, relative ones stay valid.
+        let mut rel = 0usize; // scan cursor
+        let mut field_start = 0usize; // current field start
+        let mut fields_done = false; // located every requested field
+        loop {
+            let window = &self.buf[self.pos + rel..self.filled];
+            let hit = if fields_done {
+                find_byte(window, b'\n').map(|p| (p, b'\n'))
+            } else {
+                find_byte2(window, delimiter, b'\n')
+            };
+            match hit {
+                Some((off, b)) if b == delimiter => {
+                    let at = rel + off;
+                    out.push_span(field_start as u32, at as u32);
+                    if out.len() > upto_field {
+                        fields_done = true;
+                    }
+                    field_start = at + 1;
+                    rel = at + 1;
+                }
+                Some((off, _newline)) => {
+                    let at = rel + off;
+                    return Ok(Some(self.emit_line(
+                        at,
+                        true,
+                        field_start,
+                        fields_done,
+                        out,
+                    )));
+                }
+                None => {
+                    if self.eof {
+                        if self.pos < self.filled {
+                            let at = self.filled - self.pos;
+                            return Ok(Some(self.emit_line(
+                                at,
+                                false,
+                                field_start,
+                                fields_done,
+                                out,
+                            )));
+                        }
+                        return Ok(None);
+                    }
+                    rel = self.filled - self.pos; // resume where the scan stopped
+                    self.refill()?;
+                }
+            }
+        }
+    }
+
+    /// Finish the fused scan of one line: push the final span, consume the
+    /// buffer, and build the [`LineRef`]. `line_len` is relative to the line
+    /// start; `terminated` tells whether a `\n` follows.
+    fn emit_line(
+        &mut self,
+        line_len: usize,
+        terminated: bool,
+        field_start: usize,
+        fields_done: bool,
+        out: &mut Tokens,
+    ) -> LineRef<'_> {
+        let start = self.pos;
+        let trimmed = trim_cr(&self.buf[start..start + line_len]).len();
+        if !fields_done {
+            // Final field runs to the (CR-trimmed) end of the line.
+            out.push_span(field_start.min(trimmed) as u32, trimmed as u32);
+            out.mark_complete();
+        }
+        self.pos = start + line_len + usize::from(terminated);
+        let offset = self.buf_file_offset + start as u64;
+        let line_no = self.next_line_no;
+        self.next_line_no += 1;
+        LineRef {
+            line_no,
+            offset,
+            bytes: &self.buf[start..start + trimmed],
         }
     }
 
@@ -187,6 +297,160 @@ impl BlockScanner {
         }
         self.filled += n;
         Ok(())
+    }
+}
+
+/// One partition of a raw file for the parallel scan: the byte range
+/// `[start, end)`, where `start` is the first byte of a line (or 0) and
+/// `end` is either the first byte of a later line or the file length.
+///
+/// Ownership discipline: a scanner over the range owns every line whose
+/// *first byte* lies inside it. A line that starts before `end` but runs
+/// past it still belongs to this range (its reader scans past `end` to the
+/// terminating newline); a line starting exactly at `end` belongs to the
+/// next range. Ranges produced by [`partition_line_ranges`] therefore cover
+/// every line exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRange {
+    /// First byte of the range (a line start, or 0).
+    pub start: u64,
+    /// One past the last byte of the range (a line start, or the file end).
+    pub end: u64,
+}
+
+/// Split `path` into up to `parts` line-aligned [`LineRange`]s of roughly
+/// equal byte size.
+///
+/// Each candidate split point (`len * k / parts`) is snapped forward to the
+/// next line start by probing for the following `\n`. Snapping can collapse
+/// neighbouring candidates (tiny files, very long lines), so the result may
+/// hold fewer ranges than requested — but always at least one for a
+/// non-empty file, and the ranges concatenate to exactly `[0, len)`.
+pub fn partition_line_ranges(path: impl AsRef<Path>, parts: usize) -> Result<Vec<LineRange>> {
+    let path = path.as_ref();
+    let mut file =
+        File::open(path).map_err(|e| RawCsvError::io(format!("open {}", path.display()), e))?;
+    let len = file
+        .metadata()
+        .map_err(|e| RawCsvError::io(format!("stat {}", path.display()), e))?
+        .len();
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let mut cuts: Vec<u64> = vec![0];
+    for k in 1..parts {
+        let target = (len as u128 * k as u128 / parts as u128) as u64;
+        let cut = next_line_start_at_or_after(&mut file, path, target, len)?;
+        if cut < len && cut > *cuts.last().expect("non-empty") {
+            cuts.push(cut);
+        }
+    }
+    cuts.push(len);
+    Ok(cuts
+        .windows(2)
+        .map(|w| LineRange {
+            start: w[0],
+            end: w[1],
+        })
+        .collect())
+}
+
+/// Byte offset of the first line that starts at or after `from`: scan
+/// forward for the next `\n` and return the byte after it (`len` when the
+/// tail has no further newline).
+fn next_line_start_at_or_after(file: &mut File, path: &Path, from: u64, len: u64) -> Result<u64> {
+    if from == 0 {
+        return Ok(0);
+    }
+    // A line starting exactly at `from` is recognized by the newline just
+    // before it, so the probe starts one byte early.
+    let mut pos = from - 1;
+    file.seek(SeekFrom::Start(pos))
+        .map_err(|e| RawCsvError::io(format!("seek {}", path.display()), e))?;
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = file
+            .read(&mut buf)
+            .map_err(|e| RawCsvError::io(format!("read {}", path.display()), e))?;
+        if n == 0 {
+            return Ok(len);
+        }
+        if let Some(i) = find_byte(&buf[..n], b'\n') {
+            return Ok(pos + i as u64 + 1);
+        }
+        pos += n as u64;
+    }
+}
+
+/// A [`BlockScanner`] restricted to one [`LineRange`] — the per-worker
+/// reader of the parallel scan. Yields exactly the lines the range owns,
+/// with the same offsets a whole-file scan would report.
+pub struct RangeScanner {
+    inner: BlockScanner,
+    end: u64,
+    done: bool,
+}
+
+impl RangeScanner {
+    /// Open `path` positioned at `range.start`.
+    ///
+    /// `first_line_no` seeds line numbering (purely informational; the
+    /// caller usually knows how many lines precede the range, or passes 0).
+    pub fn open(
+        path: impl AsRef<Path>,
+        block_size: usize,
+        range: LineRange,
+        first_line_no: u64,
+    ) -> Result<Self> {
+        let mut inner = BlockScanner::open(path, block_size)?;
+        if range.start > 0 {
+            inner.seek_to(range.start, first_line_no)?;
+        }
+        Ok(RangeScanner {
+            inner,
+            end: range.end,
+            done: false,
+        })
+    }
+
+    /// Next owned line, or `None` once the range is exhausted.
+    pub fn next_line(&mut self) -> Result<Option<LineRef<'_>>> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.inner.next_line()? {
+            Some(l) if l.offset < self.end => Ok(Some(l)),
+            _ => {
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Fused variant of [`Self::next_line`]: tokenize the line's leading
+    /// fields in the same byte pass (see
+    /// [`BlockScanner::next_line_tokenized`]).
+    pub fn next_line_tokenized(
+        &mut self,
+        delimiter: u8,
+        upto_field: usize,
+        out: &mut Tokens,
+    ) -> Result<Option<LineRef<'_>>> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.inner.next_line_tokenized(delimiter, upto_field, out)? {
+            Some(l) if l.offset < self.end => Ok(Some(l)),
+            _ => {
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Return and reset the I/O counters.
+    pub fn take_counters(&mut self) -> IoCounters {
+        self.inner.take_counters()
     }
 }
 
@@ -227,8 +491,8 @@ impl RawFileMeta {
     /// Probe `path` hashing the first `min(len, head_limit)` bytes.
     pub fn probe_with_head(path: impl AsRef<Path>, head_limit: u64) -> Result<Self> {
         let path = path.as_ref();
-        let mut file = File::open(path)
-            .map_err(|e| RawCsvError::io(format!("open {}", path.display()), e))?;
+        let mut file =
+            File::open(path).map_err(|e| RawCsvError::io(format!("open {}", path.display()), e))?;
         let meta = file
             .metadata()
             .map_err(|e| RawCsvError::io(format!("stat {}", path.display()), e))?;
@@ -391,6 +655,155 @@ mod tests {
     fn empty_file_yields_no_lines() {
         let p = tmp_file("empty", b"");
         assert!(collect_lines(&p, 4096).is_empty());
+        std::fs::remove_file(p).unwrap();
+    }
+
+    fn gen_lines(n: usize) -> Vec<u8> {
+        let mut content = Vec::new();
+        for i in 0..n {
+            content.extend_from_slice(format!("row{i},{},{}\n", i * 7, i % 13).as_bytes());
+        }
+        content
+    }
+
+    #[test]
+    fn partitions_cover_every_line_once() {
+        let content = gen_lines(257);
+        let p = tmp_file("partition", &content);
+        let whole = collect_lines(&p, 4096);
+        for parts in [1usize, 2, 3, 7, 16, 300] {
+            let ranges = partition_line_ranges(&p, parts).unwrap();
+            assert!(!ranges.is_empty());
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, content.len() as u64);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must tile");
+            }
+            let mut merged = Vec::new();
+            for r in &ranges {
+                let mut sc = RangeScanner::open(&p, 4096, *r, 0).unwrap();
+                while let Some(l) = sc.next_line().unwrap() {
+                    assert!(l.offset >= r.start && l.offset < r.end);
+                    merged.push((l.offset, l.bytes.to_vec()));
+                }
+            }
+            let expect: Vec<(u64, Vec<u8>)> =
+                whole.iter().map(|(_, o, b)| (*o, b.clone())).collect();
+            assert_eq!(merged, expect, "parts = {parts}");
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn partition_of_empty_file_is_empty() {
+        let p = tmp_file("partition_empty", b"");
+        assert!(partition_line_ranges(&p, 4).unwrap().is_empty());
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn partition_snaps_to_line_starts() {
+        // One huge line followed by short ones: every cut lands after the
+        // huge line or collapses entirely.
+        let mut content = vec![b'x'; 9000];
+        content.push(b'\n');
+        content.extend_from_slice(b"a,b\nc,d\n");
+        let p = tmp_file("partition_snap", &content);
+        let ranges = partition_line_ranges(&p, 4).unwrap();
+        for r in &ranges[1..] {
+            assert!(
+                r.start == 9001 || content[r.start as usize - 1] == b'\n',
+                "range start {} is not a line start",
+                r.start
+            );
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn fused_scan_matches_next_line_plus_tokenizer() {
+        use crate::tokenizer::TokenizerConfig;
+        let content = gen_lines(113);
+        let p = tmp_file("fused", &content);
+        for upto in [0usize, 1, 2, usize::MAX] {
+            let mut a = BlockScanner::open(&p, 4096).unwrap();
+            let mut b = BlockScanner::open(&p, 4096).unwrap();
+            let cfg = TokenizerConfig::default();
+            let mut ta = Tokens::new();
+            let mut tb = Tokens::new();
+            loop {
+                let la = a
+                    .next_line_tokenized(b',', upto, &mut ta)
+                    .unwrap()
+                    .map(|l| (l.line_no, l.offset, l.bytes.to_vec()));
+                let lb = b
+                    .next_line()
+                    .unwrap()
+                    .map(|l| (l.line_no, l.offset, l.bytes.to_vec()));
+                assert_eq!(la, lb, "upto = {upto}");
+                let Some((_, _, line)) = lb else { break };
+                cfg.tokenize_selective(&line, upto, &mut tb);
+                assert_eq!(ta.len(), tb.len(), "upto = {upto} line {line:?}");
+                assert_eq!(ta.reached_end_of_line(), tb.reached_end_of_line());
+                for f in 0..tb.len() {
+                    assert_eq!(ta.get(f), tb.get(f), "upto = {upto} field {f}");
+                }
+            }
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn fused_scan_handles_crlf_and_unterminated_tail() {
+        let p = tmp_file("fused_crlf", b"a,b\r\nlong,unterminated");
+        let mut sc = BlockScanner::open(&p, 4096).unwrap();
+        let mut t = Tokens::new();
+        {
+            let l = sc
+                .next_line_tokenized(b',', usize::MAX, &mut t)
+                .unwrap()
+                .unwrap();
+            assert_eq!(l.bytes, b"a,b");
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.get(1).map(|s| (s.start, s.end)),
+            Some((2, 3)),
+            "CR excluded"
+        );
+        {
+            let l = sc
+                .next_line_tokenized(b',', usize::MAX, &mut t)
+                .unwrap()
+                .unwrap();
+            assert_eq!(l.bytes, b"long,unterminated");
+        }
+        assert_eq!(t.len(), 2);
+        assert!(t.reached_end_of_line());
+        assert!(sc
+            .next_line_tokenized(b',', usize::MAX, &mut t)
+            .unwrap()
+            .is_none());
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn fused_scan_across_block_boundaries() {
+        // Lines sized so fields straddle the 4 KiB refill boundary.
+        let mut content = Vec::new();
+        for i in 0..200 {
+            content.extend_from_slice(format!("{:0>40},{:0>40},{i}\n", i, i * 3).as_bytes());
+        }
+        let p = tmp_file("fused_blocks", &content);
+        let mut sc = BlockScanner::open(&p, 4096).unwrap();
+        let mut t = Tokens::new();
+        let mut rows = 0;
+        while let Some(l) = sc.next_line_tokenized(b',', usize::MAX, &mut t).unwrap() {
+            let _ = l;
+            assert_eq!(t.len(), 3);
+            rows += 1;
+        }
+        assert_eq!(rows, 200);
         std::fs::remove_file(p).unwrap();
     }
 }

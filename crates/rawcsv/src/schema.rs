@@ -62,7 +62,10 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        ColumnDef { name: name.into(), ty }
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
     }
 }
 

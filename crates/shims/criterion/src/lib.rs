@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this local crate
+//! implements the subset of criterion's API the workspace benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`
+//! and `Bencher::iter_batched`, sample sizes and byte throughput — on a
+//! straightforward wall-clock harness.
+//!
+//! Reporting: one line per benchmark with mean / min / max over the
+//! collected samples (each sample batches enough iterations to exceed a
+//! minimum measurable duration). No statistics beyond that; the point is
+//! honest relative numbers for A/B comparisons like `scan_threads = 1`
+//! vs `N`, not confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (printed alongside timings when set).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by this harness beyond
+/// running setup outside the timed section, which is the part that matters).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    min_sample_time: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+            min_sample_time: Duration::from_millis(5),
+        }
+    }
+
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: how many iterations reach the minimum
+        // measurable sample time?
+        let t0 = Instant::now();
+        let mut calib = 1u64;
+        std::hint::black_box(routine());
+        let one = t0.elapsed();
+        if one < self.min_sample_time {
+            calib = (self.min_sample_time.as_nanos() / one.as_nanos().max(1)) as u64 + 1;
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..calib {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed() / calib as u32);
+        }
+    }
+
+    /// Measure `routine` with per-sample inputs built by `setup` outside the
+    /// timed section.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Setup cost can dwarf the routine, so batching is per-sample: one
+        // setup, one timed run — `sample_size` times.
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mut line = format!(
+        "{name:<48} mean {:>10.3} ms  min {:>10.3} ms  max {:>10.3} ms  ({} samples)",
+        ms(mean),
+        ms(min),
+        ms(max),
+        samples.len()
+    );
+    if let Some(Throughput::Bytes(b)) = throughput {
+        let gbs = b as f64 / mean.as_secs_f64() / 1e9;
+        line.push_str(&format!("  {gbs:.2} GB/s"));
+    }
+    if let Some(Throughput::Elements(n)) = throughput {
+        let me = n as f64 / mean.as_secs_f64() / 1e6;
+        line.push_str(&format!("  {me:.2} Melem/s"));
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.into()),
+            &b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group (prints nothing; the per-benchmark lines already did).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&name.into(), &b.samples, None);
+        self
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut b = Bencher::new(4);
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher::new(3);
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, 3);
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Bytes(8));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -183,9 +183,7 @@ impl Expr {
                     e.referenced_columns(out);
                 }
             }
-            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => {
-                expr.referenced_columns(out)
-            }
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.referenced_columns(out),
             Expr::Agg { arg, .. } => {
                 if let Some(a) = arg {
                     a.referenced_columns(out);
@@ -298,7 +296,11 @@ mod tests {
     fn contains_aggregate_traverses() {
         let e = Expr::Binary {
             op: BinOp::Add,
-            left: Box::new(Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(col("x"))), distinct: false }),
+            left: Box::new(Expr::Agg {
+                func: AggFunc::Sum,
+                arg: Some(Box::new(col("x"))),
+                distinct: false,
+            }),
             right: Box::new(Expr::Literal(Literal::Int(1))),
         };
         assert!(e.contains_aggregate());

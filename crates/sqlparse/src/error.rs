@@ -14,7 +14,10 @@ pub struct ParseError {
 impl ParseError {
     /// Construct an error at `position`.
     pub fn new(position: usize, message: impl Into<String>) -> Self {
-        ParseError { position, message: message.into() }
+        ParseError {
+            position,
+            message: message.into(),
+        }
     }
 
     /// Render a two-line diagnostic with a caret under the offending byte.

@@ -227,9 +227,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                             s.push(c as char);
                             i += 1;
                         }
-                        None => {
-                            return Err(ParseError::new(pos, "unterminated string literal"))
-                        }
+                        None => return Err(ParseError::new(pos, "unterminated string literal")),
                     }
                 }
                 TokenKind::Str(s)
@@ -290,18 +288,14 @@ pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                             s.push(c as char);
                             i += 1;
                         }
-                        None => {
-                            return Err(ParseError::new(pos, "unterminated quoted identifier"))
-                        }
+                        None => return Err(ParseError::new(pos, "unterminated quoted identifier")),
                     }
                 }
                 TokenKind::Ident(s)
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &input[start..i];
@@ -319,7 +313,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
         };
         tokens.push(Token { pos, kind });
     }
-    tokens.push(Token { pos: input.len(), kind: TokenKind::Eof });
+    tokens.push(Token {
+        pos: input.len(),
+        kind: TokenKind::Eof,
+    });
     Ok(tokens)
 }
 

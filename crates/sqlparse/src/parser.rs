@@ -138,7 +138,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { items, table, filter, group_by, order_by, limit })
+        Ok(SelectStmt {
+            items,
+            table,
+            filter,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>, ParseError> {
@@ -171,7 +178,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw(Keyword::Or) {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -181,7 +192,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw(Keyword::And) {
             let right = self.not_expr()?;
-            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -234,12 +249,20 @@ impl Parser {
                 }
             }
             self.expect_sym(Sym::RParen, "')' closing IN list")?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw(Keyword::Like) {
             match self.advance() {
                 TokenKind::Str(pattern) => {
-                    return Ok(Expr::Like { expr: Box::new(left), pattern, negated })
+                    return Ok(Expr::Like {
+                        expr: Box::new(left),
+                        pattern,
+                        negated,
+                    })
                 }
                 _ => {
                     return Err(ParseError::new(
@@ -250,12 +273,18 @@ impl Parser {
             }
         }
         if negated {
-            return Err(ParseError::new(self.pos(), "expected BETWEEN, IN or LIKE after NOT"));
+            return Err(ParseError::new(
+                self.pos(),
+                "expected BETWEEN, IN or LIKE after NOT",
+            ));
         }
         if self.eat_kw(Keyword::Is) {
             let negated = self.eat_kw(Keyword::Not);
             self.expect_kw(Keyword::Null, "NULL after IS")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
 
         let op = match self.peek() {
@@ -270,7 +299,11 @@ impl Parser {
         if let Some(op) = op {
             self.advance();
             let right = self.additive()?;
-            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
         }
         Ok(left)
     }
@@ -286,7 +319,11 @@ impl Parser {
             };
             self.advance();
             let right = self.multiplicative()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -303,7 +340,11 @@ impl Parser {
             };
             self.advance();
             let right = self.unary()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -351,11 +392,19 @@ impl Parser {
                         return Err(ParseError::new(pos, "only COUNT accepts '*'"));
                     }
                     self.expect_sym(Sym::RParen, "')'")?;
-                    return Ok(Expr::Agg { func, arg: None, distinct });
+                    return Ok(Expr::Agg {
+                        func,
+                        arg: None,
+                        distinct,
+                    });
                 }
                 let arg = self.expr()?;
                 self.expect_sym(Sym::RParen, "')'")?;
-                Ok(Expr::Agg { func, arg: Some(Box::new(arg)), distinct })
+                Ok(Expr::Agg {
+                    func,
+                    arg: Some(Box::new(arg)),
+                    distinct,
+                })
             }
             other => Err(ParseError::new(pos, format!("unexpected token {other:?}"))),
         }
@@ -386,7 +435,11 @@ mod tests {
         let s = parse_select("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         // OR binds looser than AND.
         match s.filter.unwrap() {
-            Expr::Binary { op: BinOp::Or, right, .. } => match *right {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => match *right {
                 Expr::Binary { op: BinOp::And, .. } => {}
                 other => panic!("AND should nest under OR, got {other:?}"),
             },
@@ -437,7 +490,15 @@ mod tests {
         assert_eq!(s.group_by.len(), 1);
         assert!(!s.order_by[0].ascending);
         match &s.items[1] {
-            SelectItem::Expr { expr: Expr::Agg { func: AggFunc::Count, arg: None, .. }, .. } => {}
+            SelectItem::Expr {
+                expr:
+                    Expr::Agg {
+                        func: AggFunc::Count,
+                        arg: None,
+                        ..
+                    },
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -446,7 +507,10 @@ mod tests {
     fn count_distinct() {
         let s = parse_select("SELECT COUNT(DISTINCT c1) FROM t").unwrap();
         match &s.items[0] {
-            SelectItem::Expr { expr: Expr::Agg { distinct: true, .. }, .. } => {}
+            SelectItem::Expr {
+                expr: Expr::Agg { distinct: true, .. },
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -455,7 +519,15 @@ mod tests {
     fn arithmetic_precedence() {
         let s = parse_select("SELECT a + b * 2 FROM t").unwrap();
         match &s.items[0] {
-            SelectItem::Expr { expr: Expr::Binary { op: BinOp::Add, right, .. }, .. } => {
+            SelectItem::Expr {
+                expr:
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        right,
+                        ..
+                    },
+                ..
+            } => {
                 assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("{other:?}"),
@@ -502,7 +574,11 @@ mod tests {
     fn parenthesized_boolean_grouping() {
         let s = parse_select("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
         match s.filter.unwrap() {
-            Expr::Binary { op: BinOp::And, left, .. } => {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                ..
+            } => {
                 assert!(matches!(*left, Expr::Binary { op: BinOp::Or, .. }));
             }
             other => panic!("{other:?}"),

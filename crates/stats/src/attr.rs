@@ -114,8 +114,8 @@ impl AttrStats {
             None => true,
         };
         if stale {
-            self.histogram = EquiDepthHistogram::build(self.reservoir.sample(), 64)
-                .map(|h| (seen, h));
+            self.histogram =
+                EquiDepthHistogram::build(self.reservoir.sample(), 64).map(|h| (seen, h));
         }
         self.histogram.as_ref().map(|(_, h)| h)
     }

@@ -62,7 +62,11 @@ impl EquiDepthHistogram {
         let full = idx as f64 / b;
         // Interpolate inside bucket `idx` (whose upper bound exceeds v) when
         // numeric; otherwise split the difference.
-        let bucket_lo = if idx == 0 { &self.lo } else { &self.bounds[idx - 1] };
+        let bucket_lo = if idx == 0 {
+            &self.lo
+        } else {
+            &self.bounds[idx - 1]
+        };
         let bucket_hi = &self.bounds[idx];
         let frac_in_bucket = match (bucket_lo.as_float(), bucket_hi.as_float(), v.as_float()) {
             (Some(lo), Some(hi), Some(x)) if hi > lo => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),

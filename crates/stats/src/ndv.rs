@@ -20,7 +20,11 @@ impl DistinctCounter {
     /// Estimator with `mbits` bits (rounded up to a multiple of 64).
     pub fn new(mbits: usize) -> Self {
         let words = mbits.max(64).div_ceil(64);
-        DistinctCounter { bits: vec![0; words], mbits: words * 64, set: 0 }
+        DistinctCounter {
+            bits: vec![0; words],
+            mbits: words * 64,
+            set: 0,
+        }
     }
 
     /// Default size: 16 Ki bits (2 KiB), good to ~10k distinct values.

@@ -110,12 +110,7 @@ mod tests {
         for i in 0..10_000 {
             r.offer(&Datum::Int(i));
         }
-        let mean: f64 = r
-            .sample()
-            .iter()
-            .filter_map(Datum::as_float)
-            .sum::<f64>()
-            / r.len() as f64;
+        let mean: f64 = r.sample().iter().filter_map(Datum::as_float).sum::<f64>() / r.len() as f64;
         assert!((mean - 5000.0).abs() < 1500.0, "mean = {mean}");
     }
 

@@ -35,7 +35,24 @@ impl TableStats {
 
     /// Accumulator for `attr`, created on first touch.
     pub fn attr_mut(&mut self, attr: usize) -> &mut AttrStats {
-        self.attrs.entry(attr).or_insert_with(|| AttrStats::new(attr))
+        self.attrs
+            .entry(attr)
+            .or_insert_with(|| AttrStats::new(attr))
+    }
+
+    /// Whether the scan should feed `row` (a 0-based data-row index) into
+    /// the accumulators under the sampling stride.
+    ///
+    /// This is the single source of truth for both the sequential scan and
+    /// the parallel scan's merge phase. The parallel scan deliberately
+    /// *replays* buffered observations in global row order instead of
+    /// merging per-partition accumulators: the reservoir sample is a
+    /// sequential-stream algorithm whose state depends on arrival order, so
+    /// order-preserving replay is what keeps `scan_threads = N` statistics
+    /// byte-identical to `scan_threads = 1`.
+    #[inline]
+    pub fn should_sample(&self, row: u64) -> bool {
+        row.is_multiple_of(self.sample_every)
     }
 
     /// Accumulator for `attr`, if any query has touched it.
@@ -88,12 +105,10 @@ impl TableStats {
         match sketch {
             PredicateSketch::Eq(_) => (nonnull / ndv).clamp(0.0, 1.0),
             PredicateSketch::NotEq(_) => (nonnull * (1.0 - 1.0 / ndv)).clamp(0.0, 1.0),
-            PredicateSketch::Lt(v) | PredicateSketch::Le(v) => {
-                match stats.histogram() {
-                    Some(h) => (nonnull * h.fraction_le(v)).clamp(0.0, 1.0),
-                    None => default_selectivity(sketch),
-                }
-            }
+            PredicateSketch::Lt(v) | PredicateSketch::Le(v) => match stats.histogram() {
+                Some(h) => (nonnull * h.fraction_le(v)).clamp(0.0, 1.0),
+                None => default_selectivity(sketch),
+            },
             PredicateSketch::Gt(v) | PredicateSketch::Ge(v) => match stats.histogram() {
                 Some(h) => (nonnull * (1.0 - h.fraction_le(v))).clamp(0.0, 1.0),
                 None => default_selectivity(sketch),
@@ -143,7 +158,9 @@ pub struct StatsEstimator<'a> {
 impl<'a> StatsEstimator<'a> {
     /// Wrap a mutable registry.
     pub fn new(stats: &'a mut TableStats) -> Self {
-        StatsEstimator { inner: std::cell::RefCell::new(stats) }
+        StatsEstimator {
+            inner: std::cell::RefCell::new(stats),
+        }
     }
 }
 

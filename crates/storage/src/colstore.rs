@@ -46,7 +46,13 @@ impl ColumnStore {
                     .map_err(|e| StorageError::io(format!("create {}", p.display()), e))
             })
             .collect::<StorageResult<Vec<_>>>()?;
-        Ok(ColumnStoreWriter { dir, writers, nrows: 0, bytes_written: 0, scratch: Vec::new() })
+        Ok(ColumnStoreWriter {
+            dir,
+            writers,
+            nrows: 0,
+            bytes_written: 0,
+            scratch: Vec::new(),
+        })
     }
 
     /// Number of rows.
@@ -94,11 +100,16 @@ impl ColumnStoreWriter {
     /// Finish and reopen for reading; returns the store and bytes written.
     pub fn finish(mut self) -> StorageResult<(ColumnStore, u64)> {
         for (c, w) in self.writers.iter_mut().enumerate() {
-            w.flush().map_err(|e| StorageError::io(format!("flush col{c}"), e))?;
+            w.flush()
+                .map_err(|e| StorageError::io(format!("flush col{c}"), e))?;
         }
         let ncols = self.writers.len();
         Ok((
-            ColumnStore { dir: self.dir, ncols, nrows: self.nrows },
+            ColumnStore {
+                dir: self.dir,
+                ncols,
+                nrows: self.nrows,
+            },
             self.bytes_written,
         ))
     }
@@ -119,7 +130,8 @@ mod tests {
         let dir = tmp_dir("rw");
         let mut w = ColumnStore::create(&dir, 2).unwrap();
         for i in 0..100i64 {
-            w.append(&[Datum::Int(i), Datum::from(format!("s{i}"))]).unwrap();
+            w.append(&[Datum::Int(i), Datum::from(format!("s{i}"))])
+                .unwrap();
         }
         let (store, bytes) = w.finish().unwrap();
         assert!(bytes > 0);
@@ -139,7 +151,10 @@ mod tests {
         w.append(&[Datum::Null]).unwrap();
         w.append(&[Datum::Int(1)]).unwrap();
         let (store, _) = w.finish().unwrap();
-        assert_eq!(store.read_column(0).unwrap(), vec![Datum::Null, Datum::Int(1)]);
+        assert_eq!(
+            store.read_column(0).unwrap(),
+            vec![Datum::Null, Datum::Int(1)]
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use nodb_engine::{execute, plan_select, EngineError, EngineResult, QueryResult, ScanSource};
 use nodb_rawcsv::reader::BlockScanner;
-use nodb_rawcsv::tokenizer::{Tokens, TokenizerConfig};
+use nodb_rawcsv::tokenizer::{TokenizerConfig, Tokens};
 use nodb_rawcsv::{parser, Datum, Schema};
 use nodb_sqlparse::parse_select;
 use nodb_stats::table::StatsEstimator;
@@ -160,9 +160,10 @@ impl ConventionalDb {
             Col(crate::colstore::ColumnStoreWriter),
         }
         let mut writer = match self.profile {
-            DbProfile::DbmsXLike => {
-                W::Col(ColumnStore::create(self.dir.join(format!("{name}.cols")), nattrs)?)
-            }
+            DbProfile::DbmsXLike => W::Col(ColumnStore::create(
+                self.dir.join(format!("{name}.cols")),
+                nattrs,
+            )?),
             p => W::Heap(
                 HeapFile::create(
                     self.dir.join(format!("{name}.heap")),
@@ -185,7 +186,9 @@ impl ConventionalDb {
             row_buf.clear();
             for attr in 0..nattrs {
                 let d = match tokens.get(attr) {
-                    Some(span) => parser::parse_field(span.of(line.bytes), schema.ty(attr), rows, attr)?,
+                    Some(span) => {
+                        parser::parse_field(span.of(line.bytes), schema.ty(attr), rows, attr)?
+                    }
                     None => Datum::Null,
                 };
                 stats.attr_mut(attr).observe(&d);
@@ -244,9 +247,19 @@ impl ConventionalDb {
         let load_time = start.elapsed() - index_time;
         self.tables.insert(
             name.to_string(),
-            LoadedTable { schema, storage, indexes, stats },
+            LoadedTable {
+                schema,
+                storage,
+                indexes,
+                stats,
+            },
         );
-        Ok(LoadReport { load_time, index_time, bytes_written, rows })
+        Ok(LoadReport {
+            load_time,
+            index_time,
+            bytes_written,
+            rows,
+        })
     }
 
     /// Execute a SQL query over loaded tables.
@@ -264,24 +277,20 @@ impl ConventionalDb {
 
         let nattrs = table.schema.len();
         let source: Box<dyn ScanSource> = match &table.storage {
-            TableStorage::Heap(heap) => {
-                match pick_index_rows(table, &planned) {
-                    Some(ids) => Box::new(IndexScanSource::new(
-                        Arc::clone(heap),
-                        nattrs,
-                        planned.scan.clone(),
-                        ids,
-                    )),
-                    None => Box::new(HeapScanSource::new(
-                        Arc::clone(heap),
-                        nattrs,
-                        planned.scan.clone(),
-                    )),
-                }
-            }
-            TableStorage::Col(store) => {
-                Box::new(ColScanSource::new(store, planned.scan.clone())?)
-            }
+            TableStorage::Heap(heap) => match pick_index_rows(table, &planned) {
+                Some(ids) => Box::new(IndexScanSource::new(
+                    Arc::clone(heap),
+                    nattrs,
+                    planned.scan.clone(),
+                    ids,
+                )),
+                None => Box::new(HeapScanSource::new(
+                    Arc::clone(heap),
+                    nattrs,
+                    planned.scan.clone(),
+                )),
+            },
+            TableStorage::Col(store) => Box::new(ColScanSource::new(store, planned.scan.clone())?),
         };
         execute(&planned, source)
     }
@@ -306,7 +315,8 @@ fn build_heap_indexes(
     };
     let mut vals: Vec<Datum> = Vec::new();
     for pg in 0..heap.npages() {
-        let tuples: Vec<Vec<u8>> = heap.with_page(pg, |p| p.tuples().map(|t| t.to_vec()).collect())?;
+        let tuples: Vec<Vec<u8>> =
+            heap.with_page(pg, |p| p.tuples().map(|t| t.to_vec()).collect())?;
         for (slot, t) in tuples.iter().enumerate() {
             vals.clear();
             let mut r = crate::tuple::TupleReader::new(t);
@@ -329,9 +339,13 @@ fn pick_index_rows(table: &LoadedTable, planned: &nodb_engine::PlannedQuery) -> 
     nodb_engine::sketch::split_conjuncts(pred, &mut conjuncts);
     let mut best: Option<Vec<u64>> = None;
     for c in &conjuncts {
-        let Some((pos, sketch)) = nodb_engine::sketch::sketch_conjunct(c) else { continue };
+        let Some((pos, sketch)) = nodb_engine::sketch::sketch_conjunct(c) else {
+            continue;
+        };
         let attr = planned.scan.attrs[pos];
-        let Some(ix) = table.indexes.get(&attr) else { continue };
+        let Some(ix) = table.indexes.get(&attr) else {
+            continue;
+        };
         let ids = match &sketch {
             PredicateSketch::Eq(v) => ix.lookup_eq(v),
             PredicateSketch::Lt(v) => ix.lookup_range(Bound::Unbounded, Bound::Excluded(v)),

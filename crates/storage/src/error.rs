@@ -51,7 +51,10 @@ impl std::error::Error for StorageError {
 impl StorageError {
     /// Wrap an I/O error.
     pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
-        StorageError::Io { context: context.into(), source }
+        StorageError::Io {
+            context: context.into(),
+            source,
+        }
     }
 }
 

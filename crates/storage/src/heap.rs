@@ -31,7 +31,12 @@ struct BufferPool {
 
 impl BufferPool {
     fn new(capacity: usize) -> Self {
-        BufferPool { frames: Vec::new(), capacity: capacity.max(1), tick: 0, stats: PoolStats::default() }
+        BufferPool {
+            frames: Vec::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: PoolStats::default(),
+        }
     }
 
     fn get(&mut self, page_no: u64) -> Option<&Page> {
@@ -88,7 +93,11 @@ struct HeapInner {
 
 impl HeapFile {
     /// Create (truncate) a heap file for writing.
-    pub fn create(path: impl AsRef<Path>, page_size: usize, pool_pages: usize) -> StorageResult<HeapWriter> {
+    pub fn create(
+        path: impl AsRef<Path>,
+        page_size: usize,
+        pool_pages: usize,
+    ) -> StorageResult<HeapWriter> {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path)
             .map_err(|e| StorageError::io(format!("create {}", path.display()), e))?;
@@ -120,7 +129,10 @@ impl HeapFile {
             page_size,
             npages,
             nrows,
-            inner: Mutex::new(HeapInner { file, pool: BufferPool::new(pool_pages) }),
+            inner: Mutex::new(HeapInner {
+                file,
+                pool: BufferPool::new(pool_pages),
+            }),
         })
     }
 
@@ -219,7 +231,13 @@ impl HeapWriter {
             .flush()
             .map_err(|e| StorageError::io(format!("flush {}", self.path.display()), e))?;
         let bytes = self.bytes_written;
-        let heap = HeapFile::open(&self.path, self.page_size, self.npages, self.nrows, self.pool_pages)?;
+        let heap = HeapFile::open(
+            &self.path,
+            self.page_size,
+            self.npages,
+            self.nrows,
+            self.pool_pages,
+        )?;
         Ok((heap, bytes))
     }
 }

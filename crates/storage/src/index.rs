@@ -46,7 +46,10 @@ impl BTreeIndex {
         if key.is_null() {
             return;
         }
-        self.map.entry(IndexKey(key.clone())).or_default().push(row_id);
+        self.map
+            .entry(IndexKey(key.clone()))
+            .or_default()
+            .push(row_id);
         self.entries += 1;
     }
 

@@ -22,7 +22,13 @@ pub struct HeapScanSource {
 impl HeapScanSource {
     /// Scan `heap` (whose tuples have `nattrs` attributes) per `req`.
     pub fn new(heap: Arc<HeapFile>, nattrs: usize, req: ScanRequest) -> Self {
-        HeapScanSource { heap, req, nattrs, page_no: 0, scratch: Vec::new() }
+        HeapScanSource {
+            heap,
+            req,
+            nattrs,
+            page_no: 0,
+            scratch: Vec::new(),
+        }
     }
 }
 
@@ -70,10 +76,19 @@ impl ColScanSource {
     pub fn new(store: &ColumnStore, req: ScanRequest) -> EngineResult<Self> {
         let mut cols = Vec::with_capacity(req.attrs.len());
         for &a in &req.attrs {
-            cols.push(store.read_column(a).map_err(nodb_engine::EngineError::from)?);
+            cols.push(
+                store
+                    .read_column(a)
+                    .map_err(nodb_engine::EngineError::from)?,
+            );
         }
         let nrows = store.nrows() as usize;
-        Ok(ColScanSource { cols, req, nrows, at: 0 })
+        Ok(ColScanSource {
+            cols,
+            req,
+            nrows,
+            at: 0,
+        })
     }
 }
 
@@ -129,7 +144,12 @@ pub fn unpack_row_id(id: u64) -> (u64, usize) {
 impl IndexScanSource {
     /// Fetch the given rows (ascending ids) and apply `req`.
     pub fn new(heap: Arc<HeapFile>, nattrs: usize, req: ScanRequest, row_ids: Vec<u64>) -> Self {
-        IndexScanSource { heap, nattrs, req, row_ids: row_ids.into_iter() }
+        IndexScanSource {
+            heap,
+            nattrs,
+            req,
+            row_ids: row_ids.into_iter(),
+        }
     }
 }
 
@@ -140,8 +160,9 @@ impl ScanSource for IndexScanSource {
         let mut scratch: Vec<Datum> = Vec::with_capacity(ncols);
         for id in self.row_ids.by_ref() {
             let (page_no, slot) = unpack_row_id(id);
-            let tuple: Option<Vec<u8>> =
-                self.heap.with_page(page_no, |p| p.tuple(slot).map(|t| t.to_vec()))?;
+            let tuple: Option<Vec<u8>> = self
+                .heap
+                .with_page(page_no, |p| p.tuple(slot).map(|t| t.to_vec()))?;
             let Some(t) = tuple else { continue };
             scratch.clear();
             let mut r = crate::tuple::TupleReader::new(&t);
@@ -182,7 +203,14 @@ mod tests {
         let mut buf = Vec::new();
         for i in 0..rows as i64 {
             buf.clear();
-            encode_row(&[Datum::Int(i), Datum::Int(i * 2), Datum::from(format!("r{i}"))], &mut buf);
+            encode_row(
+                &[
+                    Datum::Int(i),
+                    Datum::Int(i * 2),
+                    Datum::from(format!("r{i}")),
+                ],
+                &mut buf,
+            );
             w.append(&buf).unwrap();
         }
         let (heap, _) = w.finish().unwrap();

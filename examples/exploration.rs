@@ -32,7 +32,12 @@ fn main() {
         println!("\n=== epoch {e}: exploring attributes c{lo}..c{hi} ===");
         for (i, q) in queries.iter().enumerate() {
             let (r, d) = sys.run(q).expect("query");
-            println!("  q{i} {:>8.2}ms  {} rows   {}", d.as_secs_f64() * 1e3, r.len(), q);
+            println!(
+                "  q{i} {:>8.2}ms  {} rows   {}",
+                d.as_secs_f64() * 1e3,
+                r.len(),
+                q
+            );
         }
         println!("\n--- monitoring panel after epoch {e} ---");
         println!("{}", sys.db.snapshot("t").unwrap().panel());

@@ -30,7 +30,11 @@ fn main() {
     let r = db.query(sql).expect("query 1");
     println!("{sql}\n{r}\n");
     let rep = db.last_report().unwrap().clone();
-    println!("q1 latency {:?}  [{}]", rep.total, rep.breakdown.panel_row());
+    println!(
+        "q1 latency {:?}  [{}]",
+        rep.total,
+        rep.breakdown.panel_row()
+    );
 
     // 4. Same query again: served from the adaptive structures.
     let r2 = db.query(sql).expect("query 2");

@@ -33,7 +33,10 @@ fn main() {
                 .generate_file(&csv)
                 .expect("generate");
             db.register_csv("t", &csv).expect("register");
-            println!("no file given — generated {} (100k rows) as table t:", csv.display());
+            println!(
+                "no file given — generated {} (100k rows) as table t:",
+                csv.display()
+            );
             _scratch = dir;
         }
     }

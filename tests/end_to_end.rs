@@ -80,7 +80,12 @@ fn tight_budgets_never_affect_correctness() {
     let mut reference = RawContestant::baseline();
     reference.init(&data.path, &schema).unwrap();
 
-    for (map_b, cache_b) in [(0usize, 0usize), (500, 500), (4_000, 4_000), (1 << 20, 1 << 20)] {
+    for (map_b, cache_b) in [
+        (0usize, 0usize),
+        (500, 500),
+        (4_000, 4_000),
+        (1 << 20, 1 << 20),
+    ] {
         let cfg = NoDbConfig {
             map_budget_bytes: map_b,
             cache_budget_bytes: cache_b,
@@ -152,9 +157,7 @@ fn mixed_type_file_with_header_round_trips() {
         .unwrap();
     assert_eq!(r2.len(), 10);
 
-    let r3 = db
-        .query("SELECT COUNT(DISTINCT name) FROM people")
-        .unwrap();
+    let r3 = db.query("SELECT COUNT(DISTINCT name) FROM people").unwrap();
     assert_eq!(r3.scalar(), Some(&Datum::Int(50)));
     std::fs::remove_dir_all(dir).unwrap();
 }

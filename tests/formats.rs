@@ -14,16 +14,23 @@ fn tmp(tag: &str, content: &str) -> std::path::PathBuf {
 
 #[test]
 fn tsv_is_sniffed_and_queryable() {
-    let p = tmp("tsv", "id\tname\tscore\n1\talice\t2.5\n2\tbob\t3.5\n3\tcarol\t1.0\n");
+    let p = tmp(
+        "tsv",
+        "id\tname\tscore\n1\talice\t2.5\n2\tbob\t3.5\n3\tcarol\t1.0\n",
+    );
     let mut db = NoDb::new(NoDbConfig::default());
     db.register_csv("t", &p).unwrap();
-    let r = db.query("SELECT name FROM t WHERE score > 2 ORDER BY id").unwrap();
+    let r = db
+        .query("SELECT name FROM t WHERE score > 2 ORDER BY id")
+        .unwrap();
     assert_eq!(
         r.rows,
         vec![vec![Datum::from("alice")], vec![Datum::from("bob")]]
     );
     // Adaptive rerun over the TSV must agree.
-    let r2 = db.query("SELECT name FROM t WHERE score > 2 ORDER BY id").unwrap();
+    let r2 = db
+        .query("SELECT name FROM t WHERE score > 2 ORDER BY id")
+        .unwrap();
     assert_eq!(r, r2);
     std::fs::remove_file(p).unwrap();
 }
@@ -61,7 +68,10 @@ fn quoted_csv_with_embedded_delimiters() {
         &p,
         schema,
         false,
-        TokenizerConfig { delimiter: b',', quote: Some(b'"') },
+        TokenizerConfig {
+            delimiter: b',',
+            quote: Some(b'"'),
+        },
     )
     .unwrap();
 
@@ -70,7 +80,11 @@ fn quoted_csv_with_embedded_delimiters() {
     assert_eq!(r.len(), 3);
     assert_eq!(r.rows[0][0], Datum::from("Smith, John"));
     assert_eq!(r.rows[0][1], Datum::Int(100));
-    assert_eq!(r.rows[1][0], Datum::from("O\"Brien, Pat"), "escaped quote unescaped");
+    assert_eq!(
+        r.rows[1][0],
+        Datum::from("O\"Brien, Pat"),
+        "escaped quote unescaped"
+    );
     assert_eq!(r.rows[2][0], Datum::from("plain"));
 
     // Warm rerun (cache-served) must agree exactly.
@@ -86,10 +100,7 @@ fn quoted_csv_with_embedded_delimiters() {
 
 #[test]
 fn quoted_aggregation_and_like() {
-    let p = tmp(
-        "quoted_agg",
-        "\"a,b\",1\n\"a,b\",2\n\"c\",3\nplain,4\n",
-    );
+    let p = tmp("quoted_agg", "\"a,b\",1\n\"a,b\",2\n\"c\",3\nplain,4\n");
     let schema = Schema::new(vec![
         ColumnDef::new("k", ColumnType::Str),
         ColumnDef::new("v", ColumnType::Int),
@@ -100,7 +111,10 @@ fn quoted_aggregation_and_like() {
         &p,
         schema,
         false,
-        TokenizerConfig { delimiter: b',', quote: Some(b'"') },
+        TokenizerConfig {
+            delimiter: b',',
+            quote: Some(b'"'),
+        },
     )
     .unwrap();
     let r = db
@@ -108,7 +122,9 @@ fn quoted_aggregation_and_like() {
         .unwrap();
     assert_eq!(r.len(), 3);
     assert_eq!(r.rows[0], vec![Datum::from("a,b"), Datum::Int(3)]);
-    let l = db.query("SELECT COUNT(*) FROM t WHERE k LIKE 'a%'").unwrap();
+    let l = db
+        .query("SELECT COUNT(*) FROM t WHERE k LIKE 'a%'")
+        .unwrap();
     assert_eq!(l.scalar(), Some(&Datum::Int(2)));
     std::fs::remove_file(p).unwrap();
 }

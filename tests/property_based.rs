@@ -3,19 +3,53 @@
 //! 1. *Adaptive transparency* — for any dataset and any query, PostgresRaw
 //!    (PM+C, any budgets) returns exactly what the stateless baseline
 //!    returns, cold and warm.
-//! 2. *Tokenizer equivalence* — selective/resumable tokenizing agrees with
+//! 2. *Parallel transparency* — for any dataset, query and thread count,
+//!    the partitioned parallel scan yields identical query results,
+//!    positional-map coverage, cache contents and statistics as
+//!    `scan_threads = 1`.
+//! 3. *Tokenizer equivalence* — selective/resumable tokenizing agrees with
 //!    full tokenizing on arbitrary byte soup.
-//! 3. *Cache round-trip* — any sequence of typed values read back from the
+//! 4. *Cache round-trip* — any sequence of typed values read back from the
 //!    cache equals what was appended.
-//! 4. *Histogram sanity* — `fraction_le` is monotone and bounded.
-
-use proptest::prelude::*;
+//! 5. *Histogram sanity* — `fraction_le` is monotone and bounded.
+//!
+//! The randomized cases are driven by a small self-contained deterministic
+//! generator (the environment has no registry access, so `proptest` is not
+//! available); every case derives from a fixed seed and failures print the
+//! case number for replay.
 
 use nodb_repro::core::{NoDb, NoDbConfig};
 use nodb_repro::prelude::*;
 use nodb_repro::rawcache::{CachePolicy, RawCache};
-use nodb_repro::rawcsv::tokenizer::{Tokens, TokenizerConfig};
+use nodb_repro::rawcsv::tokenizer::{TokenizerConfig, Tokens};
 use nodb_repro::stats::EquiDepthHistogram;
+
+/// SplitMix64: tiny, deterministic, plenty for case generation.
+struct CaseRng(u64);
+
+impl CaseRng {
+    fn new(seed: u64) -> Self {
+        CaseRng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// Uniform choice from a slice.
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
 
 fn scratch(tag: &str, n: u64) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
@@ -23,155 +57,292 @@ fn scratch(tag: &str, n: u64) -> std::path::PathBuf {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+#[test]
+fn adaptive_equals_baseline() {
+    let mut rng = CaseRng::new(0xADA7);
+    for case in 0..24u64 {
+        let cols = 2 + rng.below(6) as usize;
+        let rows = 1 + rng.below(400);
+        let seed = rng.below(1_000);
+        let proj = rng.below(cols as u64);
+        let pred = rng.below(cols as u64);
+        let cut = rng.below(1_000_000_000) as i64;
+        let map_budget = *rng.pick(&[0usize, 1_000, 1 << 22]);
+        let cache_budget = *rng.pick(&[0usize, 1_000, 1 << 22]);
 
-    #[test]
-    fn adaptive_equals_baseline(
-        seed in 0u64..1_000,
-        cols in 2usize..8,
-        rows in 1u64..400,
-        proj in 0usize..8,
-        pred in 0usize..8,
-        cut in 0i64..1_000_000_000,
-        map_budget in prop::sample::select(vec![0usize, 1_000, 1 << 22]),
-        cache_budget in prop::sample::select(vec![0usize, 1_000, 1 << 22]),
-    ) {
-        let proj = proj % cols;
-        let pred = pred % cols;
         let gen = GeneratorConfig::uniform_ints(cols, rows, seed);
-        let path = scratch("adapt", seed * 1_000 + rows);
+        let path = scratch("adapt", case);
         gen.generate_file(&path).unwrap();
         let sql = format!("SELECT c{proj} FROM t WHERE c{pred} < {cut}");
 
         let mut base = NoDb::new(NoDbConfig::baseline());
-        base.register_csv_with_schema("t", &path, gen.schema(), false).unwrap();
+        base.register_csv_with_schema("t", &path, gen.schema(), false)
+            .unwrap();
         let expect = base.query(&sql).unwrap();
 
-        let cfg = NoDbConfig { map_budget_bytes: map_budget, cache_budget_bytes: cache_budget, ..NoDbConfig::pm_c() };
+        let cfg = NoDbConfig {
+            map_budget_bytes: map_budget,
+            cache_budget_bytes: cache_budget,
+            ..NoDbConfig::pm_c()
+        };
         let mut sys = NoDb::new(cfg);
-        sys.register_csv_with_schema("t", &path, gen.schema(), false).unwrap();
+        sys.register_csv_with_schema("t", &path, gen.schema(), false)
+            .unwrap();
         let cold = sys.query(&sql).unwrap();
         let warm = sys.query(&sql).unwrap();
-        prop_assert_eq!(&cold, &expect);
-        prop_assert_eq!(&warm, &expect);
+        assert_eq!(cold, expect, "case {case}: cold ({sql})");
+        assert_eq!(warm, expect, "case {case}: warm ({sql})");
         std::fs::remove_file(path).ok();
     }
+}
 
-    #[test]
-    fn selective_tokenizing_agrees_with_full(
-        line in prop::collection::vec(
-            prop_oneof![Just(b','), Just(b'a'), Just(b'1'), Just(b'x'), Just(b'.')], 0..200),
-        upto in 0usize..30,
-    ) {
+/// The new-code invariant for the partitioned parallel scan: for random
+/// CSVs, schemas and thread counts 1/2/4/8, query results, positional-map
+/// coverage, cache contents and statistics must be identical to
+/// `scan_threads = 1`.
+#[test]
+fn parallel_scan_equals_sequential() {
+    let mut rng = CaseRng::new(0x9A54);
+    for case in 0..16u64 {
+        let cols = 2 + rng.below(6) as usize;
+        let rows = rng.below(600);
+        let seed = rng.below(1_000);
+        let threads = *rng.pick(&[2usize, 3, 4, 8]);
+        let a1 = rng.below(cols as u64);
+        let a2 = rng.below(cols as u64);
+        let pred = rng.below(cols as u64);
+        let cut = rng.below(1_000_000_000) as i64;
+        // Exercise budget pressure on some cases.
+        let cache_budget = *rng.pick(&[800usize, 1 << 22, 1 << 30]);
+
+        let gen = GeneratorConfig::uniform_ints(cols, rows, seed);
+        let path = scratch("par", case);
+        gen.generate_file(&path).unwrap();
+        let queries = [
+            format!("SELECT c{a1} FROM t WHERE c{pred} < {cut}"),
+            format!("SELECT c{a2}, c{a1} FROM t"),
+            format!("SELECT COUNT(*) FROM t WHERE c{pred} >= {cut}"),
+        ];
+
+        let mk = |scan_threads: usize| {
+            let cfg = NoDbConfig {
+                scan_threads,
+                cache_budget_bytes: cache_budget,
+                ..NoDbConfig::pm_c()
+            };
+            let mut db = NoDb::new(cfg);
+            db.register_csv_with_schema("t", &path, gen.schema(), false)
+                .unwrap();
+            db
+        };
+        let mut seq = mk(1);
+        let mut par = mk(threads);
+
+        for (qi, sql) in queries.iter().enumerate() {
+            let a = seq.query(sql).unwrap();
+            let b = par.query(sql).unwrap();
+            assert_eq!(a, b, "case {case} query {qi} threads {threads}: {sql}");
+        }
+
+        // Post-scan adaptive state must be byte-identical.
+        let (ts, tp) = (seq.table("t").unwrap(), par.table("t").unwrap());
+        for attr in 0..cols {
+            assert_eq!(
+                ts.map().coverage(attr),
+                tp.map().coverage(attr),
+                "case {case}: posmap coverage of c{attr}"
+            );
+            assert_eq!(
+                ts.cache().coverage(attr),
+                tp.cache().coverage(attr),
+                "case {case}: cache coverage of c{attr}"
+            );
+            for row in 0..ts.cache().coverage(attr) {
+                assert_eq!(
+                    ts.cache().peek(attr, row),
+                    tp.cache().peek(attr, row),
+                    "case {case}: cache content c{attr} row {row}"
+                );
+            }
+            match (ts.stats().attr(attr), tp.stats().attr(attr)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(
+                        a.rows_seen(),
+                        b.rows_seen(),
+                        "case {case}: stats rows c{attr}"
+                    );
+                    assert_eq!(
+                        a.null_fraction(),
+                        b.null_fraction(),
+                        "case {case}: stats nulls c{attr}"
+                    );
+                    assert_eq!(a.sample(), b.sample(), "case {case}: reservoir c{attr}");
+                }
+                other => panic!("case {case}: stats presence differs for c{attr}: {other:?}"),
+            }
+        }
+        assert_eq!(
+            ts.map().row_index().len(),
+            tp.map().row_index().len(),
+            "case {case}: row index size"
+        );
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn selective_tokenizing_agrees_with_full() {
+    let mut rng = CaseRng::new(0x5E1E);
+    let alphabet = [b',', b'a', b'1', b'x', b'.'];
+    for case in 0..200u64 {
+        let len = rng.below(200) as usize;
+        let line: Vec<u8> = (0..len).map(|_| *rng.pick(&alphabet)).collect();
+        let upto = rng.below(30) as usize;
+
         let cfg = TokenizerConfig::default();
         let mut full = Tokens::new();
         let mut sel = Tokens::new();
         cfg.tokenize_into(&line, &mut full);
         let n = cfg.tokenize_selective(&line, upto, &mut sel);
-        prop_assert_eq!(n, full.len().min(upto + 1));
+        assert_eq!(n, full.len().min(upto + 1), "case {case}");
         for f in 0..n {
-            prop_assert_eq!(sel.get(f), full.get(f), "field {}", f);
+            assert_eq!(sel.get(f), full.get(f), "case {case} field {f}");
         }
     }
+}
 
-    #[test]
-    fn resumable_tokenizing_agrees_with_full(
-        line in prop::collection::vec(
-            prop_oneof![Just(b','), Just(b'q'), Just(b'7')], 1..150),
-        anchor in 0usize..10,
-        extra in 0usize..10,
-    ) {
+#[test]
+fn resumable_tokenizing_agrees_with_full() {
+    let mut rng = CaseRng::new(0x4E5);
+    let alphabet = [b',', b'q', b'7'];
+    for case in 0..200u64 {
+        let len = 1 + rng.below(150) as usize;
+        let line: Vec<u8> = (0..len).map(|_| *rng.pick(&alphabet)).collect();
         let cfg = TokenizerConfig::default();
         let mut full = Tokens::new();
         cfg.tokenize_into(&line, &mut full);
-        prop_assume!(anchor < full.len());
-        let upto = anchor + extra;
+        let anchor = rng.below(10) as usize;
+        if anchor >= full.len() {
+            continue;
+        }
+        let upto = anchor + rng.below(10) as usize;
         let anchor_off = full.get(anchor).unwrap().start as usize;
         let mut res = Tokens::new();
         cfg.tokenize_from(&line, anchor, anchor_off, upto, &mut res);
         for f in anchor..=upto.min(full.len() - 1) {
-            prop_assert_eq!(res.get(f), full.get(f), "field {}", f);
+            assert_eq!(res.get(f), full.get(f), "case {case} field {f}");
         }
     }
+}
 
-    #[test]
-    fn cache_round_trips_arbitrary_values(
-        vals in prop::collection::vec(
-            prop_oneof![
-                Just(Datum::Null),
-                any::<i64>().prop_map(Datum::Int),
-                "[a-z]{0,12}".prop_map(Datum::from),
-            ], 0..300),
-    ) {
-        // Split by type class into two attrs (cache columns are typed).
+#[test]
+fn cache_round_trips_arbitrary_values() {
+    let mut rng = CaseRng::new(0xCAC4E);
+    for case in 0..40u64 {
+        let n = rng.below(300) as usize;
         let mut cache = RawCache::new(CachePolicy::default());
         let tick = cache.begin_query(&[0, 1]);
         let mut ints = Vec::new();
         let mut strs = Vec::new();
-        for v in &vals {
-            match v {
-                Datum::Str(_) => {
-                    prop_assert!(cache.append(1, ColumnType::Str, v, tick));
-                    strs.push(v.clone());
+        for _ in 0..n {
+            match rng.below(3) {
+                0 => {
+                    let v = Datum::Null;
+                    assert!(cache.append(0, ColumnType::Int, &v, tick));
+                    ints.push(v);
                 }
-                other => {
-                    prop_assert!(cache.append(0, ColumnType::Int, other, tick));
-                    ints.push(other.clone());
+                1 => {
+                    let v = Datum::Int(rng.next() as i64);
+                    assert!(cache.append(0, ColumnType::Int, &v, tick));
+                    ints.push(v);
+                }
+                _ => {
+                    let len = rng.below(13) as usize;
+                    let s: String = (0..len)
+                        .map(|_| (b'a' + rng.below(26) as u8) as char)
+                        .collect();
+                    let v = Datum::from(s.as_str());
+                    assert!(cache.append(1, ColumnType::Str, &v, tick));
+                    strs.push(v);
                 }
             }
         }
         for (i, v) in ints.iter().enumerate() {
-            prop_assert_eq!(cache.peek(0, i), Some(v.clone()));
+            assert_eq!(cache.peek(0, i), Some(v.clone()), "case {case} int row {i}");
         }
         for (i, v) in strs.iter().enumerate() {
-            prop_assert_eq!(cache.peek(1, i), Some(v.clone()));
+            assert_eq!(cache.peek(1, i), Some(v.clone()), "case {case} str row {i}");
         }
     }
+}
 
-    #[test]
-    fn histogram_fraction_le_is_monotone(
-        sample in prop::collection::vec(-1_000i64..1_000, 1..400),
-        probes in prop::collection::vec(-1_200i64..1_200, 2..20),
-        buckets in 1usize..40,
-    ) {
+#[test]
+fn histogram_fraction_le_is_monotone() {
+    let mut rng = CaseRng::new(0x415);
+    for case in 0..60u64 {
+        let n = 1 + rng.below(400) as usize;
+        let sample: Vec<i64> = (0..n).map(|_| rng.below(2_000) as i64 - 1_000).collect();
+        let buckets = 1 + rng.below(40) as usize;
         let datums: Vec<Datum> = sample.iter().map(|&v| Datum::Int(v)).collect();
         let h = EquiDepthHistogram::build(&datums, buckets).unwrap();
-        let mut sorted = probes.clone();
-        sorted.sort_unstable();
+        let mut probes: Vec<i64> = (0..2 + rng.below(18))
+            .map(|_| rng.below(2_400) as i64 - 1_200)
+            .collect();
+        probes.sort_unstable();
         let mut prev = 0.0f64;
-        for v in sorted {
+        for v in probes {
             let f = h.fraction_le(&Datum::Int(v));
-            prop_assert!((0.0..=1.0).contains(&f), "f = {}", f);
-            prop_assert!(f + 1e-9 >= prev, "monotonicity: {} then {}", prev, f);
+            assert!((0.0..=1.0).contains(&f), "case {case}: f = {f}");
+            assert!(
+                f + 1e-9 >= prev,
+                "case {case}: monotonicity {prev} then {f}"
+            );
             prev = f;
         }
         let max = sample.iter().max().unwrap();
-        prop_assert!((h.fraction_le(&Datum::Int(*max)) - 1.0).abs() < 1e-9);
+        assert!(
+            (h.fraction_le(&Datum::Int(*max)) - 1.0).abs() < 1e-9,
+            "case {case}: max must reach 1.0"
+        );
     }
+}
 
-    #[test]
-    fn parse_int_matches_std(v in any::<i64>()) {
+#[test]
+fn parse_int_matches_std() {
+    let mut rng = CaseRng::new(0x147);
+    for _ in 0..500 {
+        let v = rng.next() as i64;
         let text = v.to_string();
-        prop_assert_eq!(
+        assert_eq!(
             nodb_repro::rawcsv::parser::parse_int(text.as_bytes()),
             Some(v)
         );
     }
+    for v in [0, 1, -1, i64::MAX, i64::MIN] {
+        let text = v.to_string();
+        assert_eq!(
+            nodb_repro::rawcsv::parser::parse_int(text.as_bytes()),
+            Some(v)
+        );
+    }
+}
 
-    #[test]
-    fn generated_files_always_queryable(
-        cols in 1usize..6,
-        rows in 0u64..200,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn generated_files_always_queryable() {
+    let mut rng = CaseRng::new(0x6E4);
+    for case in 0..24u64 {
+        let cols = 1 + rng.below(5) as usize;
+        let rows = rng.below(200);
+        let seed = rng.below(500);
         let gen = GeneratorConfig::uniform_ints(cols, rows, seed);
-        let path = scratch("gen", seed * 7 + rows);
+        let path = scratch("gen", case);
         gen.generate_file(&path).unwrap();
         let mut db = NoDb::new(NoDbConfig::default());
-        db.register_csv_with_schema("t", &path, gen.schema(), false).unwrap();
+        db.register_csv_with_schema("t", &path, gen.schema(), false)
+            .unwrap();
         let r = db.query("SELECT COUNT(*) FROM t").unwrap();
-        prop_assert_eq!(r.scalar(), Some(&Datum::Int(rows as i64)));
+        assert_eq!(r.scalar(), Some(&Datum::Int(rows as i64)), "case {case}");
         std::fs::remove_file(path).ok();
     }
 }

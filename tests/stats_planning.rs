@@ -27,7 +27,8 @@ fn observed_statistics_reorder_conjuncts() {
         ColumnDef::new("c1", ColumnType::Int),
     ]);
     let mut db = NoDb::new(NoDbConfig::default());
-    db.register_csv_with_schema("t", &path, schema, false).unwrap();
+    db.register_csv_with_schema("t", &path, schema, false)
+        .unwrap();
 
     // Written order puts the useless conjunct first. With no statistics,
     // both range conjuncts get the same default, so written order survives.
@@ -64,9 +65,13 @@ fn sampling_stride_is_result_transparent() {
 
     let mut expect = None;
     for stride in [1u64, 7, 100] {
-        let cfg = NoDbConfig { stats_sample_every: stride, ..NoDbConfig::default() };
+        let cfg = NoDbConfig {
+            stats_sample_every: stride,
+            ..NoDbConfig::default()
+        };
         let mut db = NoDb::new(cfg);
-        db.register_csv_with_schema("t", &path, gen.schema(), false).unwrap();
+        db.register_csv_with_schema("t", &path, gen.schema(), false)
+            .unwrap();
         let r1 = db.query(sql).unwrap();
         let r2 = db.query(sql).unwrap();
         assert_eq!(r1, r2, "stride {stride} warm rerun");
@@ -86,7 +91,8 @@ fn statistics_follow_update_lifecycle() {
     let gen = GeneratorConfig::uniform_ints(3, 500, 0x11fe);
     gen.generate_file(&path).unwrap();
     let mut db = NoDb::new(NoDbConfig::default());
-    db.register_csv_with_schema("t", &path, gen.schema(), false).unwrap();
+    db.register_csv_with_schema("t", &path, gen.schema(), false)
+        .unwrap();
     db.query("SELECT c1 FROM t WHERE c1 > 0").unwrap();
     let covered = db.table("t").unwrap().snapshot().stats_attrs;
     assert_eq!(covered, vec![1]);
@@ -97,7 +103,9 @@ fn statistics_follow_update_lifecycle() {
     assert_eq!(db.table("t").unwrap().snapshot().stats_attrs, vec![1]);
 
     // Replace: stats dropped (until the next touch).
-    GeneratorConfig::uniform_ints(3, 50, 0x22).generate_file(&path).unwrap();
+    GeneratorConfig::uniform_ints(3, 50, 0x22)
+        .generate_file(&path)
+        .unwrap();
     db.query("SELECT COUNT(*) FROM t").unwrap();
     assert!(db.table("t").unwrap().snapshot().stats_attrs.is_empty());
     std::fs::remove_file(path).unwrap();
