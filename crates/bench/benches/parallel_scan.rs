@@ -75,7 +75,7 @@ fn bench_parallel_scan(c: &mut Criterion) {
         group.bench_function(format!("cold_threads_{threads}"), |b| {
             b.iter_batched(
                 || fresh_db(&path, &schema, threads),
-                |mut db| {
+                |db| {
                     let t = Instant::now();
                     let r = db.query(sql).unwrap();
                     durations.borrow_mut().push(t.elapsed());

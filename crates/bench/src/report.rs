@@ -9,13 +9,17 @@ use std::path::Path;
 ///
 /// `scan_threads` is a first-class column so the parallel-scan scaling
 /// curve (1..N threads over the same dataset) is directly comparable across
-/// PRs.
+/// PRs; `clients` is the number of concurrent query issuers (1 for
+/// single-client microbenchmarks, >1 for the shared-registry multi-client
+/// curve in `BENCH_concurrent_queries.json`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Benchmark name, e.g. `cold_scan`.
     pub name: String,
     /// `NoDbConfig::scan_threads` the measurement ran with (resolved, not 0).
     pub scan_threads: usize,
+    /// Concurrent query clients issuing against one shared instance.
+    pub clients: usize,
     /// Data rows in the benchmark's input file.
     pub rows: u64,
     /// Mean wall-clock per iteration, milliseconds.
@@ -25,10 +29,21 @@ pub struct BenchRecord {
 }
 
 impl BenchRecord {
-    /// Build a record from raw per-iteration durations.
+    /// Build a single-client record from raw per-iteration durations.
     pub fn from_samples(
         name: impl Into<String>,
         scan_threads: usize,
+        rows: u64,
+        samples: &[std::time::Duration],
+    ) -> Self {
+        Self::from_samples_clients(name, scan_threads, 1, rows, samples)
+    }
+
+    /// Build a record with an explicit concurrent-client count.
+    pub fn from_samples_clients(
+        name: impl Into<String>,
+        scan_threads: usize,
+        clients: usize,
         rows: u64,
         samples: &[std::time::Duration],
     ) -> Self {
@@ -42,6 +57,7 @@ impl BenchRecord {
         BenchRecord {
             name: name.into(),
             scan_threads,
+            clients,
             rows,
             mean_ms: mean,
             min_ms: if min.is_finite() { min } else { 0.0 },
@@ -56,9 +72,9 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"name\": {:?}, \"scan_threads\": {}, \"rows\": {}, \
+            "    {{\"name\": {:?}, \"scan_threads\": {}, \"clients\": {}, \"rows\": {}, \
              \"mean_ms\": {:.3}, \"min_ms\": {:.3}}}",
-            r.name, r.scan_threads, r.rows, r.mean_ms, r.min_ms
+            r.name, r.scan_threads, r.clients, r.rows, r.mean_ms, r.min_ms
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -187,9 +203,20 @@ mod tests {
         let json = bench_records_json(&records);
         assert!(json.contains("\"scan_threads\": 1"));
         assert!(json.contains("\"scan_threads\": 4"));
+        assert!(json.contains("\"clients\": 1"));
         assert!(json.contains("\"mean_ms\": 150.000"));
         assert!(json.contains("\"rows\": 1000000"));
         assert!(json.trim_end().ends_with('}'));
+
+        let multi = BenchRecord::from_samples_clients(
+            "warm_shared",
+            4,
+            8,
+            10_000,
+            &[Duration::from_millis(9)],
+        );
+        assert_eq!(multi.clients, 8);
+        assert!(bench_records_json(&[multi]).contains("\"clients\": 8"));
     }
 
     #[test]

@@ -16,21 +16,28 @@
 //! println!("{}", db.snapshot("events").unwrap().panel());
 //! ```
 //!
-//! Module map: [`config`] (the demo's knob panel), [`table`] (per-file
-//! adaptive state), [`rawscan`] (the in-situ scan operator), [`metrics`]
-//! (Fig 2 / Fig 3 panels as data).
+//! `query` takes `&self`: a `NoDb` behind an `Arc` serves any number of
+//! threads at once, and queries against the same table share its positional
+//! map and cache through the [`registry`]'s per-table `RwLock` (read-mostly
+//! queries stream under the read lock; structure growth is staged and
+//! installed under short write locks — see [`rawscan`]'s module docs).
+//!
+//! Module map: [`config`] (the demo's knob panel), [`registry`] (the
+//! concurrent table registry), [`table`] (per-file adaptive state),
+//! [`rawscan`] (the in-situ scan operator), [`metrics`] (Fig 2 / Fig 3
+//! panels as data).
 
 pub mod config;
 pub mod metrics;
 pub mod rawscan;
+pub mod registry;
 pub mod table;
 mod worker;
 
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use nodb_engine::{execute, plan_select, EngineError, EngineResult, QueryResult};
+use nodb_engine::{execute, plan_select, EngineError, EngineResult, QueryResult, QueueSource};
 use nodb_rawcsv::reader::FileChange;
 use nodb_rawcsv::tokenizer::TokenizerConfig;
 use nodb_rawcsv::{infer, Schema};
@@ -41,29 +48,42 @@ use nodb_stats::table::StatsEstimator;
 pub use config::NoDbConfig;
 pub use metrics::{Breakdown, QueryReport, SystemSnapshot};
 pub use rawscan::{RawScanSource, ScanTelemetry, TelemetryHandle};
+pub use registry::{TableHandle, TableRegistry};
 pub use table::RawTable;
+
+/// How many times a query re-plans after finding its prepared scan stale
+/// (file-state generation moved, or a needed cache column was evicted)
+/// before falling back to running exclusively under the table's write lock.
+const MAX_SHARED_ATTEMPTS: usize = 3;
 
 /// The NoDB system: a set of registered raw files and their adaptive
 /// auxiliary structures, queryable with SQL from the first second.
+///
+/// Queries take `&self` and may run concurrently from many threads; the
+/// per-table locking discipline is documented on [`registry`]. The budget
+/// knobs also take `&self`, so an operator can turn the demo's storage
+/// sliders on a live `Arc<NoDb>` while clients keep querying (each query
+/// works from a config snapshot taken at its start).
 pub struct NoDb {
-    config: NoDbConfig,
-    tables: HashMap<String, RawTable>,
-    last_report: Option<QueryReport>,
+    config: parking_lot::RwLock<NoDbConfig>,
+    tables: TableRegistry,
+    last_report: Mutex<Option<QueryReport>>,
 }
 
 impl NoDb {
     /// A new instance with the given configuration.
     pub fn new(config: NoDbConfig) -> Self {
         NoDb {
-            config,
-            tables: HashMap::new(),
-            last_report: None,
+            config: parking_lot::RwLock::new(config),
+            tables: TableRegistry::new(),
+            last_report: Mutex::new(None),
         }
     }
 
-    /// Configuration in force.
-    pub fn config(&self) -> &NoDbConfig {
-        &self.config
+    /// Configuration in force (a copy; the live budgets can move under the
+    /// interactive knobs).
+    pub fn config(&self) -> NoDbConfig {
+        *self.config.read()
     }
 
     /// Register a raw file, sniffing the delimiter (comma, tab, semicolon
@@ -96,8 +116,8 @@ impl NoDb {
         tokenizer: TokenizerConfig,
     ) -> EngineResult<()> {
         let table =
-            RawTable::register_with_tokenizer(path, schema, has_header, &self.config, tokenizer)?;
-        self.tables.insert(name.into(), table);
+            RawTable::register_with_tokenizer(path, schema, has_header, &self.config(), tokenizer)?;
+        self.tables.insert(name, table);
         Ok(())
     }
 
@@ -109,53 +129,90 @@ impl NoDb {
         schema: Schema,
         has_header: bool,
     ) -> EngineResult<()> {
-        let table = RawTable::register(path, schema, has_header, &self.config)?;
-        self.tables.insert(name.into(), table);
+        let table = RawTable::register(path, schema, has_header, &self.config())?;
+        self.tables.insert(name, table);
         Ok(())
     }
 
     /// Execute one SQL query. Everything adaptive happens as a side effect:
     /// update detection, access planning, map/cache/statistics population.
-    pub fn query(&mut self, sql: &str) -> EngineResult<QueryResult> {
+    ///
+    /// Takes `&self`: any number of threads may call this concurrently on
+    /// one instance. The table's write lock is held only for planning and
+    /// the post-scan install; the data scan itself runs under the read lock
+    /// (or, for `scan_threads = 1` and the force-full-parse ablation, under
+    /// the write lock — the sequential path is kept byte-for-byte).
+    pub fn query(&self, sql: &str) -> EngineResult<QueryResult> {
         let t0 = Instant::now();
         let stmt = parse_select(sql)?;
-        let table = self
+        let handle = self
             .tables
-            .get_mut(&stmt.table)
+            .get(&stmt.table)
             .ok_or_else(|| EngineError::UnknownTable(stmt.table.clone()))?;
+        let telemetry: TelemetryHandle = Arc::new(Mutex::new(ScanTelemetry::default()));
+        let config = self.config();
 
-        if self.config.detect_updates {
-            table.check_updates()?;
-        }
-
-        let planned = if self.config.enable_stats {
-            let est = StatsEstimator::new(&mut table.stats);
-            plan_select(&stmt, &table.schema, &est)?
-        } else {
-            plan_select(&stmt, &table.schema, &NoStats)?
+        // Planning bookkeeping under a short write lock: update probe,
+        // statistics-driven plan, usage counters.
+        let mut guard = handle.write();
+        let planned = {
+            let table = &mut *guard;
+            if config.detect_updates {
+                table.check_updates()?;
+            }
+            let planned = if config.enable_stats {
+                let est = StatsEstimator::new(&mut table.stats);
+                plan_select(&stmt, &table.schema, &est)?
+            } else {
+                plan_select(&stmt, &table.schema, &NoStats)?
+            };
+            for &attr in &planned.scan.attrs {
+                if let Some(slot) = table.attr_access.get_mut(attr) {
+                    *slot += 1;
+                }
+            }
+            planned
         };
 
-        for &attr in &planned.scan.attrs {
-            if let Some(slot) = table.attr_access.get_mut(attr) {
-                *slot += 1;
+        let mut attempts = 0usize;
+        let result = loop {
+            attempts += 1;
+            let prep = rawscan::prepare_scan(&mut guard, &config, planned.scan.clone(), &telemetry);
+            // A stale prep (concurrent append/replace reconciliation, or a
+            // cache column evicted under budget pressure) sends the query
+            // around the loop; after a few spins it runs exclusively, which
+            // cannot go stale.
+            let exclusive = attempts > MAX_SHARED_ATTEMPTS;
+            if !exclusive && prep.fully_cached {
+                drop(guard);
+                match rawscan::stream_cached_shared(&handle, &prep, &telemetry)? {
+                    Some(queue) => break execute(&planned, Box::new(QueueSource::new(queue)))?,
+                    None => {
+                        guard = handle.write();
+                        continue;
+                    }
+                }
             }
-        }
-        let hits0 = table.cache.metrics().hits;
-        let misses0 = table.cache.metrics().misses;
-
-        let telemetry: TelemetryHandle = Arc::new(Mutex::new(ScanTelemetry::default()));
-        let result = {
-            let source = RawScanSource::new(
-                table,
-                self.config,
-                planned.scan.clone(),
-                Arc::clone(&telemetry),
-            );
-            execute(&planned, Box::new(source))?
+            if !exclusive
+                && !prep.fully_cached
+                && prep.threads >= 2
+                && !config.cache_force_full_parse
+            {
+                drop(guard);
+                match rawscan::scan_shared(&handle, &config, &prep, &telemetry)? {
+                    Some(queue) => break execute(&planned, Box::new(QueueSource::new(queue)))?,
+                    None => {
+                        guard = handle.write();
+                        continue;
+                    }
+                }
+            }
+            // Exclusive path: the write lock is held across the whole scan.
+            let source = RawScanSource::from_prep(&mut guard, config, prep, Arc::clone(&telemetry));
+            break execute(&planned, Box::new(source))?;
         };
 
         let total = t0.elapsed();
-        let table = self.tables.get(&stmt.table).expect("still registered");
         let tel = telemetry.lock().expect("telemetry lock");
         let mut breakdown = tel.breakdown;
         // Processing = everything not attributed to a scan phase.
@@ -166,71 +223,68 @@ impl NoDb {
                 + breakdown.convert
                 + breakdown.nodb,
         );
-        self.last_report = Some(QueryReport {
+        let report = QueryReport {
             total,
             breakdown,
             io: tel.io,
             rows_scanned: tel.rows_scanned,
             rows_returned: result.len() as u64,
-            cache_hits: table.cache.metrics().hits - hits0,
-            cache_misses: table.cache.metrics().misses - misses0,
+            cache_hits: tel.cache_hits,
+            cache_misses: tel.cache_misses,
             fully_cached: tel.fully_cached,
             installed_chunk: tel.installed_chunk,
             plan: planned.explain(),
-        });
+        };
+        drop(tel);
+        *self.last_report.lock().expect("report lock") = Some(report);
         Ok(result)
     }
 
-    /// Report for the most recent query.
-    pub fn last_report(&self) -> Option<&QueryReport> {
-        self.last_report.as_ref()
+    /// Report for the most recent query on this instance (owned: concurrent
+    /// queries each publish their report as they finish, last writer wins).
+    pub fn last_report(&self) -> Option<QueryReport> {
+        self.last_report.lock().expect("report lock").clone()
     }
 
     /// The Figure 2 monitoring panel for one table.
     pub fn snapshot(&self, table: &str) -> Option<SystemSnapshot> {
-        self.tables.get(table).map(RawTable::snapshot)
+        self.tables.get(table).map(|h| h.read().snapshot())
     }
 
     /// Schema of a registered table.
-    pub fn schema(&self, table: &str) -> Option<&Schema> {
-        self.tables.get(table).map(RawTable::schema)
+    pub fn schema(&self, table: &str) -> Option<Schema> {
+        self.tables.get(table).map(|h| h.read().schema().clone())
     }
 
-    /// Direct access to a registered table (experiment harness).
-    pub fn table(&self, name: &str) -> Option<&RawTable> {
+    /// Shared handle to a registered table (experiment harness / tests).
+    /// Lock it (`read`/`write`) to inspect or tweak the adaptive state.
+    pub fn table_handle(&self, name: &str) -> Option<TableHandle> {
         self.tables.get(name)
-    }
-
-    /// Mutable access to a registered table (experiment harness / knobs).
-    pub fn table_mut(&mut self, name: &str) -> Option<&mut RawTable> {
-        self.tables.get_mut(name)
     }
 
     /// Change the positional-map budget for every registered table (the
     /// demo's interactive storage knob). Shrinking evicts immediately.
-    pub fn set_map_budget(&mut self, bytes: usize) {
-        self.config.map_budget_bytes = bytes;
-        for t in self.tables.values_mut() {
-            t.map.set_budget(bytes);
-        }
+    pub fn set_map_budget(&self, bytes: usize) {
+        self.config.write().map_budget_bytes = bytes;
+        self.tables.for_each(|_, h| h.write().map.set_budget(bytes));
     }
 
     /// Change the cache budget for every registered table.
-    pub fn set_cache_budget(&mut self, bytes: usize) {
-        self.config.cache_budget_bytes = bytes;
-        for t in self.tables.values_mut() {
-            t.cache.set_budget(bytes);
-        }
+    pub fn set_cache_budget(&self, bytes: usize) {
+        self.config.write().cache_budget_bytes = bytes;
+        self.tables
+            .for_each(|_, h| h.write().cache.set_budget(bytes));
     }
 
     /// Force an update probe on one table (the harness uses this to test
     /// §4.2 updates without issuing a query).
-    pub fn probe_updates(&mut self, table: &str) -> EngineResult<FileChange> {
-        let t = self
+    pub fn probe_updates(&self, table: &str) -> EngineResult<FileChange> {
+        let h = self
             .tables
-            .get_mut(table)
+            .get(table)
             .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
-        Ok(t.check_updates()?)
+        let change = h.write().check_updates()?;
+        Ok(change)
     }
 }
 
@@ -255,6 +309,13 @@ mod tests {
     }
 
     #[test]
+    fn facade_is_send_and_sync() {
+        fn assert_shareable<T: Send + Sync>() {}
+        assert_shareable::<NoDb>();
+        assert_shareable::<TableHandle>();
+    }
+
+    #[test]
     fn zero_load_query_and_adaptive_speedup_state() {
         let (p, gen) = tmp_csv(6, 1000, 11);
         let mut db = NoDb::new(NoDbConfig::default());
@@ -264,7 +325,7 @@ mod tests {
         let r1 = db
             .query("SELECT c1, c4 FROM t WHERE c2 > 500000000")
             .unwrap();
-        let rep1 = db.last_report().unwrap().clone();
+        let rep1 = db.last_report().unwrap();
         assert_eq!(rep1.rows_scanned, 1000);
         assert!(!rep1.fully_cached);
         assert!(rep1.io.bytes_read > 0);
@@ -272,10 +333,11 @@ mod tests {
         let r2 = db
             .query("SELECT c1, c4 FROM t WHERE c2 > 500000000")
             .unwrap();
-        let rep2 = db.last_report().unwrap().clone();
+        let rep2 = db.last_report().unwrap();
         assert_eq!(r1, r2, "adaptive rerun must be identical");
         assert!(rep2.fully_cached, "second run served from cache");
         assert_eq!(rep2.io.bytes_read, 0);
+        assert!(rep2.cache_hits > 0, "cached rerun tallies its own hits");
         std::fs::remove_file(p).unwrap();
     }
 
@@ -373,7 +435,7 @@ mod tests {
 
     #[test]
     fn unknown_table_is_reported() {
-        let mut db = NoDb::new(NoDbConfig::default());
+        let db = NoDb::new(NoDbConfig::default());
         assert!(matches!(
             db.query("SELECT a FROM missing"),
             Err(EngineError::UnknownTable(_))
@@ -393,6 +455,33 @@ mod tests {
         assert!(rep.io.bytes_read > 0, "baseline re-reads every query");
         let s = db.snapshot("t").unwrap();
         assert_eq!(s.map_bytes + s.cache_bytes, 0);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_table() {
+        let (p, gen) = tmp_csv(5, 400, 18);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+        let sql = "SELECT c1, c3 FROM t WHERE c2 < 700000000";
+        let expect = db.query(sql).unwrap();
+
+        let db = Arc::new(db);
+        let results: Vec<QueryResult> = std::thread::scope(|s| {
+            (0..6)
+                .map(|_| {
+                    let db = Arc::clone(&db);
+                    s.spawn(move || db.query(sql).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in results {
+            assert_eq!(r, expect, "concurrent query must match sequential");
+        }
         std::fs::remove_file(p).unwrap();
     }
 }

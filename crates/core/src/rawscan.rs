@@ -41,6 +41,39 @@
 //!   plain use the fused single-pass scan
 //!   ([`nodb_rawcsv::reader::BlockScanner::next_line_tokenized`]).
 //!
+//! # Concurrent queries (lock staging)
+//!
+//! With the table registry (`crate::registry`), several queries may scan
+//! the *same* table at once. The scan is split into three phases so the
+//! table's write lock is held only for bookkeeping, never for data access:
+//!
+//! 1. **Prepare** ([`prepare_scan`], write lock) — update probe, access
+//!    planning (LRU touches, cache query tick), coverage snapshots and warm
+//!    partitioning, captured into a [`ScanPrep`] together with the table's
+//!    file-state generation.
+//! 2. **Scan** ([`run_partitions`] / [`stream_cached_shared`], read lock) —
+//!    workers borrow the map/cache/schema immutably and stage everything in
+//!    partition-local partials; fully-cached queries stream through
+//!    `RawCache::peek` with local hit tallies. Any number of queries can be
+//!    in this phase simultaneously.
+//! 3. **Merge** ([`merge_outputs`], write lock) — staged partials are
+//!    installed. The merge is *frontier-based* and therefore idempotent
+//!    under interleaving: the row index skips known rows, chunk installs go
+//!    through subsumption, cache admission replays from the cache's
+//!    *current* coverage, and statistics replay only rows beyond each
+//!    attribute's observation frontier. Merging the same full-scan output
+//!    after another query already merged its own is a no-op, which is what
+//!    makes N concurrent queries end in the same state as a sequential
+//!    replay.
+//!
+//! A `ScanPrep` is only valid for the generation it was taken at: if update
+//! detection reconciled an append/replacement in between, phases 2 and 3
+//! refuse to run (`None`) and the caller retries against the new state.
+//! Stale *plan* details (chunk indices, cache coverage) are harmless within
+//! a generation — a chunk that moved or a column that was evicted simply
+//! degrades to tokenizing, never to wrong data, because every chunk of the
+//! same generation stores identical offsets for the same `(attr, row)`.
+//!
 //! # Merge invariants
 //!
 //! Workers never touch shared mutable state; each returns partition-local
@@ -58,22 +91,26 @@
 //! * *Cache* — workers buffer one value per row per requested attribute
 //!   (partial columns); the driver replays the sequential scan's exact
 //!   admission loop — row-major, attribute-interleaved, stopping a column
-//!   permanently at the first refused append — so budget/LRU behavior
-//!   matches the sequential scan decision for decision.
+//!   permanently at the first refused append — starting from the cache's
+//!   coverage at merge time, so budget/LRU behavior matches the sequential
+//!   scan decision for decision.
 //! * *Statistics* — observations are replayed from the buffered columns in
-//!   global row order under the same sampling stride. Replay (not
-//!   accumulator merging) is deliberate: the reservoir sample depends on
-//!   arrival order, so only order-preserving replay keeps statistics
-//!   identical.
+//!   global row order under the same sampling stride, starting at each
+//!   attribute's observation frontier. Replay (not accumulator merging) is
+//!   deliberate: the reservoir sample depends on arrival order, so only
+//!   order-preserving replay keeps statistics identical.
 //! * *Results* — per-partition output batches are concatenated in partition
 //!   order (`Batch::extend_from`), no reordering anywhere downstream.
-//! * *Telemetry* — `Breakdown` and `IoCounters` are summed.
+//! * *Telemetry* — `Breakdown` and `IoCounters` are summed; cache hit/miss
+//!   tallies travel with the scan (not as global metric diffs), so
+//!   concurrent queries never misattribute each other's reads.
 //!
 //! The `cache_force_full_parse` ablation always runs sequentially (it
 //! exists to demonstrate a pathology, not to be fast). Parse errors abort
 //! the parallel scan without merging any side effects.
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -87,6 +124,7 @@ use nodb_rawcsv::{parser, Datum, IoCounters, RawCsvError};
 
 use crate::config::NoDbConfig;
 use crate::metrics::{Breakdown, PhaseClock};
+use crate::registry::TableHandle;
 use crate::table::RawTable;
 use crate::worker::{self, Partition, PartitionOutput, ScanContext};
 
@@ -107,6 +145,12 @@ pub struct ScanTelemetry {
     pub fully_cached: bool,
     /// True when a positional-map chunk was installed at scan end.
     pub installed_chunk: bool,
+    /// Cache reads served by this scan. Tallied per scan rather than
+    /// derived from global cache-metric deltas so concurrent queries on the
+    /// same table never count each other's reads.
+    pub cache_hits: u64,
+    /// Cache reads refused by this scan (value resolved from raw bytes).
+    pub cache_misses: u64,
 }
 
 /// Rewrite a partition-local row number in a worker error to the global
@@ -144,24 +188,586 @@ fn rebase_row_error(e: EngineError, base: u64) -> EngineError {
 /// clone across the engine call. The lock is touched once per query.
 pub type TelemetryHandle = Arc<Mutex<ScanTelemetry>>;
 
-/// The adaptive raw scan.
+/// Selective tuple formation shared by the sequential scan, the partition
+/// workers and the cached streamer: evaluate the pushed predicate over the
+/// resolved values and, if it passes, append one output row to `batch`
+/// (predicate-only columns stay NULL). Returns whether the row was formed.
+pub(crate) fn form_tuple_into(
+    req: &ScanRequest,
+    values: &mut [Option<Datum>],
+    pred_row: &mut Vec<Datum>,
+    batch: &mut Batch,
+) -> bool {
+    if let Some(pred) = &req.predicate {
+        pred_row.clear();
+        for v in values.iter() {
+            pred_row.push(v.clone().unwrap_or(Datum::Null));
+        }
+        if !pred.eval_filter(&SliceRow(&pred_row[..])) {
+            return false;
+        }
+    }
+    for (i, v) in values.iter_mut().enumerate() {
+        let d = if req.materialize.get(i).copied().unwrap_or(true) {
+            v.take().unwrap_or(Datum::Null)
+        } else {
+            Datum::Null // predicate-only column: never materialized
+        };
+        batch.push_value(i, d);
+    }
+    batch.finish_row();
+    true
+}
+
+/// Everything a scan decides up front, captured under the table's write
+/// lock so the data phase can run under a read lock (or no lock at all for
+/// cold partitioning). Tied to the table's file-state `generation`: the
+/// scan and merge phases refuse to run against a different generation.
+pub(crate) struct ScanPrep {
+    /// The planner's scan request.
+    pub req: ScanRequest,
+    /// Positional-map access plan (None when the map is unusable).
+    pub plan: Option<AccessPlan>,
+    /// Whether this scan collects a new positional-map chunk.
+    pub build_chunk: bool,
+    /// Row-count hint for chunk-builder preallocation.
+    pub rows_hint: usize,
+    /// Cache coverage per requested position at plan time.
+    pub cache_cov: Vec<usize>,
+    /// LRU tick from `RawCache::begin_query` protecting this query's columns.
+    pub query_tick: u64,
+    /// Statistics observation frontier per requested position at plan time
+    /// (the sequential streaming path observes only rows at or beyond it).
+    pub stats_frontier: Vec<u64>,
+    /// Pure-cache fast path: every requested attribute covered for every
+    /// known row.
+    pub fully_cached: bool,
+    /// Known row count backing `fully_cached`.
+    pub cached_rows: u64,
+    /// Row-partitioned (warm) mode is available.
+    pub warm: bool,
+    /// Precomputed row-range partitions (warm mode, `threads >= 2` only).
+    pub warm_partitions: Vec<Partition>,
+    /// Resolved worker count.
+    pub threads: usize,
+    /// File-state generation this prep belongs to.
+    pub generation: u64,
+    /// Raw file path (cold partitioning runs without any table lock).
+    pub path: PathBuf,
+    /// Whether partition 0 of a cold scan must skip a header line.
+    pub has_header: bool,
+}
+
+/// Phase 1 of a scan: access planning and coverage snapshots, run under the
+/// table's write lock (access planning touches LRU clocks and the cache
+/// query tick). Also publishes the `fully_cached` flag to the telemetry.
+pub(crate) fn prepare_scan(
+    table: &mut RawTable,
+    config: &NoDbConfig,
+    req: ScanRequest,
+    telemetry: &TelemetryHandle,
+) -> ScanPrep {
+    let n = req.attrs.len();
+    let cache_cov: Vec<usize> = if config.enable_cache {
+        table.cache.coverage_of(&req.attrs)
+    } else {
+        vec![0; n]
+    };
+    let query_tick = if config.enable_cache {
+        table.cache.begin_query(&req.attrs)
+    } else {
+        0
+    };
+
+    // Quoted fields may contain the delimiter, so a stored offset is not
+    // enough to re-tokenize from mid-tuple: the quote state is unknown. The
+    // positional map is therefore only used on plain (unquoted) tokenizer
+    // configurations; quoted files still get selective tokenizing, caching
+    // and statistics.
+    let map_usable = config.enable_positional_map && table.tokenizer.quote.is_none();
+    let plan = map_usable.then(|| table.map.plan_access(&req.attrs));
+    let build_chunk = matches!(&plan, Some(p) if p.should_index);
+    let rows_hint = table.map.row_index().len();
+
+    let stats_frontier: Vec<u64> = if config.enable_stats {
+        req.attrs
+            .iter()
+            .map(|&a| table.stats.observed_upto(a))
+            .collect()
+    } else {
+        vec![0; n]
+    };
+
+    // Pure-cache fast path: every requested attribute covered for every
+    // known row.
+    let (fully_cached, cached_rows) = match table.row_count {
+        Some(rc) if config.enable_cache => {
+            let all = cache_cov.iter().all(|&c| c as u64 >= rc);
+            (all, rc)
+        }
+        _ => (false, 0),
+    };
+    telemetry.lock().expect("telemetry lock").fully_cached = fully_cached;
+
+    let threads = config.effective_scan_threads();
+    let warm = plan.is_some() && table.map.row_index().is_complete() && table.row_count.is_some();
+    let mut warm_partitions: Vec<Partition> = Vec::new();
+    if warm && threads >= 2 && !fully_cached {
+        let total = table.row_count.expect("warm mode") as usize;
+        let idx = table.map.row_index();
+        let parts = threads.min(total.max(1));
+        for k in 0..parts {
+            let lo = total * k / parts;
+            let hi = total * (k + 1) / parts;
+            if lo >= hi {
+                continue;
+            }
+            let start = idx.offset(lo).expect("complete row index");
+            let end = if hi < total {
+                idx.offset(hi).expect("complete row index")
+            } else {
+                u64::MAX // last partition runs to EOF
+            };
+            warm_partitions.push(Partition {
+                range: LineRange { start, end },
+                skip_header: false, // data-row offsets already skip it
+                row_base: Some(lo),
+            });
+        }
+    }
+
+    ScanPrep {
+        req,
+        plan,
+        build_chunk,
+        rows_hint,
+        cache_cov,
+        query_tick,
+        stats_frontier,
+        fully_cached,
+        cached_rows,
+        warm,
+        warm_partitions,
+        threads,
+        generation: table.generation,
+        path: table.path.clone(),
+        has_header: table.has_header,
+    }
+}
+
+/// Wrap cold byte ranges into worker partitions (partition 0 owns the
+/// header line, if any).
+fn cold_partitions(ranges: Vec<LineRange>, has_header: bool) -> Vec<Partition> {
+    ranges
+        .into_iter()
+        .enumerate()
+        .map(|(i, range)| Partition {
+            range,
+            skip_header: has_header && i == 0,
+            row_base: None,
+        })
+        .collect()
+}
+
+/// Phase 2 of a parallel scan: fan one worker out per partition over shared
+/// borrows of the table and collect the partials in partition order. Needs
+/// only `&RawTable`, so concurrent queries run this phase under the table's
+/// read lock. A worker error aborts the scan; cold-mode errors are rebased
+/// to global row numbers using the preceding partitions' row counts.
+pub(crate) fn run_partitions(
+    table: &RawTable,
+    config: &NoDbConfig,
+    prep: &ScanPrep,
+    partitions: &[Partition],
+) -> EngineResult<Vec<PartitionOutput>> {
+    let ctx = ScanContext {
+        config: *config,
+        req: &prep.req,
+        tokenizer: table.tokenizer,
+        schema: &table.schema,
+        path: &table.path,
+        map: prep.warm.then_some(&table.map),
+        plan: if prep.warm { prep.plan.as_ref() } else { None },
+        cache: if prep.warm && config.enable_cache {
+            Some(&table.cache)
+        } else {
+            None
+        },
+        cache_cov: &prep.cache_cov,
+        collect_side: config.enable_cache || config.enable_stats,
+        build_chunk: prep.build_chunk,
+        // A warm scan's row index is complete by definition — collecting
+        // offsets there would only replay no-ops.
+        collect_offsets: prep.plan.is_some() && !prep.warm,
+    };
+    let collected: Vec<EngineResult<PartitionOutput>> = std::thread::scope(|s| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|&p| {
+                let ctx = &ctx;
+                s.spawn(move || worker::run_partition(ctx, p))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(EngineError::Execution("scan worker panicked".into())))
+            })
+            .collect()
+    });
+    let mut results: Vec<PartitionOutput> = Vec::with_capacity(collected.len());
+    for r in collected {
+        match r {
+            Ok(o) => results.push(o),
+            Err(e) => {
+                // Abort without merging any side effects; the error a caller
+                // sees is the lowest-partition one. Cold-mode workers number
+                // rows partition-locally, so rebase row references by the
+                // preceding partitions' row counts to report the true file
+                // row (warm-mode workers already use global rows).
+                let e = if prep.warm {
+                    e
+                } else {
+                    let base: usize = results.iter().map(|o| o.rows).sum();
+                    rebase_row_error(e, base as u64)
+                };
+                return Err(e);
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// What [`merge_outputs`] hands back: the total rows scanned and the output
+/// batches ready for the engine.
+pub(crate) struct MergeInfo {
+    /// Data rows the scan visited.
+    pub total: usize,
+    /// Re-packed output batches in row order.
+    pub queue: VecDeque<Batch>,
+}
+
+/// Phase 3 of a parallel scan: merge the per-partition partials into the
+/// table's adaptive structures, in partition order, under the table's write
+/// lock, and publish the scan telemetry.
+///
+/// Every sub-merge is **frontier-based** so interleaved queries converge to
+/// the sequential-replay state: the row index skips known rows, the chunk
+/// install goes through subsumption, cache admission replays from the
+/// cache's *current* coverage, and statistics replay only rows at or beyond
+/// each attribute's observation frontier. With exclusive access (the
+/// `scan_threads = 1` facade path or direct `RawScanSource` use) the
+/// frontiers equal the plan-time snapshots, reproducing the sequential scan
+/// decision for decision.
+pub(crate) fn merge_outputs(
+    table: &mut RawTable,
+    config: &NoDbConfig,
+    prep: &ScanPrep,
+    mut results: Vec<PartitionOutput>,
+    mut bd: Breakdown,
+    telemetry: &TelemetryHandle,
+    clock: &PhaseClock,
+) -> MergeInfo {
+    // Ordered merge. Timed as NoDB-structure maintenance, like the
+    // sequential scan's chunk install.
+    let t = clock.start();
+    let n = prep.req.attrs.len();
+    let bases: Vec<usize> = results
+        .iter()
+        .scan(0usize, |acc, o| {
+            let b = *acc;
+            *acc += o.rows;
+            Some(b)
+        })
+        .collect();
+    let total = bases.last().copied().unwrap_or(0) + results.last().map(|o| o.rows).unwrap_or(0);
+
+    let mut io = IoCounters::default();
+    let mut worker_hits = 0u64;
+    let mut worker_misses = 0u64;
+    for o in &results {
+        bd.merge(&o.breakdown);
+        io.merge(o.io);
+        worker_hits += o.cache_hits;
+        worker_misses += o.cache_misses;
+    }
+
+    if prep.plan.is_some() {
+        for (p, o) in results.iter().enumerate() {
+            table
+                .map
+                .row_index_mut()
+                .note_rows(bases[p], &o.line_starts);
+        }
+    }
+
+    let mut installed = false;
+    if prep.build_chunk {
+        let mut merged = ChunkBuilder::with_capacity(prep.req.attrs.clone(), total);
+        for o in &mut results {
+            if let Some(wb) = o.builder.take() {
+                merged.append_partial(wb);
+            }
+        }
+        installed = table.map.install(merged).is_some();
+    }
+
+    // Side columns: concatenate the per-partition partial cache columns in
+    // partition order (segment merge) — one full column per requested
+    // attribute, addressed by global row below.
+    let collect_side = config.enable_cache || config.enable_stats;
+    let side: Vec<TypedColumn> = if collect_side {
+        let mut it = results.iter_mut();
+        let mut side = it
+            .next()
+            .map(|o| std::mem::take(&mut o.side_cols))
+            .unwrap_or_else(|| {
+                prep.req
+                    .attrs
+                    .iter()
+                    .map(|&a| TypedColumn::new(table.schema.ty(a)))
+                    .collect()
+            });
+        for o in it {
+            for (full, seg) in side.iter_mut().zip(o.side_cols.drain(..)) {
+                full.append_segment(seg);
+            }
+        }
+        side
+    } else {
+        Vec::new()
+    };
+
+    // Cache: replay the sequential admission loop — row-major,
+    // attribute-interleaved, a column stopping permanently at its first
+    // refused append — so budget/LRU decisions are identical. The admission
+    // frontier is the cache's coverage *now*: rows another interleaved
+    // query already admitted are skipped, never appended twice.
+    if config.enable_cache {
+        table.cache.record_reads(worker_hits, worker_misses);
+        if total > 0 {
+            let mut next = table.cache.coverage_of(&prep.req.attrs);
+            let mut row = next
+                .iter()
+                .copied()
+                .filter(|&v| v != usize::MAX)
+                .min()
+                .unwrap_or(total);
+            while row < total {
+                if next.iter().all(|&v| v == usize::MAX || v > row) {
+                    // Nothing appends at this row; jump to the next frontier.
+                    match next
+                        .iter()
+                        .copied()
+                        .filter(|&v| v != usize::MAX && v > row)
+                        .min()
+                    {
+                        Some(r) => {
+                            row = r;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                for (i, slot) in next.iter_mut().enumerate() {
+                    if *slot == row {
+                        let d = side[i].datum(row).unwrap_or(Datum::Null);
+                        let ty = table.schema.ty(prep.req.attrs[i]);
+                        if table
+                            .cache
+                            .append(prep.req.attrs[i], ty, &d, prep.query_tick)
+                        {
+                            *slot += 1;
+                        } else {
+                            *slot = usize::MAX;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+
+    // Statistics: order-preserving replay under the shared stride (see
+    // module docs on why replay, not accumulator merging), starting at each
+    // attribute's observation frontier as of this merge.
+    if config.enable_stats && total > 0 {
+        let frontiers: Vec<u64> = prep
+            .req
+            .attrs
+            .iter()
+            .map(|&a| table.stats.observed_upto(a))
+            .collect();
+        let mut row = frontiers.iter().copied().min().unwrap_or(0);
+        while (row as usize) < total {
+            if table.stats.should_sample(row) {
+                for (i, (col, &attr)) in side.iter().zip(&prep.req.attrs).enumerate() {
+                    if row >= frontiers[i] {
+                        let d = col.datum(row as usize).unwrap_or(Datum::Null);
+                        table.stats.attr_mut(attr).observe(&d);
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+
+    // End-of-scan bookkeeping (the sequential scan's `finish`).
+    table.row_count = Some(total as u64);
+    if prep.plan.is_some() {
+        table.map.row_index_mut().mark_complete();
+    }
+    if config.enable_stats {
+        table.stats.set_row_count(total as u64);
+        for &attr in &prep.req.attrs {
+            table.stats.advance_observed(attr, total as u64);
+        }
+    }
+
+    // Results: concatenate per-partition batches in partition order,
+    // re-packing to full batches (reorder-free concatenation).
+    let mut queue: VecDeque<Batch> = VecDeque::new();
+    let mut acc = Batch::with_columns(n);
+    for mut o in results {
+        for b in o.batches.drain(..) {
+            if acc.is_empty() && b.rows() >= BATCH_SIZE {
+                queue.push_back(b);
+            } else {
+                acc.extend_from(b);
+                if acc.rows() >= BATCH_SIZE {
+                    queue.push_back(std::mem::replace(&mut acc, Batch::with_columns(n)));
+                }
+            }
+        }
+    }
+    if !acc.is_empty() {
+        queue.push_back(acc);
+    }
+    clock.lap(t, &mut bd.nodb);
+
+    let mut tel = telemetry.lock().expect("telemetry lock");
+    tel.io.merge(io);
+    tel.rows_scanned = total as u64;
+    tel.installed_chunk = installed;
+    tel.breakdown = bd;
+    tel.cache_hits = worker_hits;
+    tel.cache_misses = worker_misses;
+
+    MergeInfo { total, queue }
+}
+
+/// Run a prepared scan against a shared table handle: partitioned workers
+/// under the read lock, frontier-based merge under a short write lock.
+///
+/// Returns `Ok(None)` when the table's file-state generation moved past
+/// `prep.generation` (an append or replacement was reconciled while no lock
+/// was held) — the staged work describes dead state and the caller must
+/// re-prepare.
+pub(crate) fn scan_shared(
+    handle: &TableHandle,
+    config: &NoDbConfig,
+    prep: &ScanPrep,
+    telemetry: &TelemetryHandle,
+) -> EngineResult<Option<VecDeque<Batch>>> {
+    let clock = PhaseClock::new(config.detailed_timing);
+    let mut bd = Breakdown::default();
+    // Partitioning. Warm row ranges were captured at prepare time; cold
+    // byte partitioning probes only the raw file and needs no table lock.
+    let partitions: Vec<Partition> = if prep.warm {
+        prep.warm_partitions.clone()
+    } else {
+        let t = clock.start();
+        let ranges = partition_line_ranges(&prep.path, prep.threads)?;
+        clock.lap(t, &mut bd.io);
+        cold_partitions(ranges, prep.has_header)
+    };
+
+    let outputs = {
+        let table = handle.read();
+        if table.generation != prep.generation {
+            return Ok(None);
+        }
+        run_partitions(&table, config, prep, &partitions)?
+    };
+
+    let mut table = handle.write();
+    if table.generation != prep.generation {
+        return Ok(None);
+    }
+    let info = merge_outputs(&mut table, config, prep, outputs, bd, telemetry, &clock);
+    Ok(Some(info.queue))
+}
+
+/// Serve a fully-cached query from a shared table handle under the read
+/// lock, tallying hits locally and folding them into the cache metrics
+/// under a short write lock at the end.
+///
+/// Returns `Ok(None)` when the generation moved or a concurrent eviction
+/// dropped a column the plan relied on — the caller re-prepares (the next
+/// attempt will see the shrunk coverage and take a raw scan instead).
+pub(crate) fn stream_cached_shared(
+    handle: &TableHandle,
+    prep: &ScanPrep,
+    telemetry: &TelemetryHandle,
+) -> EngineResult<Option<VecDeque<Batch>>> {
+    let n = prep.req.attrs.len();
+    let mut queue: VecDeque<Batch> = VecDeque::new();
+    let mut batch = Batch::with_columns(n);
+    let mut values: Vec<Option<Datum>> = vec![None; n];
+    let mut pred_row: Vec<Datum> = Vec::with_capacity(n);
+    let mut hits = 0u64;
+    {
+        let table = handle.read();
+        if table.generation != prep.generation {
+            return Ok(None);
+        }
+        for row in 0..prep.cached_rows as usize {
+            for (i, v) in values.iter_mut().enumerate() {
+                *v = table.cache.peek(prep.req.attrs[i], row);
+                if v.is_none() {
+                    return Ok(None);
+                }
+                hits += 1;
+            }
+            form_tuple_into(&prep.req, &mut values, &mut pred_row, &mut batch);
+            if batch.rows() >= BATCH_SIZE {
+                queue.push_back(std::mem::replace(&mut batch, Batch::with_columns(n)));
+            }
+        }
+    }
+    if !batch.is_empty() {
+        queue.push_back(batch);
+    }
+    handle.write().cache.record_reads(hits, 0);
+    let mut tel = telemetry.lock().expect("telemetry lock");
+    tel.rows_scanned = prep.cached_rows;
+    tel.cache_hits = hits;
+    Ok(Some(queue))
+}
+
+/// The adaptive raw scan over an exclusively borrowed table.
+///
+/// This is the `scan_threads = 1` streaming path (kept byte-for-byte for
+/// fallback and A/B benchmarking), the `cache_force_full_parse` ablation,
+/// and the exclusive-fallback path of the concurrent facade. The
+/// parallel-scan driver inside delegates to the same [`run_partitions`] /
+/// [`merge_outputs`] stages the shared path uses.
 pub struct RawScanSource<'a> {
     table: &'a mut RawTable,
     config: NoDbConfig,
-    req: ScanRequest,
+    prep: ScanPrep,
     telemetry: TelemetryHandle,
     bd: Breakdown,
 
-    // Query-lifetime planning state.
-    plan: Option<AccessPlan>,
+    /// Chunk under collection (sequential streaming path).
     builder: Option<ChunkBuilder>,
-    /// Cache coverage per position at query start.
-    cache_cov: Vec<usize>,
     /// Next row appendable to the cache, per position (`usize::MAX` = stop).
     cache_next: Vec<usize>,
-    query_tick: u64,
-    fully_cached: bool,
-    cached_rows: u64,
+    /// Cache metric snapshots for per-query hit/miss reporting (exclusive
+    /// access makes the delta exact).
+    hits0: u64,
+    misses0: u64,
 
     // Streaming state.
     scanner: Option<BlockScanner>,
@@ -171,9 +777,6 @@ pub struct RawScanSource<'a> {
     /// Buffered result batches of a completed parallel scan, drained by
     /// `next_batch`. `Some` once the parallel driver has run.
     parallel_queue: Option<VecDeque<Batch>>,
-    /// I/O performed by parallel workers, folded into the telemetry at
-    /// finish (the sequential path reads its own scanner's counters).
-    pending_io: IoCounters,
 
     // Reused per-row buffers (workhorse pattern: zero allocation per row in
     // the common paths).
@@ -199,65 +802,39 @@ impl<'a> RawScanSource<'a> {
         req: ScanRequest,
         telemetry: TelemetryHandle,
     ) -> Self {
-        let n = req.attrs.len();
-        let cache_cov: Vec<usize> = if config.enable_cache {
-            req.attrs.iter().map(|&a| table.cache.coverage(a)).collect()
-        } else {
-            vec![0; n]
-        };
-        let cache_next = cache_cov.clone();
-        let query_tick = if config.enable_cache {
-            table.cache.begin_query(&req.attrs)
-        } else {
-            0
-        };
+        let prep = prepare_scan(table, &config, req, &telemetry);
+        Self::from_prep(table, config, prep, telemetry)
+    }
 
-        // Quoted fields may contain the delimiter, so a stored offset is
-        // not enough to re-tokenize from mid-tuple: the quote state is
-        // unknown. The positional map is therefore only used on plain
-        // (unquoted) tokenizer configurations; quoted files still get
-        // selective tokenizing, caching and statistics.
-        let map_usable = config.enable_positional_map && table.tokenizer.quote.is_none();
-        let plan = map_usable.then(|| table.map.plan_access(&req.attrs));
-
-        let builder = match &plan {
-            Some(p) if p.should_index => {
-                let rows_hint = table.map.row_index().len();
-                Some(ChunkBuilder::with_capacity(req.attrs.clone(), rows_hint))
-            }
-            _ => None,
+    /// Build the scan from an already-taken [`ScanPrep`] (the facade runs
+    /// `prepare_scan` itself under the table's write lock so planning
+    /// happens exactly once per query regardless of execution path).
+    pub(crate) fn from_prep(
+        table: &'a mut RawTable,
+        config: NoDbConfig,
+        prep: ScanPrep,
+        telemetry: TelemetryHandle,
+    ) -> Self {
+        let n = prep.req.attrs.len();
+        let cache_next = prep.cache_cov.clone();
+        let (hits0, misses0) = {
+            let m = table.cache.metrics();
+            (m.hits, m.misses)
         };
-
-        // Pure-cache fast path: every requested attribute covered for every
-        // known row.
-        let (fully_cached, cached_rows) = match table.row_count {
-            Some(rc) if config.enable_cache => {
-                let all = cache_cov.iter().all(|&c| c as u64 >= rc);
-                (all, rc)
-            }
-            _ => (false, 0),
-        };
-        telemetry.lock().expect("telemetry lock").fully_cached = fully_cached;
-
         RawScanSource {
             table,
             config,
-            req,
             telemetry,
             bd: Breakdown::default(),
-            plan,
-            builder,
-            cache_cov,
+            builder: None,
             cache_next,
-            query_tick,
-            fully_cached,
-            cached_rows,
+            hits0,
+            misses0,
             scanner: None,
             header_skipped: false,
             row: 0,
             done: false,
             parallel_queue: None,
-            pending_io: IoCounters::default(),
             tokens: Tokens::new(),
             values: vec![None; n],
             spans: vec![None; n],
@@ -265,6 +842,7 @@ impl<'a> RawScanSource<'a> {
             pred_row: Vec::with_capacity(n),
             line_buf: Vec::new(),
             clock: PhaseClock::new(config.detailed_timing),
+            prep,
         }
     }
 
@@ -272,7 +850,7 @@ impl<'a> RawScanSource<'a> {
     /// raw line, filling `self.values` (cache first, then map-assisted raw
     /// access), and recording spans for map population.
     fn resolve_row(&mut self, line: &[u8]) -> EngineResult<()> {
-        let n = self.req.attrs.len();
+        let n = self.prep.req.attrs.len();
         let row = self.row;
         let mut d_tok = Duration::ZERO;
         let mut d_parse = Duration::ZERO;
@@ -287,8 +865,8 @@ impl<'a> RawScanSource<'a> {
         // 1. Cache reads.
         if self.config.enable_cache {
             for i in 0..n {
-                if row < self.cache_cov[i] {
-                    self.values[i] = self.table.cache.get(self.req.attrs[i], row);
+                if row < self.prep.cache_cov[i] {
+                    self.values[i] = self.table.cache.get(self.prep.req.attrs[i], row);
                 }
             }
         }
@@ -300,9 +878,10 @@ impl<'a> RawScanSource<'a> {
             if self.values[i].is_some() {
                 continue;
             }
-            if let Some(plan) = &self.plan {
-                if let Some(AttrSource::Exact { chunk }) = plan.source_for(self.req.attrs[i]) {
-                    if let Some(off) = self.table.map.offset_in(chunk, self.req.attrs[i], row) {
+            if let Some(plan) = &self.prep.plan {
+                if let Some(AttrSource::Exact { chunk }) = plan.source_for(self.prep.req.attrs[i]) {
+                    if let Some(off) = self.table.map.offset_in(chunk, self.prep.req.attrs[i], row)
+                    {
                         let t = self.clock.start();
                         let start = (off as usize).min(line.len());
                         let end = find_byte(&line[start..], self.table.tokenizer.delimiter)
@@ -321,8 +900,8 @@ impl<'a> RawScanSource<'a> {
         // 3. Tokenize for the positions still missing.
         if let (Some(lo), Some(hi)) = (missing_lo, missing_hi) {
             let t = self.clock.start();
-            let first_attr = self.req.attrs[lo];
-            let last_attr = self.req.attrs[hi];
+            let first_attr = self.prep.req.attrs[lo];
+            let last_attr = self.prep.req.attrs[hi];
             let upto = if self.config.selective_tokenizing {
                 last_attr
             } else {
@@ -333,12 +912,12 @@ impl<'a> RawScanSource<'a> {
             let mut anchor: Option<(usize, usize)> = None; // (attr, byte)
             for i in (0..lo).rev() {
                 if let Some((s, _)) = self.spans[i] {
-                    anchor = Some((self.req.attrs[i], s as usize));
+                    anchor = Some((self.prep.req.attrs[i], s as usize));
                     break;
                 }
             }
             if anchor.is_none() {
-                if let Some(plan) = &self.plan {
+                if let Some(plan) = &self.prep.plan {
                     if let Some(AttrSource::Anchor { chunk, anchor_attr }) =
                         plan.source_for(first_attr)
                     {
@@ -364,7 +943,7 @@ impl<'a> RawScanSource<'a> {
                 if self.values[i].is_some() || self.spans[i].is_some() {
                     continue;
                 }
-                if let Some(span) = self.tokens.get(self.req.attrs[i]) {
+                if let Some(span) = self.tokens.get(self.prep.req.attrs[i]) {
                     self.spans[i] = Some((span.start, span.end));
                 }
             }
@@ -378,7 +957,7 @@ impl<'a> RawScanSource<'a> {
                 if self.values[i].is_some() {
                     continue;
                 }
-                let attr = self.req.attrs[i];
+                let attr = self.prep.req.attrs[i];
                 let ty = self.table.schema.ty(attr);
                 let d = match self.spans[i] {
                     Some((s, e)) => {
@@ -407,12 +986,13 @@ impl<'a> RawScanSource<'a> {
                 for i in 0..n {
                     if self.cache_next[i] == row {
                         let d = self.values[i].clone().unwrap_or(Datum::Null);
-                        let ty = self.table.schema.ty(self.req.attrs[i]);
-                        if self
-                            .table
-                            .cache
-                            .append(self.req.attrs[i], ty, &d, self.query_tick)
-                        {
+                        let ty = self.table.schema.ty(self.prep.req.attrs[i]);
+                        if self.table.cache.append(
+                            self.prep.req.attrs[i],
+                            ty,
+                            &d,
+                            self.prep.query_tick,
+                        ) {
                             self.cache_next[i] += 1;
                         } else {
                             self.cache_next[i] = usize::MAX;
@@ -422,8 +1002,13 @@ impl<'a> RawScanSource<'a> {
             }
             if self.config.enable_stats && self.table.stats.should_sample(row as u64) {
                 for i in 0..n {
+                    // Observation frontier: rows an earlier scan already fed
+                    // into the accumulators are not observed again.
+                    if (row as u64) < self.prep.stats_frontier[i] {
+                        continue;
+                    }
                     if let Some(d) = &self.values[i] {
-                        self.table.stats.attr_mut(self.req.attrs[i]).observe(d);
+                        self.table.stats.attr_mut(self.prep.req.attrs[i]).observe(d);
                     }
                 }
             }
@@ -431,7 +1016,7 @@ impl<'a> RawScanSource<'a> {
                 self.offsets_buf.clear();
                 for i in 0..n {
                     if let Some((s, _)) = self.spans[i] {
-                        self.offsets_buf.push((self.req.attrs[i], s));
+                        self.offsets_buf.push((self.prep.req.attrs[i], s));
                     }
                 }
                 b.push_row_offsets(&self.offsets_buf);
@@ -460,7 +1045,7 @@ impl<'a> RawScanSource<'a> {
         let nattrs = self.table.schema.len();
         self.table.tokenizer.tokenize_into(line, &mut self.tokens);
         for attr in 0..nattrs {
-            if self.req.attrs.contains(&attr) {
+            if self.prep.req.attrs.contains(&attr) {
                 continue; // already handled
             }
             if self.table.cache.coverage(attr) != row {
@@ -476,7 +1061,7 @@ impl<'a> RawScanSource<'a> {
                 None => Datum::Null,
             };
             let ty = self.table.schema.ty(attr);
-            self.table.cache.append(attr, ty, &d, self.query_tick);
+            self.table.cache.append(attr, ty, &d, self.prep.query_tick);
         }
         Ok(())
     }
@@ -484,36 +1069,22 @@ impl<'a> RawScanSource<'a> {
     /// Form output tuples for one resolved row into `batch` if the pushed
     /// predicate accepts it (selective tuple formation).
     fn form_tuple(&mut self, batch: &mut Batch) {
-        if let Some(pred) = &self.req.predicate {
-            self.pred_row.clear();
-            for v in &self.values {
-                self.pred_row.push(v.clone().unwrap_or(Datum::Null));
-            }
-            if !pred.eval_filter(&SliceRow(&self.pred_row)) {
-                return;
-            }
-        }
-        for (i, v) in self.values.iter_mut().enumerate() {
-            let d = if self.req.materialize.get(i).copied().unwrap_or(true) {
-                v.take().unwrap_or(Datum::Null)
-            } else {
-                Datum::Null // predicate-only column: never materialized
-            };
-            batch.push_value(i, d);
-        }
-        batch.finish_row();
+        form_tuple_into(&self.prep.req, &mut self.values, &mut self.pred_row, batch);
     }
 
     /// End-of-scan bookkeeping: install the collected chunk, record counts,
     /// absorb I/O counters, publish telemetry.
     fn finish(&mut self, reached_eof: bool) {
-        if reached_eof && !self.fully_cached {
+        if reached_eof && !self.prep.fully_cached {
             self.table.row_count = Some(self.row as u64);
-            if self.plan.is_some() {
+            if self.prep.plan.is_some() {
                 self.table.map.row_index_mut().mark_complete();
             }
             if self.config.enable_stats {
                 self.table.stats.set_row_count(self.row as u64);
+                for &attr in &self.prep.req.attrs {
+                    self.table.stats.advance_observed(attr, self.row as u64);
+                }
             }
         }
         let mut installed = false;
@@ -527,12 +1098,15 @@ impl<'a> RawScanSource<'a> {
             .as_mut()
             .map(BlockScanner::take_counters)
             .unwrap_or_default();
+        let cache_hits = self.table.cache.metrics().hits - self.hits0;
+        let cache_misses = self.table.cache.metrics().misses - self.misses0;
         let mut tel = self.telemetry.lock().expect("telemetry lock");
         tel.io.merge(io);
-        tel.io.merge(self.pending_io);
         tel.rows_scanned = self.row as u64;
         tel.installed_chunk = installed;
         tel.breakdown = self.bd;
+        tel.cache_hits = cache_hits;
+        tel.cache_misses = cache_misses;
         self.done = true;
     }
 
@@ -544,9 +1118,20 @@ impl<'a> RawScanSource<'a> {
             let scanner = BlockScanner::open(&self.table.path, self.config.io_block_size)?;
             self.clock.lap(t, &mut d_io);
             self.scanner = Some(scanner);
+            // The chunk builder is created here, not in `from_prep`: the
+            // streaming loop is its only consumer (the parallel driver
+            // merges per-worker builders instead), so allocating it up
+            // front would waste `attrs × rows_hint` capacity on every
+            // parallel chunk-building scan.
+            if self.prep.build_chunk {
+                self.builder = Some(ChunkBuilder::with_capacity(
+                    self.prep.req.attrs.clone(),
+                    self.prep.rows_hint,
+                ));
+            }
         }
 
-        let n = self.req.attrs.len();
+        let n = self.prep.req.attrs.len();
         let mut batch = Batch::with_columns(n);
         let mut reached_eof = false;
         loop {
@@ -574,7 +1159,7 @@ impl<'a> RawScanSource<'a> {
                 self.header_skipped = true;
                 continue;
             }
-            if self.plan.is_some() {
+            if self.prep.plan.is_some() {
                 self.table.map.row_index_mut().note_row(self.row, offset);
             }
             let line = std::mem::take(&mut self.line_buf);
@@ -594,289 +1179,60 @@ impl<'a> RawScanSource<'a> {
         Ok(if batch.is_empty() { None } else { Some(batch) })
     }
 
-    /// The parallel driver: partition the file, run one worker per
-    /// partition under `std::thread::scope`, then merge the partials in
-    /// partition order (see the module docs for the merge invariants).
-    /// Fills `self.parallel_queue` and performs all end-of-scan
-    /// bookkeeping; the ordinary `next_batch` path then drains the queue.
+    /// The parallel driver for an exclusively borrowed table: partition the
+    /// file, fan out via [`run_partitions`], merge via [`merge_outputs`]
+    /// (the same stages the shared-handle path uses). Fills
+    /// `self.parallel_queue`; the ordinary `next_batch` path then drains
+    /// the queue.
     fn run_parallel(&mut self) -> EngineResult<()> {
-        let threads = self.config.effective_scan_threads();
-        let n = self.req.attrs.len();
-        let table = &mut *self.table;
-
-        // Partitioning. Row-partitioned (warm) mode needs a complete row
-        // index so every worker knows its global row base; otherwise split
-        // by bytes, snapped to line starts.
-        let warm =
-            self.plan.is_some() && table.map.row_index().is_complete() && table.row_count.is_some();
-        let mut partitions: Vec<Partition> = Vec::new();
-        if warm {
-            let total = table.row_count.expect("warm mode") as usize;
-            let idx = table.map.row_index();
-            let parts = threads.min(total.max(1));
-            for k in 0..parts {
-                let lo = total * k / parts;
-                let hi = total * (k + 1) / parts;
-                if lo >= hi {
-                    continue;
-                }
-                let start = idx.offset(lo).expect("complete row index");
-                let end = if hi < total {
-                    idx.offset(hi).expect("complete row index")
-                } else {
-                    u64::MAX // last partition runs to EOF
-                };
-                partitions.push(Partition {
-                    range: LineRange { start, end },
-                    skip_header: false, // data-row offsets already skip it
-                    row_base: Some(lo),
-                });
-            }
+        let mut bd = std::mem::take(&mut self.bd);
+        let partitions: Vec<Partition> = if self.prep.warm {
+            self.prep.warm_partitions.clone()
         } else {
             let t = self.clock.start();
-            let ranges = partition_line_ranges(&table.path, threads)?;
-            self.clock.lap(t, &mut self.bd.io);
-            for (i, range) in ranges.into_iter().enumerate() {
-                partitions.push(Partition {
-                    range,
-                    skip_header: table.has_header && i == 0,
-                    row_base: None,
-                });
-            }
-        }
-
-        // Fan out. The context borrows the table's adaptive structures
-        // immutably; workers are plain `Send` functions over it.
-        let collected: Vec<EngineResult<PartitionOutput>> = {
-            let ctx = ScanContext {
-                config: self.config,
-                req: &self.req,
-                tokenizer: table.tokenizer,
-                schema: &table.schema,
-                path: &table.path,
-                map: warm.then_some(&table.map),
-                plan: if warm { self.plan.as_ref() } else { None },
-                cache: if warm && self.config.enable_cache {
-                    Some(&table.cache)
-                } else {
-                    None
-                },
-                cache_cov: &self.cache_cov,
-                collect_side: self.config.enable_cache || self.config.enable_stats,
-                build_chunk: self.builder.is_some(),
-                // A warm scan's row index is complete by definition —
-                // collecting offsets there would only replay no-ops.
-                collect_offsets: self.plan.is_some() && !warm,
-            };
-            std::thread::scope(|s| {
-                let handles: Vec<_> = partitions
-                    .iter()
-                    .map(|&p| {
-                        let ctx = &ctx;
-                        s.spawn(move || worker::run_partition(ctx, p))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join().unwrap_or_else(|_| {
-                            Err(EngineError::Execution("scan worker panicked".into()))
-                        })
-                    })
-                    .collect()
-            })
-        };
-        let mut results: Vec<PartitionOutput> = Vec::with_capacity(collected.len());
-        for r in collected {
-            match r {
-                Ok(o) => results.push(o),
-                Err(e) => {
-                    // Abort without merging any side effects; the error a
-                    // caller sees is the lowest-partition one. Cold-mode
-                    // workers number rows partition-locally, so rebase row
-                    // references by the preceding partitions' row counts to
-                    // report the true file row (warm-mode workers already
-                    // use global rows).
-                    let e = if warm {
-                        e
-                    } else {
-                        let base: usize = results.iter().map(|o| o.rows).sum();
-                        rebase_row_error(e, base as u64)
-                    };
-                    self.done = true;
-                    self.parallel_queue = Some(VecDeque::new());
-                    return Err(e);
-                }
-            }
-        }
-
-        // Ordered merge. Timed as NoDB-structure maintenance, like the
-        // sequential scan's chunk install.
-        let t = self.clock.start();
-        let bases: Vec<usize> = results
-            .iter()
-            .scan(0usize, |acc, o| {
-                let b = *acc;
-                *acc += o.rows;
-                Some(b)
-            })
-            .collect();
-        let total =
-            bases.last().copied().unwrap_or(0) + results.last().map(|o| o.rows).unwrap_or(0);
-
-        for o in &results {
-            self.bd.merge(&o.breakdown);
-            self.pending_io.merge(o.io);
-        }
-
-        if self.plan.is_some() {
-            for (p, o) in results.iter().enumerate() {
-                table
-                    .map
-                    .row_index_mut()
-                    .note_rows(bases[p], &o.line_starts);
-            }
-        }
-
-        if let Some(mut merged) = self.builder.take() {
-            for o in &mut results {
-                if let Some(wb) = o.builder.take() {
-                    merged.append_partial(wb);
-                }
-            }
-            self.builder = Some(merged);
-        }
-
-        // Side columns: concatenate the per-partition partial cache columns
-        // in partition order (segment merge) — one full column per
-        // requested attribute, addressed by global row below.
-        let collect_side = self.config.enable_cache || self.config.enable_stats;
-        let side: Vec<TypedColumn> = if collect_side {
-            let mut it = results.iter_mut();
-            let mut side = it
-                .next()
-                .map(|o| std::mem::take(&mut o.side_cols))
-                .unwrap_or_else(|| {
-                    self.req
-                        .attrs
-                        .iter()
-                        .map(|&a| TypedColumn::new(table.schema.ty(a)))
-                        .collect()
-                });
-            for o in it {
-                for (full, seg) in side.iter_mut().zip(o.side_cols.drain(..)) {
-                    full.append_segment(seg);
-                }
-            }
-            side
-        } else {
-            Vec::new()
+            let ranges = partition_line_ranges(&self.table.path, self.prep.threads)?;
+            self.clock.lap(t, &mut bd.io);
+            cold_partitions(ranges, self.table.has_header)
         };
 
-        // Cache: replay the sequential admission loop — row-major,
-        // attribute-interleaved, a column stopping permanently at its first
-        // refused append — so budget/LRU decisions are identical.
-        if self.config.enable_cache && total > 0 {
-            let hits: u64 = results.iter().map(|o| o.cache_hits).sum();
-            let misses: u64 = results.iter().map(|o| o.cache_misses).sum();
-            table.cache.record_reads(hits, misses);
-            let mut next = self.cache_next.clone();
-            let mut row = next
-                .iter()
-                .copied()
-                .filter(|&v| v != usize::MAX)
-                .min()
-                .unwrap_or(total);
-            while row < total {
-                if next.iter().all(|&v| v == usize::MAX || v > row) {
-                    // Nothing appends at this row; jump to the next frontier.
-                    match next
-                        .iter()
-                        .copied()
-                        .filter(|&v| v != usize::MAX && v > row)
-                        .min()
-                    {
-                        Some(r) => {
-                            row = r;
-                            continue;
-                        }
-                        None => break,
-                    }
-                }
-                for (i, slot) in next.iter_mut().enumerate() {
-                    if *slot == row {
-                        let d = side[i].datum(row).unwrap_or(Datum::Null);
-                        let ty = table.schema.ty(self.req.attrs[i]);
-                        if table
-                            .cache
-                            .append(self.req.attrs[i], ty, &d, self.query_tick)
-                        {
-                            *slot += 1;
-                        } else {
-                            *slot = usize::MAX;
-                        }
-                    }
-                }
-                row += 1;
+        let outputs = match run_partitions(self.table, &self.config, &self.prep, &partitions) {
+            Ok(o) => o,
+            Err(e) => {
+                self.bd = bd;
+                self.done = true;
+                self.parallel_queue = Some(VecDeque::new());
+                return Err(e);
             }
-            self.cache_next = next;
-        }
+        };
 
-        // Statistics: order-preserving replay under the shared stride (see
-        // module docs on why replay, not accumulator merging).
-        if self.config.enable_stats {
-            let mut row = 0u64;
-            while (row as usize) < total {
-                if table.stats.should_sample(row) {
-                    for (col, &attr) in side.iter().zip(&self.req.attrs) {
-                        let d = col.datum(row as usize).unwrap_or(Datum::Null);
-                        table.stats.attr_mut(attr).observe(&d);
-                    }
-                }
-                row += 1;
-            }
-        }
-
-        // Results: concatenate per-partition batches in partition order,
-        // re-packing to full batches (reorder-free concatenation).
-        let mut queue: VecDeque<Batch> = VecDeque::new();
-        let mut acc = Batch::with_columns(n);
-        for mut o in results {
-            for b in o.batches.drain(..) {
-                if acc.is_empty() && b.rows() >= BATCH_SIZE {
-                    queue.push_back(b);
-                } else {
-                    acc.extend_from(b);
-                    if acc.rows() >= BATCH_SIZE {
-                        queue.push_back(std::mem::replace(&mut acc, Batch::with_columns(n)));
-                    }
-                }
-            }
-        }
-        if !acc.is_empty() {
-            queue.push_back(acc);
-        }
-
-        self.row = total;
-        self.clock.lap(t, &mut self.bd.nodb);
-        self.finish(true);
-        self.parallel_queue = Some(queue);
+        let info = merge_outputs(
+            self.table,
+            &self.config,
+            &self.prep,
+            outputs,
+            bd,
+            &self.telemetry,
+            &self.clock,
+        );
+        self.row = info.total;
+        self.done = true;
+        self.parallel_queue = Some(info.queue);
         Ok(())
     }
 
     /// Serve one batch purely from the cache.
     fn next_cached_batch(&mut self) -> EngineResult<Option<Batch>> {
-        let n = self.req.attrs.len();
+        let n = self.prep.req.attrs.len();
         let mut batch = Batch::with_columns(n);
-        while (self.row as u64) < self.cached_rows && batch.rows() < BATCH_SIZE {
+        while (self.row as u64) < self.prep.cached_rows && batch.rows() < BATCH_SIZE {
             let row = self.row;
             self.row += 1;
             for i in 0..n {
-                self.values[i] = self.table.cache.get(self.req.attrs[i], row);
+                self.values[i] = self.table.cache.get(self.prep.req.attrs[i], row);
             }
             self.form_tuple(&mut batch);
         }
-        if (self.row as u64) >= self.cached_rows {
+        if (self.row as u64) >= self.prep.cached_rows {
             self.finish(false);
         }
         Ok(if batch.is_empty() { None } else { Some(batch) })
@@ -891,13 +1247,12 @@ impl ScanSource for RawScanSource<'_> {
         if self.done {
             return Ok(None);
         }
-        if self.fully_cached {
+        if self.prep.fully_cached {
             return self.next_cached_batch();
         }
         // The ablation that force-parses whole tuples stays sequential: it
         // exists to demonstrate a pathology, not to be fast.
-        let threads = self.config.effective_scan_threads();
-        if threads >= 2 && !self.config.cache_force_full_parse {
+        if self.prep.threads >= 2 && !self.config.cache_force_full_parse {
             self.run_parallel()?;
             let q = self.parallel_queue.as_mut().expect("parallel scan ran");
             return Ok(q.pop_front());
@@ -978,6 +1333,7 @@ mod tests {
         let (second, tel2) = scan_once(&mut t, cfg, req);
         assert!(tel2.fully_cached, "all attrs cached → no file access");
         assert_eq!(tel2.io.bytes_read, 0);
+        assert!(tel2.cache_hits > 0, "cached scan tallies its hits");
         assert_eq!(first, second, "cache must return identical data");
         std::fs::remove_file(p).unwrap();
     }
@@ -1049,6 +1405,25 @@ mod tests {
         let (_, _) = scan_once(&mut t, cfg, ScanRequest::project(vec![1, 2]));
         assert_eq!(t.stats.covered_attrs(), vec![1, 2]);
         assert_eq!(t.stats.attr(1).unwrap().rows_seen(), 100);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn rescans_never_double_observe_statistics() {
+        // pm_only: no cache, so the second query re-scans the file. The
+        // observation frontier must keep the accumulators at one
+        // observation per (attr, row).
+        let (p, schema) = tmp_csv(4, 150, 66);
+        let cfg = NoDbConfig::pm_only();
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let req = ScanRequest::project(vec![2]);
+        let (_, _) = scan_once(&mut t, cfg, req.clone());
+        let seen1 = t.stats.attr(2).unwrap().rows_seen();
+        let sample1 = t.stats.attr(2).unwrap().sample().to_vec();
+        let (_, _) = scan_once(&mut t, cfg, req);
+        assert_eq!(t.stats.attr(2).unwrap().rows_seen(), seen1);
+        assert_eq!(t.stats.attr(2).unwrap().sample(), &sample1[..]);
+        assert_eq!(t.stats.observed_upto(2), 150);
         std::fs::remove_file(p).unwrap();
     }
 
@@ -1185,6 +1560,11 @@ mod tests {
                 }
                 other => panic!("stats presence differs for c{attr}: {other:?}"),
             }
+            assert_eq!(
+                t_seq.stats.observed_upto(attr),
+                t_par.stats.observed_upto(attr),
+                "stats frontier c{attr}"
+            );
         }
         std::fs::remove_file(p).unwrap();
     }
@@ -1396,6 +1776,71 @@ mod tests {
             );
         }
         std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn cold_error_text_identical_across_thread_counts() {
+        // Satellite audit: the same malformed file must produce *identical*
+        // error text at scan_threads 1 and 8 — same global row number (0- vs
+        // 1-based confusion would differ), same attribute, same field text —
+        // with errors placed in partitions ≥ 1 (the rebase path) and with a
+        // header shifting data-row numbering.
+        for (label, bad_rows, header) in [
+            ("mid", vec![421usize], false),
+            ("late", vec![707], false),
+            ("multi", vec![303, 551], false),
+            ("hdr", vec![645], true),
+        ] {
+            let mut p = std::env::temp_dir();
+            p.push(format!(
+                "nodb_rawscan_errtext_{label}_{}",
+                std::process::id()
+            ));
+            let mut content = String::new();
+            if header {
+                content.push_str("a,b\n");
+            }
+            for i in 0..800usize {
+                if bad_rows.contains(&i) {
+                    content.push_str(&format!("bad{i},1\n"));
+                } else {
+                    content.push_str(&format!("{i},{}\n", i * 2));
+                }
+            }
+            std::fs::write(&p, content).unwrap();
+            let schema = nodb_rawcsv::Schema::new(vec![
+                nodb_rawcsv::ColumnDef::new("a", nodb_rawcsv::ColumnType::Int),
+                nodb_rawcsv::ColumnDef::new("b", nodb_rawcsv::ColumnType::Int),
+            ]);
+            let mut texts = Vec::new();
+            for threads in [1usize, 8] {
+                let cfg = NoDbConfig {
+                    scan_threads: threads,
+                    ..NoDbConfig::default()
+                };
+                let mut t = RawTable::register(&p, schema.clone(), header, &cfg).unwrap();
+                let tel: TelemetryHandle = Arc::new(Mutex::new(ScanTelemetry::default()));
+                let mut src = RawScanSource::new(&mut t, cfg, ScanRequest::project(vec![0]), tel);
+                let err = loop {
+                    match src.next_batch() {
+                        Ok(Some(_)) => continue,
+                        Ok(None) => panic!("{label}: scan must fail"),
+                        Err(e) => break e,
+                    }
+                };
+                texts.push(err.to_string());
+            }
+            assert_eq!(
+                texts[0], texts[1],
+                "{label}: error text must not depend on scan_threads"
+            );
+            assert!(
+                texts[0].contains(&format!("row {}", bad_rows[0])),
+                "{label}: first bad data row must be named: {}",
+                texts[0]
+            );
+            std::fs::remove_file(p).unwrap();
+        }
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! The concurrent table registry — shared ownership of per-file adaptive
+//! state.
+//!
+//! Before this module the facade owned a `HashMap<String, RawTable>` and
+//! `NoDb::query` took `&mut self`, so one instance could run exactly one
+//! query at a time and every reader serialized behind the table's auxiliary
+//! structures. NoDB's economics point the other way: the positional map and
+//! raw-data cache only pay off when *many* queries share them. The registry
+//! makes that sharing possible:
+//!
+//! * every table lives behind its own [`TableHandle`]
+//!   (`Arc<RwLock<RawTable>>`), so queries against different tables never
+//!   contend at all;
+//! * the name → handle map sits behind its own `RwLock`, touched only to
+//!   register a table or resolve a name (a query holds it just long enough
+//!   to clone the `Arc`);
+//! * per-query lock discipline is *staged* (see `rawscan::scan_shared`):
+//!   a short **write** lock for planning side effects (update probe, access
+//!   plan LRU touches, cache query tick), a **read** lock for the whole
+//!   data scan — workers only need shared borrows since PR 1 removed
+//!   `Rc`/`RefCell` from the scan path — and a second short **write** lock
+//!   to install the staged positional-map chunk, cache columns and
+//!   statistics. Read-mostly queries that are answered entirely from the
+//!   cache never hold a write lock during data access.
+//!
+//! The poison-free `RwLock` comes from the workspace's `parking_lot`
+//! stand-in: a panicking scan must not wedge every later query on the same
+//! table.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::table::RawTable;
+
+/// Shared, lockable ownership of one registered table.
+///
+/// Cloning the handle is cheap (`Arc`); the `RwLock` arbitrates between
+/// concurrent scans (readers) and structure installs / update reconciliation
+/// (writers). Scans hold the read side while streaming raw bytes and hold
+/// the write side only for the short planning and merge windows.
+pub type TableHandle = Arc<RwLock<RawTable>>;
+
+/// Name → [`TableHandle`] map shared by every query on a [`crate::NoDb`]
+/// instance.
+#[derive(Default)]
+pub struct TableRegistry {
+    inner: RwLock<HashMap<String, TableHandle>>,
+}
+
+impl TableRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        TableRegistry::default()
+    }
+
+    /// Register `table` under `name`, replacing any previous table with the
+    /// same name. In-flight queries against a replaced table keep their own
+    /// `Arc` and finish against the old state.
+    pub fn insert(&self, name: impl Into<String>, table: RawTable) -> TableHandle {
+        let handle: TableHandle = Arc::new(RwLock::new(table));
+        self.inner.write().insert(name.into(), Arc::clone(&handle));
+        handle
+    }
+
+    /// Handle for `name`, if registered. The registry lock is released
+    /// before this returns; callers lock the handle itself.
+    pub fn get(&self, name: &str) -> Option<TableHandle> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Registered table names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Run `f` over every registered table's handle (budget knobs, harness
+    /// sweeps). Handles are cloned out first so `f` may lock freely without
+    /// holding the registry lock.
+    pub fn for_each(&self, mut f: impl FnMut(&str, &TableHandle)) {
+        let handles: Vec<(String, TableHandle)> = self
+            .inner
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        for (name, h) in &handles {
+            f(name, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NoDbConfig;
+    use nodb_rawcsv::GeneratorConfig;
+
+    fn sample_table(rows: u64) -> (std::path::PathBuf, RawTable) {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "nodb_registry_{rows}_{}",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let gen = GeneratorConfig::uniform_ints(2, rows, 7);
+        gen.generate_file(&p).unwrap();
+        let t = RawTable::register(&p, gen.schema(), false, &NoDbConfig::default()).unwrap();
+        (p, t)
+    }
+
+    #[test]
+    fn insert_get_and_names() {
+        let (p, t) = sample_table(5);
+        let reg = TableRegistry::new();
+        assert!(reg.get("t").is_none());
+        reg.insert("t", t);
+        assert!(reg.get("t").is_some());
+        assert_eq!(reg.names(), vec!["t".to_string()]);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn handles_survive_replacement() {
+        let (p1, t1) = sample_table(5);
+        let (p2, t2) = sample_table(9);
+        let reg = TableRegistry::new();
+        reg.insert("t", t1);
+        let old = reg.get("t").unwrap();
+        reg.insert("t", t2);
+        // The old handle still points at the old table's state.
+        assert_eq!(old.read().path(), p1.as_path());
+        assert_eq!(reg.get("t").unwrap().read().path(), p2.as_path());
+        std::fs::remove_file(p1).unwrap();
+        std::fs::remove_file(p2).unwrap();
+    }
+
+    #[test]
+    fn for_each_visits_every_table() {
+        let (p1, t1) = sample_table(3);
+        let (p2, t2) = sample_table(4);
+        let reg = TableRegistry::new();
+        reg.insert("a", t1);
+        reg.insert("b", t2);
+        let mut seen = Vec::new();
+        reg.for_each(|name, _| seen.push(name.to_string()));
+        seen.sort_unstable();
+        assert_eq!(seen, vec!["a".to_string(), "b".to_string()]);
+        std::fs::remove_file(p1).unwrap();
+        std::fs::remove_file(p2).unwrap();
+    }
+}

@@ -31,6 +31,13 @@ pub struct RawTable {
     pub(crate) row_count: Option<u64>,
     /// Per-attribute access counts (usage panel of Fig 2).
     pub(crate) attr_access: Vec<u64>,
+    /// File-state generation, bumped whenever update detection reconciles an
+    /// append or replacement. A concurrent query snapshots the generation
+    /// while planning under the table's write lock; if it differs when the
+    /// query later re-acquires the lock to scan or to merge side effects,
+    /// the staged state describes a dead file and is discarded (the query
+    /// retries against the new state instead of corrupting it).
+    pub(crate) generation: u64,
 }
 
 impl RawTable {
@@ -71,6 +78,7 @@ impl RawTable {
             meta,
             row_count: None,
             attr_access: vec![0; nattrs],
+            generation: 0,
         })
     }
 
@@ -111,6 +119,7 @@ impl RawTable {
                 self.stats.note_appended();
                 self.row_count = None;
                 self.meta = RawFileMeta::probe(&self.path)?;
+                self.generation += 1;
             }
             FileChange::Replaced => {
                 self.map.invalidate();
@@ -118,6 +127,7 @@ impl RawTable {
                 self.stats.clear();
                 self.row_count = None;
                 self.meta = RawFileMeta::probe(&self.path)?;
+                self.generation += 1;
             }
         }
         Ok(change)

@@ -15,7 +15,7 @@
 use std::path::Path;
 use std::time::Duration;
 
-use nodb_engine::batch::{Batch, SliceRow, BATCH_SIZE};
+use nodb_engine::batch::{Batch, BATCH_SIZE};
 use nodb_engine::{EngineResult, ScanRequest};
 use nodb_posmap::{AccessPlan, AttrSource, ChunkBuilder, PositionalMap};
 use nodb_rawcache::{RawCache, TypedColumn};
@@ -224,26 +224,9 @@ pub(crate) fn run_partition(
             clock.lap(t, &mut d_nodb);
         }
 
-        // Selective tuple formation (identical to the sequential scan).
-        if let Some(pred) = &ctx.req.predicate {
-            pred_row.clear();
-            for v in &values {
-                pred_row.push(v.clone().unwrap_or(Datum::Null));
-            }
-            if !pred.eval_filter(&SliceRow(&pred_row)) {
-                local += 1;
-                continue;
-            }
-        }
-        for (i, v) in values.iter_mut().enumerate() {
-            let d = if ctx.req.materialize.get(i).copied().unwrap_or(true) {
-                v.take().unwrap_or(Datum::Null)
-            } else {
-                Datum::Null
-            };
-            batch.push_value(i, d);
-        }
-        batch.finish_row();
+        // Selective tuple formation (the exact code the sequential scan and
+        // the cached streamer run).
+        crate::rawscan::form_tuple_into(ctx.req, &mut values, &mut pred_row, &mut batch);
         if batch.rows() >= BATCH_SIZE {
             out.batches
                 .push(std::mem::replace(&mut batch, Batch::with_columns(n)));

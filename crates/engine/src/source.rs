@@ -53,6 +53,30 @@ pub trait ScanSource {
     fn next_batch(&mut self) -> EngineResult<Option<Batch>>;
 }
 
+/// A [`ScanSource`] over batches that were produced before execution began.
+///
+/// This is the seam the concurrent raw scan uses: a scan that runs under a
+/// table's *shared* lock stages its output batches and releases every lock
+/// before the engine pipeline starts, so aggregation and sorting never hold
+/// table locks. Construction from a pre-drained scan also means the source
+/// itself borrows nothing — it is `'static` and trivially `Send`.
+pub struct QueueSource {
+    batches: std::collections::VecDeque<Batch>,
+}
+
+impl QueueSource {
+    /// Source over already-materialized batches, yielded in order.
+    pub fn new(batches: std::collections::VecDeque<Batch>) -> Self {
+        QueueSource { batches }
+    }
+}
+
+impl ScanSource for QueueSource {
+    fn next_batch(&mut self) -> EngineResult<Option<Batch>> {
+        Ok(self.batches.pop_front())
+    }
+}
+
 /// In-memory scan source over materialized rows — the reference
 /// implementation used by engine unit tests and by loaded column stores
 /// that pre-filter.
@@ -149,6 +173,21 @@ mod tests {
         let b = s.next_batch().unwrap().unwrap();
         assert_eq!(b.rows(), 4); // rows 6..9 have c1 > 50
         assert_eq!(b.get(0, 0), &Datum::Int(6));
+    }
+
+    #[test]
+    fn queue_source_drains_in_order() {
+        let mut a = Batch::with_columns(1);
+        a.push_row(&[Datum::Int(1)]);
+        let mut b = Batch::with_columns(1);
+        b.push_row(&[Datum::Int(2)]);
+        let mut q = std::collections::VecDeque::new();
+        q.push_back(a);
+        q.push_back(b);
+        let mut s = QueueSource::new(q);
+        assert_eq!(s.next_batch().unwrap().unwrap().get(0, 0), &Datum::Int(1));
+        assert_eq!(s.next_batch().unwrap().unwrap().get(0, 0), &Datum::Int(2));
+        assert!(s.next_batch().unwrap().is_none());
     }
 
     #[test]

@@ -71,6 +71,13 @@ impl RowIndex {
             "row index gap: got run starting at {first_row}, have {}",
             self.starts.len()
         );
+        if first_row > self.starts.len() {
+            // Release-mode guard: appending across a gap would register the
+            // offsets under the wrong row numbers and silently corrupt every
+            // later positional-map jump. Dropping the run only loses an
+            // optimization, never correctness.
+            return;
+        }
         let known = self
             .starts
             .len()

@@ -145,6 +145,17 @@ impl RawCache {
         self.entries.get(&attr).map(|e| e.col.len()).unwrap_or(0)
     }
 
+    /// Coverage snapshot for a whole attribute set, in request order.
+    ///
+    /// This is the admission frontier of a scan's deferred cache merge:
+    /// the parallel/concurrent scan buffers one value per row per attribute
+    /// and replays the sequential admission loop from *this* frontier, so
+    /// rows another interleaved query already admitted are never appended
+    /// twice.
+    pub fn coverage_of(&self, attrs: &[usize]) -> Vec<usize> {
+        attrs.iter().map(|&a| self.coverage(a)).collect()
+    }
+
     /// Begin a query touching `attrs`: bumps the LRU clock of the resident
     /// columns among them and returns the clock value, which the scan passes
     /// back to [`Self::append`] so the current query's columns are protected

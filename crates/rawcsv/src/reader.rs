@@ -701,6 +701,82 @@ mod tests {
         std::fs::remove_file(p).unwrap();
     }
 
+    /// Regression: ranges must tile `[0, len)` exactly and a `RangeScanner`
+    /// sweep over them must reproduce the whole-file line sequence.
+    fn assert_partitions_cover(p: &Path, parts: usize) {
+        let len = std::fs::metadata(p).unwrap().len();
+        let whole = collect_lines(p, 4096);
+        let ranges = partition_line_ranges(p, parts).unwrap();
+        if len == 0 {
+            assert!(ranges.is_empty());
+            return;
+        }
+        assert_eq!(ranges[0].start, 0, "parts={parts}");
+        assert_eq!(ranges.last().unwrap().end, len, "parts={parts}");
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "parts={parts}: ranges must tile");
+        }
+        let mut merged = Vec::new();
+        for r in &ranges {
+            let mut sc = RangeScanner::open(p, 4096, *r, 0).unwrap();
+            while let Some(l) = sc.next_line().unwrap() {
+                merged.push((l.offset, l.bytes.to_vec()));
+            }
+        }
+        let expect: Vec<(u64, Vec<u8>)> = whole.iter().map(|(_, o, b)| (*o, b.clone())).collect();
+        assert_eq!(merged, expect, "parts={parts}: lines dropped or duplicated");
+    }
+
+    #[test]
+    fn partitions_keep_final_line_without_trailing_newline() {
+        // The last line is unterminated; no partitioning may drop it, and a
+        // cut landing inside it must collapse into the final range.
+        for content in [
+            b"a,b".to_vec(),                                  // single unterminated line
+            b"a,b\nc,d\ne,f".to_vec(),                        // unterminated tail
+            [b"x".repeat(9000), b"\ntail".to_vec()].concat(), // long line + tail
+        ] {
+            let p = tmp_file("partition_notrail", &content);
+            for parts in [1usize, 2, 3, 8, 64] {
+                assert_partitions_cover(&p, parts);
+            }
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn partitions_of_single_line_longer_than_partition() {
+        // One line dwarfing every byte target: all cuts snap past it (or to
+        // EOF) and must still yield non-overlapping, fully covering ranges.
+        let mut content = b"y".repeat(40_000);
+        content.push(b'\n');
+        let p = tmp_file("partition_oneline", &content);
+        for parts in [2usize, 7, 100] {
+            let ranges = partition_line_ranges(&p, parts).unwrap();
+            assert_eq!(
+                ranges,
+                vec![LineRange {
+                    start: 0,
+                    end: content.len() as u64
+                }],
+                "parts={parts}: cuts inside the only line must collapse"
+            );
+            assert_partitions_cover(&p, parts);
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn partitions_of_empty_and_newline_only_files() {
+        for content in [b"".to_vec(), b"\n".to_vec(), b"\n\n\n".to_vec()] {
+            let p = tmp_file("partition_nl", &content);
+            for parts in [1usize, 2, 5] {
+                assert_partitions_cover(&p, parts);
+            }
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
     #[test]
     fn partition_snaps_to_line_starts() {
         // One huge line followed by short ones: every cut lands after the

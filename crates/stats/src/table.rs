@@ -18,6 +18,13 @@ pub struct TableStats {
     /// Exact row count once any full scan has completed; before that, the
     /// max rows_seen across attributes serves as a lower bound.
     row_count: Option<u64>,
+    /// Per-attribute observation frontier: rows `[0, frontier)` have already
+    /// been fed into the accumulator (under the sampling stride). Scans skip
+    /// rows below the frontier, so re-scans — and, crucially, concurrent
+    /// scans whose side effects are merged one after another — observe every
+    /// `(attr, row)` pair at most once. Kept separate from [`AttrStats`] so
+    /// an advanced frontier alone never makes an attribute "covered".
+    observed: HashMap<usize, u64>,
     /// Sampling stride used by the scan: every `sample_every`-th row of a
     /// scan feeds `observe`. 1 = every row.
     pub sample_every: u64,
@@ -29,6 +36,7 @@ impl TableStats {
         TableStats {
             attrs: HashMap::new(),
             row_count: None,
+            observed: HashMap::new(),
             sample_every: sample_every.max(1),
         }
     }
@@ -60,6 +68,22 @@ impl TableStats {
         self.attrs.get(&attr)
     }
 
+    /// First row of `attr` not yet fed into the accumulators (0 when the
+    /// attribute has never been observed). Scans observe only rows at or
+    /// beyond this frontier.
+    pub fn observed_upto(&self, attr: usize) -> u64 {
+        self.observed.get(&attr).copied().unwrap_or(0)
+    }
+
+    /// Advance the observation frontier of `attr` to `upto` (monotone; a
+    /// smaller value is ignored). Called when a scan that covered rows
+    /// `[0, upto)` finishes — including the merge phase of a parallel or
+    /// concurrent scan, which makes repeated merges of the same rows no-ops.
+    pub fn advance_observed(&mut self, attr: usize, upto: u64) {
+        let e = self.observed.entry(attr).or_insert(0);
+        *e = (*e).max(upto);
+    }
+
     /// Attributes with statistics, sorted.
     pub fn covered_attrs(&self) -> Vec<usize> {
         let mut v: Vec<usize> = self.attrs.keys().copied().collect();
@@ -80,6 +104,7 @@ impl TableStats {
     /// Reset everything (file replaced).
     pub fn clear(&mut self) {
         self.attrs.clear();
+        self.observed.clear();
         self.row_count = None;
     }
 
@@ -234,6 +259,19 @@ mod tests {
         }
         let s = t.selectivity_mut(0, &PredicateSketch::IsNull);
         assert!((s - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observation_frontier_is_monotone_and_cleared() {
+        let mut t = TableStats::new(1);
+        assert_eq!(t.observed_upto(2), 0);
+        t.advance_observed(2, 100);
+        t.advance_observed(2, 50); // smaller is ignored
+        assert_eq!(t.observed_upto(2), 100);
+        // Frontier alone does not create coverage.
+        assert!(t.covered_attrs().is_empty());
+        t.clear();
+        assert_eq!(t.observed_upto(2), 0);
     }
 
     #[test]

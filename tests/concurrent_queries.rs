@@ -1,0 +1,288 @@
+//! Concurrency property tests for the shared table registry: N threads × M
+//! queries against one `NoDb` instance must produce, query for query, the
+//! results a sequential run produces, and must leave the table's adaptive
+//! structures — positional map, row index, cache contents, statistics —
+//! exactly where a *sequential replay* of the same query set leaves them.
+//!
+//! Why this is a meaningful invariant: every query's side-effect merge is
+//! frontier-based (row-index replay, chunk subsumption, cache admission
+//! from current coverage, statistics observation frontiers), so any
+//! interleaving of full-scan merges converges to the state of running the
+//! distinct queries once each. The tests run the same workload through both
+//! paths and diff the state field by field.
+//!
+//! `NODB_TEST_SCAN_THREADS` pins `scan_threads` (CI runs 1 and 4 on top of
+//! the default auto-detect); unset, both 1 and 4 are exercised.
+
+use std::sync::Arc;
+
+use nodb_repro::core::{NoDb, NoDbConfig};
+use nodb_repro::prelude::*;
+
+fn scratch(tag: &str, n: u64) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nodb_conc_{tag}_{n}_{}", std::process::id()));
+    p
+}
+
+/// Thread counts to drive `NoDbConfig::scan_threads` with: the pinned value
+/// from `NODB_TEST_SCAN_THREADS`, or {1, 4}.
+fn scan_thread_counts() -> Vec<usize> {
+    match std::env::var("NODB_TEST_SCAN_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) => vec![n],
+        None => vec![1, 4],
+    }
+}
+
+fn mk_db(path: &std::path::Path, schema: Schema, scan_threads: usize) -> NoDb {
+    let cfg = NoDbConfig {
+        scan_threads,
+        ..NoDbConfig::default()
+    };
+    let mut db = NoDb::new(cfg);
+    db.register_csv_with_schema("t", path, schema, false)
+        .unwrap();
+    db
+}
+
+/// Assert that two tables' adaptive state is identical (coverage, cache
+/// contents, statistics, row index).
+fn assert_same_state(tag: &str, a: &NoDb, b: &NoDb, cols: usize) {
+    let (ha, hb) = (a.table_handle("t").unwrap(), b.table_handle("t").unwrap());
+    let (ta, tb) = (ha.read(), hb.read());
+    assert_eq!(
+        ta.map().row_index().len(),
+        tb.map().row_index().len(),
+        "{tag}: row index size"
+    );
+    assert_eq!(
+        ta.map().row_index().is_complete(),
+        tb.map().row_index().is_complete(),
+        "{tag}: row index completeness"
+    );
+    for attr in 0..cols {
+        assert_eq!(
+            ta.map().coverage(attr),
+            tb.map().coverage(attr),
+            "{tag}: map coverage c{attr}"
+        );
+        assert_eq!(
+            ta.cache().coverage(attr),
+            tb.cache().coverage(attr),
+            "{tag}: cache coverage c{attr}"
+        );
+        for row in 0..ta.cache().coverage(attr) {
+            assert_eq!(
+                ta.cache().peek(attr, row),
+                tb.cache().peek(attr, row),
+                "{tag}: cache content c{attr} row {row}"
+            );
+        }
+        assert_eq!(
+            ta.stats().observed_upto(attr),
+            tb.stats().observed_upto(attr),
+            "{tag}: stats frontier c{attr}"
+        );
+        match (ta.stats().attr(attr), tb.stats().attr(attr)) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.rows_seen(), y.rows_seen(), "{tag}: stats rows c{attr}");
+                assert_eq!(
+                    x.null_fraction(),
+                    y.null_fraction(),
+                    "{tag}: stats nulls c{attr}"
+                );
+                assert_eq!(x.sample(), y.sample(), "{tag}: stats reservoir c{attr}");
+            }
+            other => panic!("{tag}: stats presence differs for c{attr}: {other:?}"),
+        }
+    }
+}
+
+/// The acceptance invariant: two threads issuing queries against the same
+/// registered table concurrently return results byte-identical to running
+/// them sequentially.
+#[test]
+fn two_concurrent_queries_match_sequential() {
+    let cols = 5;
+    let gen = GeneratorConfig::uniform_ints(cols, 800, 0xC0C0);
+    let path = scratch("pair", 0);
+    gen.generate_file(&path).unwrap();
+    let q1 = "SELECT c0, c2 FROM t WHERE c1 < 600000000";
+    let q2 = "SELECT c3 FROM t WHERE c4 >= 250000000";
+
+    for threads in scan_thread_counts() {
+        // Sequential reference.
+        let seq = mk_db(&path, gen.schema(), threads);
+        let (e1, e2) = (seq.query(q1).unwrap(), seq.query(q2).unwrap());
+
+        // Two threads, same shared instance, both cold.
+        let db = Arc::new(mk_db(&path, gen.schema(), threads));
+        let (r1, r2) = std::thread::scope(|s| {
+            let d1 = Arc::clone(&db);
+            let d2 = Arc::clone(&db);
+            let h1 = s.spawn(move || d1.query(q1).unwrap());
+            let h2 = s.spawn(move || d2.query(q2).unwrap());
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        assert_eq!(r1, e1, "threads={threads}: q1 concurrent vs sequential");
+        assert_eq!(r2, e2, "threads={threads}: q2 concurrent vs sequential");
+        assert_same_state(&format!("threads={threads}"), &db, &seq, cols);
+    }
+    std::fs::remove_file(path).unwrap();
+}
+
+/// N threads × M passes over the same query set against one shared table:
+/// every result equals the sequential answer, and the final positional map,
+/// cache and statistics equal a sequential replay of the workload.
+#[test]
+fn thread_storm_equals_sequential_replay() {
+    let cols = 6;
+    let rows = 600;
+    let gen = GeneratorConfig::uniform_ints(cols, rows, 0x57011);
+    let path = scratch("storm", 0);
+    gen.generate_file(&path).unwrap();
+    let queries: Vec<String> = vec![
+        "SELECT c1 FROM t WHERE c2 < 500000000".to_string(),
+        "SELECT c3, c1 FROM t".to_string(),
+        "SELECT COUNT(*) FROM t WHERE c2 >= 500000000".to_string(),
+        "SELECT c5 FROM t WHERE c0 < 900000000".to_string(),
+    ];
+
+    for threads in scan_thread_counts() {
+        // Sequential replay: the same workload, one query at a time.
+        let seq = mk_db(&path, gen.schema(), threads);
+        let mut expect = Vec::new();
+        for _pass in 0..2 {
+            for q in &queries {
+                expect.push(seq.query(q).unwrap());
+            }
+        }
+
+        let db = Arc::new(mk_db(&path, gen.schema(), threads));
+        let n_clients = 4;
+        let results: Vec<Vec<QueryResult>> = std::thread::scope(|s| {
+            (0..n_clients)
+                .map(|_| {
+                    let db = Arc::clone(&db);
+                    let queries = queries.clone();
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for _pass in 0..2 {
+                            for q in &queries {
+                                out.push(db.query(q).unwrap());
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+
+        for (c, client) in results.iter().enumerate() {
+            assert_eq!(
+                client.len(),
+                expect.len(),
+                "threads={threads} client {c}: result count"
+            );
+            for (qi, r) in client.iter().enumerate() {
+                assert_eq!(
+                    r, &expect[qi],
+                    "threads={threads} client {c} query {qi}: concurrent result"
+                );
+            }
+        }
+        assert_same_state(&format!("threads={threads} storm"), &db, &seq, cols);
+        // Row count learned exactly once, identically.
+        assert_eq!(db.snapshot("t").unwrap().row_count, Some(rows));
+        assert_eq!(seq.snapshot("t").unwrap().row_count, Some(rows));
+    }
+    std::fs::remove_file(path).unwrap();
+}
+
+/// Concurrent queries with *disjoint* attribute sets racing their cold
+/// scans: both stage full-table side effects; frontier-based merging must
+/// land the union of their structures, same as any sequential order.
+#[test]
+fn racing_cold_scans_merge_to_union_state() {
+    let cols = 6;
+    let gen = GeneratorConfig::uniform_ints(cols, 700, 0xD15);
+    let path = scratch("union", 0);
+    gen.generate_file(&path).unwrap();
+    let queries = ["SELECT c0 FROM t", "SELECT c2 FROM t", "SELECT c4 FROM t"];
+
+    for threads in scan_thread_counts() {
+        let seq = mk_db(&path, gen.schema(), threads);
+        for q in &queries {
+            seq.query(q).unwrap();
+        }
+
+        let db = Arc::new(mk_db(&path, gen.schema(), threads));
+        std::thread::scope(|s| {
+            for q in &queries {
+                let db = Arc::clone(&db);
+                s.spawn(move || db.query(q).unwrap());
+            }
+        });
+        assert_same_state(&format!("threads={threads} union"), &db, &seq, cols);
+    }
+    std::fs::remove_file(path).unwrap();
+}
+
+/// Telemetry under concurrency: per-query hit/miss tallies ride with each
+/// scan, so a warm rerun's report shows its own hits even while other
+/// threads hammer the same table, and the cache's lifetime totals equal the
+/// sum of what the individual queries saw.
+#[test]
+fn telemetry_tallies_survive_concurrency() {
+    let cols = 4;
+    let rows = 300u64;
+    let gen = GeneratorConfig::uniform_ints(cols, rows, 0x7E1E);
+    let path = scratch("telemetry", 0);
+    gen.generate_file(&path).unwrap();
+    let sql = "SELECT c1, c2 FROM t";
+
+    for threads in scan_thread_counts() {
+        let db = Arc::new(mk_db(&path, gen.schema(), threads));
+        db.query(sql).unwrap(); // cold: populates the cache
+        let n_clients = 4u64;
+        let per_query: Vec<(u64, u64)> = std::thread::scope(|s| {
+            (0..n_clients)
+                .map(|_| {
+                    let db = Arc::clone(&db);
+                    s.spawn(move || {
+                        db.query(sql).unwrap();
+                        let rep = db.last_report().unwrap();
+                        (rep.cache_hits, rep.cache_misses)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        // Every warm rerun is fully cached: 2 attrs × rows hits, no misses.
+        // (last_report is last-writer-wins, but each tally here is read
+        // after the thread's own query, and every query has the same shape,
+        // so the values are deterministic.)
+        for (hits, misses) in &per_query {
+            assert_eq!(*hits, 2 * rows, "threads={threads}: per-query hits");
+            assert_eq!(*misses, 0, "threads={threads}: per-query misses");
+        }
+        // Lifetime totals: no tally dropped, none double-counted.
+        let h = db.table_handle("t").unwrap();
+        let total_hits = h.read().cache().metrics().hits;
+        assert_eq!(
+            total_hits,
+            n_clients * 2 * rows,
+            "threads={threads}: lifetime hit total"
+        );
+    }
+    std::fs::remove_file(path).unwrap();
+}

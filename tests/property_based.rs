@@ -135,8 +135,8 @@ fn parallel_scan_equals_sequential() {
                 .unwrap();
             db
         };
-        let mut seq = mk(1);
-        let mut par = mk(threads);
+        let seq = mk(1);
+        let par = mk(threads);
 
         for (qi, sql) in queries.iter().enumerate() {
             let a = seq.query(sql).unwrap();
@@ -145,7 +145,11 @@ fn parallel_scan_equals_sequential() {
         }
 
         // Post-scan adaptive state must be byte-identical.
-        let (ts, tp) = (seq.table("t").unwrap(), par.table("t").unwrap());
+        let (hs, hp) = (
+            seq.table_handle("t").unwrap(),
+            par.table_handle("t").unwrap(),
+        );
+        let (ts, tp) = (hs.read(), hp.read());
         for attr in 0..cols {
             assert_eq!(
                 ts.map().coverage(attr),

@@ -94,19 +94,19 @@ fn statistics_follow_update_lifecycle() {
     db.register_csv_with_schema("t", &path, gen.schema(), false)
         .unwrap();
     db.query("SELECT c1 FROM t WHERE c1 > 0").unwrap();
-    let covered = db.table("t").unwrap().snapshot().stats_attrs;
+    let covered = db.snapshot("t").unwrap().stats_attrs;
     assert_eq!(covered, vec![1]);
 
     // Append: stats stay.
     gen.append_rows(&path, 100).unwrap();
     db.query("SELECT COUNT(*) FROM t").unwrap();
-    assert_eq!(db.table("t").unwrap().snapshot().stats_attrs, vec![1]);
+    assert_eq!(db.snapshot("t").unwrap().stats_attrs, vec![1]);
 
     // Replace: stats dropped (until the next touch).
     GeneratorConfig::uniform_ints(3, 50, 0x22)
         .generate_file(&path)
         .unwrap();
     db.query("SELECT COUNT(*) FROM t").unwrap();
-    assert!(db.table("t").unwrap().snapshot().stats_attrs.is_empty());
+    assert!(db.snapshot("t").unwrap().stats_attrs.is_empty());
     std::fs::remove_file(path).unwrap();
 }
