@@ -1,0 +1,170 @@
+//! Cold-scan cache-reuse benchmark — the two-phase pre-count's acceptance
+//! measurement (ISSUE 3).
+//!
+//! Configuration is cache-only (positional map off), so there is never a
+//! row index and *every* rescan runs the cold byte-partitioned path. A
+//! tight cache budget makes the first query cache roughly half the rows of
+//! the two requested columns; the measured rescans then come in three
+//! flavors at each thread count:
+//!
+//! * `cold_reuse_cached` — rescan against the partially-cached table with
+//!   the pre-count on: workers learn their global row bases from the (memoized)
+//!   newline counts, serve the covered prefix from the cache, and slices
+//!   wholly inside it never open the file.
+//! * `cold_reuse_no_precount` — same partially-cached table, pre-count off:
+//!   the pre-ISSUE behavior, re-parsing everything from raw bytes.
+//! * `cold_reuse_cold` — a fresh registration per iteration: fully cold.
+//!
+//! Acceptance: `cached` beats `cold` at equal thread counts. The records
+//! land in `BENCH_cold_reuse.json` (merged by configuration key, so CI's
+//! reduced row count coexists with full-size local runs) and feed the CI
+//! perf gate. `NODB_BENCH_ROWS` overrides the row count.
+
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nodb_bench::report::{update_bench_json, BenchRecord};
+use nodb_bench::workload::scratch_dir;
+use nodb_core::{NoDb, NoDbConfig};
+use nodb_rawcsv::{GeneratorConfig, Schema};
+
+const COLS: usize = 8;
+
+fn rows() -> u64 {
+    std::env::var("NODB_BENCH_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Cache-only cold configuration: every rescan is byte-partitioned.
+fn config(rows: u64, threads: usize, precount: bool) -> NoDbConfig {
+    NoDbConfig {
+        enable_positional_map: false,
+        enable_cache: true,
+        enable_stats: false,
+        selective_tokenizing: true,
+        detailed_timing: false,
+        detect_updates: false,
+        scan_threads: threads,
+        cold_precount: precount,
+        // ~60% of the two requested int columns (16 bytes buffered per row
+        // in the cache's accounting).
+        cache_budget_bytes: (rows as usize) * 16 * 6 / 10,
+        ..NoDbConfig::default()
+    }
+}
+
+fn fresh_db(path: &PathBuf, schema: &Schema, cfg: NoDbConfig) -> NoDb {
+    let mut db = NoDb::new(cfg);
+    db.register_csv_with_schema("t", path, schema.clone(), false)
+        .unwrap();
+    db
+}
+
+/// A db whose cache holds the partial prefix the budget admits.
+fn warmed_db(path: &PathBuf, schema: &Schema, cfg: NoDbConfig, sql: &str) -> NoDb {
+    let db = fresh_db(path, schema, cfg);
+    db.query(sql).unwrap();
+    db.query(sql).unwrap(); // second pass memoizes the pre-count boundaries
+    db
+}
+
+fn bench_cold_reuse(c: &mut Criterion) {
+    let rows = rows();
+    let dir = scratch_dir("bench_cold_reuse");
+    let gen = GeneratorConfig::uniform_ints(COLS, rows, 0xC01D);
+    let mut path = dir.clone();
+    path.push("data.csv");
+    gen.generate_file(&path).expect("generate dataset");
+    let schema = gen.schema();
+    let sql = "SELECT c1, c5 FROM t WHERE c5 < 300000000";
+
+    let expect = fresh_db(&path, &schema, config(rows, 1, true))
+        .query(sql)
+        .unwrap()
+        .len();
+
+    let mut group = c.benchmark_group(format!("cold_reuse_{rows}_rows"));
+    group.sample_size(4);
+    let samples: RefCell<Vec<BenchRecord>> = RefCell::new(Vec::new());
+    for threads in [2usize, 4, 8] {
+        type MkDb<'a> = Box<dyn Fn() -> NoDb + 'a>;
+        let variants: [(&str, MkDb); 3] = [
+            (
+                "cold_reuse_cached",
+                Box::new(|| warmed_db(&path, &schema, config(rows, threads, true), sql)),
+            ),
+            (
+                "cold_reuse_no_precount",
+                Box::new(|| warmed_db(&path, &schema, config(rows, threads, false), sql)),
+            ),
+            (
+                "cold_reuse_cold",
+                Box::new(|| fresh_db(&path, &schema, config(rows, threads, true))),
+            ),
+        ];
+        for (name, mk) in variants {
+            let durations = RefCell::new(Vec::new());
+            group.bench_function(format!("{name}_threads_{threads}"), |b| {
+                b.iter_batched(
+                    &mk,
+                    |db| {
+                        let t = Instant::now();
+                        let r = db.query(sql).unwrap();
+                        durations.borrow_mut().push(t.elapsed());
+                        assert_eq!(
+                            r.len(),
+                            expect,
+                            "{name} threads={threads} changed the answer"
+                        );
+                        black_box(r.len())
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+            samples.borrow_mut().push(BenchRecord::from_samples(
+                name,
+                threads,
+                rows,
+                &durations.borrow(),
+            ));
+        }
+    }
+    group.finish();
+
+    let records = samples.into_inner();
+    let mut out = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    out.pop(); // crates/
+    out.pop(); // workspace root
+    out.push("BENCH_cold_reuse.json");
+    update_bench_json(&out, &records).expect("write BENCH_cold_reuse.json");
+    for threads in [2usize, 4, 8] {
+        let at = |name: &str| {
+            records
+                .iter()
+                .find(|r| r.name == name && r.scan_threads == threads)
+                .map(|r| r.mean_ms)
+                .unwrap_or(f64::NAN)
+        };
+        let (cached, noprec, cold) = (
+            at("cold_reuse_cached"),
+            at("cold_reuse_no_precount"),
+            at("cold_reuse_cold"),
+        );
+        println!(
+            "threads={threads:<2} cached {cached:>9.2} ms  no-precount {noprec:>9.2} ms  \
+             fully-cold {cold:>9.2} ms  (reuse speedup {:.2}x)",
+            cold / cached
+        );
+    }
+    println!("wrote {}", out.display());
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+criterion_group!(benches, bench_cold_reuse);
+criterion_main!(benches);

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use nodb_bench::report::{write_bench_json, BenchRecord};
+use nodb_bench::report::{update_bench_json, BenchRecord};
 use nodb_bench::workload::scratch_dir;
 use nodb_core::{NoDb, NoDbConfig};
 use nodb_rawcsv::{GeneratorConfig, Schema};
@@ -171,7 +171,7 @@ fn bench_concurrent_queries(c: &mut Criterion) {
     out.pop(); // crates/
     out.pop(); // workspace root
     out.push("BENCH_concurrent_queries.json");
-    write_bench_json(&out, &records).expect("write BENCH_concurrent_queries.json");
+    update_bench_json(&out, &records).expect("write BENCH_concurrent_queries.json");
     for name in ["warm_shared_cache", "mixed_shared_scans"] {
         let base = records
             .iter()

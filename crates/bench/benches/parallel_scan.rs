@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use nodb_bench::report::{write_bench_json, BenchRecord};
+use nodb_bench::report::{update_bench_json, BenchRecord};
 use nodb_bench::workload::scratch_dir;
 use nodb_core::{NoDb, NoDbConfig};
 use nodb_rawcsv::{GeneratorConfig, Schema};
@@ -99,7 +99,7 @@ fn bench_parallel_scan(c: &mut Criterion) {
     out.pop(); // crates/
     out.pop(); // workspace root
     out.push("BENCH_parallel_scan.json");
-    write_bench_json(&out, &records).expect("write BENCH_parallel_scan.json");
+    update_bench_json(&out, &records).expect("write BENCH_parallel_scan.json");
     let base = records
         .iter()
         .find(|r| r.scan_threads == 1)

@@ -87,6 +87,146 @@ pub fn write_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> std:
     std::fs::write(path, bench_records_json(records))
 }
 
+/// The identity of one measurement within a `BENCH_*.json` trajectory:
+/// records agreeing on all four fields describe the same experiment and are
+/// comparable across runs (and across PRs).
+pub fn bench_key(r: &BenchRecord) -> (String, usize, usize, u64) {
+    (r.name.clone(), r.scan_threads, r.clients, r.rows)
+}
+
+/// Parse a `BENCH_*.json` document produced by [`bench_records_json`].
+///
+/// Hand-rolled like the writer (no serde in this environment): one record
+/// per `{...}` object, five known fields, order-independent. Unknown fields
+/// are ignored so older gates can read newer files. Returns `None` when a
+/// record is missing a required field — a malformed baseline should fail
+/// loudly in the gate, not silently compare nothing.
+pub fn parse_bench_json(body: &str) -> Option<Vec<BenchRecord>> {
+    let mut records = Vec::new();
+    // Skip the envelope's opening brace; every subsequent '{'..'}' span is
+    // one record object.
+    let inner = &body[body.find('{')? + 1..];
+    let mut rest = inner;
+    while let Some(open) = rest.find('{') {
+        let close = open + rest[open..].find('}')?;
+        let obj = &rest[open + 1..close];
+        rest = &rest[close + 1..];
+        let field = |key: &str| -> Option<&str> {
+            let tag = format!("\"{key}\":");
+            let at = obj.find(&tag)? + tag.len();
+            let val = obj[at..].trim_start();
+            let end = val.find([',', '}']).unwrap_or(val.len());
+            Some(val[..end].trim())
+        };
+        let name = field("name")?.trim_matches('"').to_string();
+        records.push(BenchRecord {
+            name,
+            scan_threads: field("scan_threads")?.parse().ok()?,
+            clients: field("clients")?.parse().ok()?,
+            rows: field("rows")?.parse().ok()?,
+            mean_ms: field("mean_ms")?.parse().ok()?,
+            min_ms: field("min_ms")?.parse().ok()?,
+        });
+    }
+    Some(records)
+}
+
+/// Merge fresh records into the trajectory file at `path`: records matching
+/// an existing [`bench_key`] replace it, new keys append. Benches run at
+/// several row counts (full-size locally, reduced in CI), and merging keeps
+/// one record per configuration alive in the same file — which is what lets
+/// the CI perf gate find an equal-rows baseline to compare against.
+pub fn update_bench_json(path: impl AsRef<Path>, fresh: &[BenchRecord]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    // A missing file starts a fresh trajectory; a *present but unparseable*
+    // one fails loudly — silently overwriting it would drop the history
+    // this merge exists to preserve.
+    let mut merged: Vec<BenchRecord> = match std::fs::read_to_string(path) {
+        Ok(body) => parse_bench_json(&body).ok_or_else(|| {
+            std::io::Error::other(format!(
+                "malformed bench trajectory {}: fix or delete it before merging",
+                path.display()
+            ))
+        })?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    for r in fresh {
+        match merged.iter_mut().find(|m| bench_key(m) == bench_key(r)) {
+            Some(slot) => *slot = r.clone(),
+            None => merged.push(r.clone()),
+        }
+    }
+    write_bench_json(path, &merged)
+}
+
+/// One baseline-vs-fresh comparison line of the perf gate.
+#[derive(Debug, Clone)]
+pub struct GateLine {
+    /// Human-readable verdict for the report artifact.
+    pub text: String,
+    /// The fresh run regressed beyond the threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of gating one fresh record set against a baseline set.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Per-record verdicts (compared records only).
+    pub lines: Vec<GateLine>,
+    /// Records compared (equal [`bench_key`] on both sides).
+    pub compared: usize,
+    /// Fresh records with no equal-key baseline (informational, never
+    /// failing: a new bench has no history yet).
+    pub skipped: usize,
+    /// Comparisons that exceeded the threshold.
+    pub regressions: usize,
+}
+
+/// Compare fresh records against baselines: a record regresses when its
+/// mean latency exceeds the baseline's by more than `threshold` (0.25 =
+/// 25% throughput regression at equal rows/threads/clients). Only records
+/// with an equal [`bench_key`] are compared — cross-row-count comparisons
+/// would gate noise, not performance.
+pub fn gate_bench_records(
+    baseline: &[BenchRecord],
+    fresh: &[BenchRecord],
+    threshold: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for f in fresh {
+        let Some(b) = baseline.iter().find(|b| bench_key(b) == bench_key(f)) else {
+            report.skipped += 1;
+            continue;
+        };
+        report.compared += 1;
+        let ratio = if b.mean_ms > 0.0 {
+            f.mean_ms / b.mean_ms
+        } else {
+            1.0
+        };
+        let regressed = ratio > 1.0 + threshold;
+        if regressed {
+            report.regressions += 1;
+        }
+        report.lines.push(GateLine {
+            text: format!(
+                "{} {:<28} threads={:<2} clients={:<2} rows={:<9} base {:>9.2} ms  fresh {:>9.2} ms  ({:+.1}%)",
+                if regressed { "FAIL" } else { "  ok" },
+                f.name,
+                f.scan_threads,
+                f.clients,
+                f.rows,
+                b.mean_ms,
+                f.mean_ms,
+                (ratio - 1.0) * 100.0
+            ),
+            regressed,
+        });
+    }
+    report
+}
+
 /// A simple aligned text table builder.
 #[derive(Debug, Default, Clone)]
 pub struct Table {
@@ -217,6 +357,113 @@ mod tests {
         );
         assert_eq!(multi.clients, 8);
         assert!(bench_records_json(&[multi]).contains("\"clients\": 8"));
+    }
+
+    #[test]
+    fn bench_json_parses_back() {
+        use std::time::Duration;
+        let records = vec![
+            BenchRecord::from_samples("cold_scan", 1, 200_000, &[Duration::from_millis(100)]),
+            BenchRecord::from_samples_clients(
+                "warm_shared",
+                4,
+                8,
+                50_000,
+                &[Duration::from_millis(9), Duration::from_millis(11)],
+            ),
+        ];
+        let parsed = parse_bench_json(&bench_records_json(&records)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        for (a, b) in records.iter().zip(&parsed) {
+            assert_eq!(bench_key(a), bench_key(b));
+            assert!((a.mean_ms - b.mean_ms).abs() < 1e-3);
+            assert!((a.min_ms - b.min_ms).abs() < 1e-3);
+        }
+        assert!(parse_bench_json("{\"benchmarks\": []}\n")
+            .unwrap()
+            .is_empty());
+        assert!(
+            parse_bench_json("{\"benchmarks\": [{\"name\": \"x\"}]}").is_none(),
+            "missing fields must not parse to a half-record"
+        );
+    }
+
+    #[test]
+    fn update_merges_by_key() {
+        use std::time::Duration;
+        let mut p = std::env::temp_dir();
+        p.push(format!("nodb_bench_merge_{}", std::process::id()));
+        let old = vec![
+            BenchRecord::from_samples("cold_scan", 1, 1_000_000, &[Duration::from_millis(400)]),
+            BenchRecord::from_samples("cold_scan", 1, 200_000, &[Duration::from_millis(80)]),
+        ];
+        write_bench_json(&p, &old).unwrap();
+        // Same key replaces, new key appends; the untouched row count stays.
+        let fresh = vec![
+            BenchRecord::from_samples("cold_scan", 1, 200_000, &[Duration::from_millis(70)]),
+            BenchRecord::from_samples("cold_scan", 4, 200_000, &[Duration::from_millis(30)]),
+        ];
+        update_bench_json(&p, &fresh).unwrap();
+        let merged = parse_bench_json(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(merged.len(), 3);
+        let at = |threads: usize, rows: u64| {
+            merged
+                .iter()
+                .find(|r| r.scan_threads == threads && r.rows == rows)
+                .unwrap()
+                .mean_ms
+        };
+        assert!(
+            (at(1, 1_000_000) - 400.0).abs() < 1e-6,
+            "untouched key kept"
+        );
+        assert!(
+            (at(1, 200_000) - 70.0).abs() < 1e-6,
+            "matching key replaced"
+        );
+        assert!((at(4, 200_000) - 30.0).abs() < 1e-6, "new key appended");
+        // A present-but-malformed trajectory must fail loudly, not be
+        // silently overwritten; a missing file starts fresh.
+        std::fs::write(&p, "{\"benchmarks\": [{\"name\": \"broken\"}]}").unwrap();
+        assert!(update_bench_json(&p, &fresh).is_err());
+        std::fs::remove_file(&p).unwrap();
+        update_bench_json(&p, &fresh).unwrap();
+        assert_eq!(
+            parse_bench_json(&std::fs::read_to_string(&p).unwrap())
+                .unwrap()
+                .len(),
+            2
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn gate_flags_only_true_regressions() {
+        use std::time::Duration;
+        let base = vec![
+            BenchRecord::from_samples("cold_scan", 4, 200_000, &[Duration::from_millis(100)]),
+            BenchRecord::from_samples("cold_scan", 8, 200_000, &[Duration::from_millis(90)]),
+            BenchRecord::from_samples("cold_scan", 4, 1_000_000, &[Duration::from_millis(500)]),
+        ];
+        // 4 threads: within threshold. 8 threads: 2x slower. 2 threads: no
+        // baseline. The 1M-row baseline must not be compared against the
+        // 200k-row fresh records.
+        let fresh = vec![
+            BenchRecord::from_samples("cold_scan", 4, 200_000, &[Duration::from_millis(120)]),
+            BenchRecord::from_samples("cold_scan", 8, 200_000, &[Duration::from_millis(180)]),
+            BenchRecord::from_samples("cold_scan", 2, 200_000, &[Duration::from_millis(50)]),
+        ];
+        let gate = gate_bench_records(&base, &fresh, 0.25);
+        assert_eq!(gate.compared, 2);
+        assert_eq!(gate.skipped, 1);
+        assert_eq!(gate.regressions, 1);
+        let fail: Vec<&GateLine> = gate.lines.iter().filter(|l| l.regressed).collect();
+        assert_eq!(fail.len(), 1);
+        assert!(fail[0].text.contains("threads=8"), "{}", fail[0].text);
+        // Equal performance passes.
+        let clean = gate_bench_records(&base, &base, 0.25);
+        assert_eq!(clean.regressions, 0);
+        assert_eq!(clean.compared, 3);
     }
 
     #[test]

@@ -47,10 +47,32 @@ pub struct NoDbConfig {
     /// auto-detect (`std::thread::available_parallelism`). `1` forces the
     /// single-threaded scan path — byte-for-byte the pre-parallel code, kept
     /// for fallback and A/B benchmarking. Values `>= 2` split the file into
-    /// that many line-aligned partitions scanned concurrently; post-scan
-    /// positional map, cache and statistics are identical to a sequential
-    /// scan (see `rawscan`'s module docs for the merge invariants).
+    /// line-aligned partitions scanned concurrently; post-scan positional
+    /// map, cache and statistics are identical to a sequential scan (see
+    /// `rawscan`'s module docs for the merge invariants).
     pub scan_threads: usize,
+    /// Two-phase cold scans: when a cold (byte-partitioned) parallel scan
+    /// could reuse existing state — partial cache coverage, or positional-map
+    /// chunks surviving an append — run a cheap SWAR newline pre-count over
+    /// the partitions first to establish every partition's global row base.
+    /// Workers then consult the cache and map mid-partition and skip
+    /// tokenizing rows that are already cached; partitions fully covered by
+    /// the cache never open the file at all. Boundary counts are memoized in
+    /// the positional map (`LineCountMemo`), so repeated cold scans skip the
+    /// counting pass. Disabled, cold scans resolve everything from raw
+    /// bytes, as before. A first-ever scan (nothing to reuse) never pays the
+    /// pre-count either way.
+    pub cold_precount: bool,
+    /// Work-stealing granularity for parallel scans: each scan splits its
+    /// work into `scan_threads * steal_slices_per_thread` partition slices
+    /// instead of one partition per thread. Every worker owns a contiguous
+    /// run of slices (adjacent file regions — NUMA/readahead friendly) and,
+    /// once its run drains, steals slices from the most-loaded peer, so
+    /// skewed line widths no longer leave workers idle. `0` or `1` restores
+    /// static equal-size partitioning (stealing off). The merge is by slice
+    /// order, so the post-scan state is identical for every steal
+    /// interleaving.
+    pub steal_slices_per_thread: usize,
 }
 
 impl Default for NoDbConfig {
@@ -69,6 +91,8 @@ impl Default for NoDbConfig {
             detailed_timing: true,
             detect_updates: true,
             scan_threads: 0,
+            cold_precount: true,
+            steal_slices_per_thread: 4,
         }
     }
 }
@@ -120,6 +144,17 @@ impl NoDbConfig {
         }
     }
 
+    /// Total partition slices a parallel scan aims for: the resolved thread
+    /// count times the stealing granularity (capped to keep per-slice setup
+    /// overhead bounded on absurd settings). With stealing off this equals
+    /// the thread count — the pre-stealing static split.
+    pub fn scan_slice_target(&self) -> usize {
+        let threads = self.effective_scan_threads();
+        threads
+            .saturating_mul(self.steal_slices_per_thread.max(1))
+            .min(4096)
+    }
+
     /// Short label for experiment tables.
     pub fn label(&self) -> &'static str {
         match (self.enable_positional_map, self.enable_cache) {
@@ -166,5 +201,31 @@ mod tests {
             ..NoDbConfig::default()
         };
         assert_eq!(four.effective_scan_threads(), 4);
+    }
+
+    #[test]
+    fn slice_target_scales_with_steal_granularity() {
+        let cfg = NoDbConfig {
+            scan_threads: 4,
+            steal_slices_per_thread: 4,
+            ..NoDbConfig::default()
+        };
+        assert_eq!(cfg.scan_slice_target(), 16);
+        let off = NoDbConfig {
+            scan_threads: 4,
+            steal_slices_per_thread: 0,
+            ..NoDbConfig::default()
+        };
+        assert_eq!(off.scan_slice_target(), 4, "0 restores static split");
+        let capped = NoDbConfig {
+            scan_threads: 1024,
+            steal_slices_per_thread: 1024,
+            ..NoDbConfig::default()
+        };
+        assert_eq!(capped.scan_slice_target(), 4096, "slice cap");
+        assert!(
+            NoDbConfig::default().cold_precount,
+            "precount on by default"
+        );
     }
 }

@@ -111,14 +111,15 @@
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use nodb_engine::batch::{Batch, SliceRow, BATCH_SIZE};
 use nodb_engine::{EngineError, EngineResult, ScanRequest, ScanSource};
-use nodb_posmap::{AccessPlan, AttrSource, ChunkBuilder};
+use nodb_posmap::{AccessPlan, AttrSource, ChunkBuilder, LineCountMemo};
 use nodb_rawcache::TypedColumn;
-use nodb_rawcsv::reader::{partition_line_ranges, BlockScanner, LineRange};
+use nodb_rawcsv::reader::{count_lines_in_range, partition_line_ranges, BlockScanner, LineRange};
 use nodb_rawcsv::tokenizer::{find_byte, Tokens};
 use nodb_rawcsv::{parser, Datum, IoCounters, RawCsvError};
 
@@ -151,6 +152,14 @@ pub struct ScanTelemetry {
     pub cache_hits: u64,
     /// Cache reads refused by this scan (value resolved from raw bytes).
     pub cache_misses: u64,
+    /// True when a cold scan ran the two-phase newline pre-count (global
+    /// row bases established before parsing, enabling mid-partition cache
+    /// and positional-map reads).
+    pub precounted: bool,
+    /// Partition slices executed by a worker other than their run's owner
+    /// (work stealing under skewed line widths). Always 0 for sequential
+    /// scans and static partitioning.
+    pub steals: u64,
 }
 
 /// Rewrite a partition-local row number in a worker error to the global
@@ -250,6 +259,19 @@ pub(crate) struct ScanPrep {
     pub warm_partitions: Vec<Partition>,
     /// Resolved worker count.
     pub threads: usize,
+    /// Partition-slice target (`threads × steal granularity`).
+    pub slice_target: usize,
+    /// A cold parallel scan should run the newline pre-count: the knob is
+    /// on and there is state worth reusing mid-partition (partial cache
+    /// coverage of a requested attribute, or a usable map chunk).
+    pub precount: bool,
+    /// The access plan resolves at least one attribute through a chunk
+    /// (exact or anchor). Workers only receive the map when this holds, so
+    /// an assist-free cold scan keeps the fused single-pass fast path.
+    pub plan_assists: bool,
+    /// Snapshot of the positional map's memoized newline counts, consulted
+    /// lock-free by the pre-count pass.
+    pub line_counts: LineCountMemo,
     /// File-state generation this prep belongs to.
     pub generation: u64,
     /// Raw file path (cold partitioning runs without any table lock).
@@ -310,12 +332,13 @@ pub(crate) fn prepare_scan(
     telemetry.lock().expect("telemetry lock").fully_cached = fully_cached;
 
     let threads = config.effective_scan_threads();
+    let slice_target = config.scan_slice_target();
     let warm = plan.is_some() && table.map.row_index().is_complete() && table.row_count.is_some();
     let mut warm_partitions: Vec<Partition> = Vec::new();
     if warm && threads >= 2 && !fully_cached {
         let total = table.row_count.expect("warm mode") as usize;
         let idx = table.map.row_index();
-        let parts = threads.min(total.max(1));
+        let parts = slice_target.min(total.max(1));
         for k in 0..parts {
             let lo = total * k / parts;
             let hi = total * (k + 1) / parts;
@@ -332,9 +355,40 @@ pub(crate) fn prepare_scan(
                 range: LineRange { start, end },
                 skip_header: false, // data-row offsets already skip it
                 row_base: Some(lo),
+                rows: Some(hi - lo),
             });
         }
     }
+
+    // Two-phase cold scan trigger: the pre-count only pays off when a
+    // worker could reuse something mid-partition — partial cache coverage
+    // of a requested attribute, or a map chunk resolving one (after an
+    // append, say). A first-ever scan skips it (nothing to reuse), and so
+    // does a near-empty cache: the counting pass reads the whole file once
+    // (unless memoized), so a cache covering a vanishing fraction of a
+    // known row count would cost ~2x I/O to serve a handful of rows.
+    let plan_assists = matches!(&plan, Some(p) if p
+        .sources
+        .iter()
+        .any(|(_, s)| !matches!(s, AttrSource::Scan)));
+    let best_cov = cache_cov.iter().copied().max().unwrap_or(0) as u64;
+    let cache_worthwhile = config.enable_cache
+        && best_cov > 0
+        && match table.row_count {
+            // ≥ ~3% of the known rows; below that, re-parsing the covered
+            // prefix is cheaper than a counting pass over the file.
+            Some(rc) => best_cov.saturating_mul(32) >= rc,
+            // Unknown total (e.g. first rescan after an append): the
+            // coverage is a full pre-append prefix — assume worthwhile.
+            None => true,
+        };
+    let has_reuse = cache_worthwhile || plan_assists;
+    let precount = config.cold_precount && has_reuse && !warm && !fully_cached && threads >= 2;
+    let line_counts = if precount {
+        table.map.line_counts().snapshot()
+    } else {
+        LineCountMemo::default()
+    };
 
     ScanPrep {
         req,
@@ -349,46 +403,225 @@ pub(crate) fn prepare_scan(
         warm,
         warm_partitions,
         threads,
+        slice_target,
+        precount,
+        plan_assists,
+        line_counts,
         generation: table.generation,
         path: table.path.clone(),
         has_header: table.has_header,
     }
 }
 
-/// Wrap cold byte ranges into worker partitions (partition 0 owns the
-/// header line, if any).
-fn cold_partitions(ranges: Vec<LineRange>, has_header: bool) -> Vec<Partition> {
-    ranges
-        .into_iter()
-        .enumerate()
-        .map(|(i, range)| Partition {
-            range,
-            skip_header: has_header && i == 0,
-            row_base: None,
-        })
-        .collect()
+/// Everything a cold byte-partitioned scan decides before its workers run.
+pub(crate) struct ColdScanPlan {
+    /// Partition slices, with global row bases filled in when the
+    /// pre-count ran.
+    pub partitions: Vec<Partition>,
+    /// Global row bases are known: workers may read the cache and map
+    /// mid-partition, and error rows are already global.
+    pub rows_known: bool,
+    /// Boundary counts the pre-count newly established, memoized into the
+    /// positional map at merge: `(byte offset, raw line starts before it)`.
+    pub new_counts: Vec<(u64, u64)>,
+    /// I/O performed by the counting pass.
+    pub io: IoCounters,
 }
 
-/// Phase 2 of a parallel scan: fan one worker out per partition over shared
-/// borrows of the table and collect the partials in partition order. Needs
-/// only `&RawTable`, so concurrent queries run this phase under the table's
-/// read lock. A worker error aborts the scan; cold-mode errors are rebased
-/// to global row numbers using the preceding partitions' row counts.
+/// Phase 0 of a cold parallel scan: byte-partition the file into slices
+/// and, when the prep asked for it, run the **newline pre-count** — one
+/// SWAR counting pass per slice (parallelized, memo-assisted) that
+/// establishes every slice's global first-row number before any parsing.
+/// That is what lets cold workers consult the raw cache and positional-map
+/// chunks mid-partition: per-row adaptive reads need global row numbers,
+/// and a pure byte split does not know them.
+///
+/// Boundary counts are read from the prep's memo snapshot where available;
+/// only unknown slices are counted, concurrently on up to `prep.threads`
+/// threads. Runs without any table lock (it touches only the raw file and
+/// the snapshot).
+pub(crate) fn plan_cold_partitions(prep: &ScanPrep, io_block: usize) -> EngineResult<ColdScanPlan> {
+    let ranges = partition_line_ranges(&prep.path, prep.slice_target)?;
+    let n = ranges.len();
+    let mut plan = ColdScanPlan {
+        partitions: ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &range)| Partition {
+                range,
+                skip_header: prep.has_header && i == 0,
+                row_base: None,
+                rows: None,
+            })
+            .collect(),
+        rows_known: false,
+        new_counts: Vec::new(),
+        io: IoCounters::default(),
+    };
+    if !prep.precount || n == 0 {
+        return Ok(plan);
+    }
+
+    // Memoized raw-line-start count before a boundary offset, if known.
+    let memo = |off: u64| prep.line_counts.lines_before(off);
+    // Boundary `i` is the start of range `i`; boundary `n` is the file end.
+    let boundary = |i: usize| -> u64 {
+        if i < n {
+            ranges[i].start
+        } else {
+            ranges[n - 1].end
+        }
+    };
+    // Lines each range owns: memo diff when both boundaries are known,
+    // otherwise a counting pass over the range.
+    let mut owned: Vec<Option<u64>> = (0..n)
+        .map(|i| Some(memo(boundary(i + 1))? - memo(boundary(i))?))
+        .collect();
+    let missing: Vec<usize> = (0..n).filter(|&i| owned[i].is_none()).collect();
+    if !missing.is_empty() {
+        type CountedRanges = Result<Vec<(usize, u64, IoCounters)>, RawCsvError>;
+        let counters = prep.threads.min(missing.len()).max(1);
+        let counted: Vec<CountedRanges> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..counters)
+                .map(|w| {
+                    let lo = missing.len() * w / counters;
+                    let hi = missing.len() * (w + 1) / counters;
+                    let mine = &missing[lo..hi];
+                    let ranges = &ranges;
+                    let path = &prep.path;
+                    s.spawn(move || {
+                        let mut out = Vec::with_capacity(mine.len());
+                        for &i in mine {
+                            let (lines, io) = count_lines_in_range(path, io_block, ranges[i])?;
+                            out.push((i, lines, io));
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(RawCsvError::io(
+                            "newline pre-count",
+                            std::io::Error::other("counting worker panicked"),
+                        ))
+                    })
+                })
+                .collect()
+        });
+        for r in counted {
+            for (i, lines, io) in r? {
+                owned[i] = Some(lines);
+                plan.io.merge(io);
+            }
+        }
+    }
+
+    // Cumulative raw-line counts at each boundary; newly established ones
+    // go to the memo at merge time.
+    let hdr = u64::from(prep.has_header);
+    let mut cum = 0u64;
+    for (i, slice_owned) in owned.iter().enumerate() {
+        if memo(boundary(i)).is_none() {
+            plan.new_counts.push((boundary(i), cum));
+        }
+        let raw_before = cum;
+        let raw_owned = slice_owned.expect("all ranges counted");
+        cum += raw_owned;
+        // Raw lines → data rows: the header line (always owned by slice 0)
+        // is not a data row.
+        let data_base = raw_before - hdr.min(raw_before);
+        let data_rows = raw_owned - if i == 0 { hdr.min(raw_owned) } else { 0 };
+        plan.partitions[i].row_base = Some(data_base as usize);
+        plan.partitions[i].rows = Some(data_rows as usize);
+    }
+    if memo(boundary(n)).is_none() {
+        plan.new_counts.push((boundary(n), cum));
+    }
+    plan.rows_known = true;
+    Ok(plan)
+}
+
+/// Claim the next partition slice for worker `me`: pop from its own run
+/// first, then steal from the peer with the most remaining slices. Claims
+/// are `fetch_add` on per-run cursors, so every slice is handed out exactly
+/// once regardless of interleaving; the boolean reports a steal.
+fn claim_slice(
+    me: usize,
+    cursors: &[AtomicUsize],
+    bounds: &[(usize, usize)],
+) -> Option<(usize, bool)> {
+    let i = cursors[me].fetch_add(1, Ordering::Relaxed);
+    if i < bounds[me].1 {
+        return Some((i, false));
+    }
+    loop {
+        let victim = (0..cursors.len())
+            .filter(|&j| j != me)
+            .map(|j| {
+                let next = cursors[j].load(Ordering::Relaxed).max(bounds[j].0);
+                (bounds[j].1.saturating_sub(next), j)
+            })
+            .max();
+        match victim {
+            Some((remaining, j)) if remaining > 0 => {
+                let i = cursors[j].fetch_add(1, Ordering::Relaxed);
+                if i < bounds[j].1 {
+                    return Some((i, true));
+                }
+                // Lost the race for the victim's tail; rescan.
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Phase 2 of a parallel scan: run the partition slices on `prep.threads`
+/// workers over shared borrows of the table and collect the partials in
+/// slice order. Needs only `&RawTable`, so concurrent queries run this
+/// phase under the table's read lock.
+///
+/// Scheduling is a **work-stealing run queue**: each worker owns a
+/// contiguous run of slices (adjacent file regions, so a worker streams
+/// forward through the file like the static split did) and claims them via
+/// an atomic cursor; a worker whose run drains steals slices from the
+/// most-loaded peer. Which worker executes a slice never affects the
+/// output — partials are merged in slice order — so every steal
+/// interleaving produces the byte-identical post-scan state the merge
+/// invariants promise. Returns the outputs plus the number of stolen
+/// slices (telemetry).
+///
+/// A worker error aborts the scan; the error reported is the
+/// lowest-numbered slice's. Cold-mode errors without a pre-count are
+/// rebased to global row numbers using the preceding slices' row counts
+/// (pre-counted and warm workers already use global rows).
 pub(crate) fn run_partitions(
     table: &RawTable,
     config: &NoDbConfig,
     prep: &ScanPrep,
     partitions: &[Partition],
-) -> EngineResult<Vec<PartitionOutput>> {
+) -> EngineResult<(Vec<PartitionOutput>, u64)> {
+    // With global row bases known — warm mode, or a pre-counted cold scan —
+    // workers can address per-row adaptive state: the cache always, the map
+    // only when the plan actually resolves something through a chunk (an
+    // assist-free plan would just cost the fused fast path for nothing).
+    let rows_known = partitions.first().is_some_and(|p| p.row_base.is_some());
+    let adaptive = prep.warm || rows_known;
     let ctx = ScanContext {
         config: *config,
         req: &prep.req,
         tokenizer: table.tokenizer,
         schema: &table.schema,
         path: &table.path,
-        map: prep.warm.then_some(&table.map),
-        plan: if prep.warm { prep.plan.as_ref() } else { None },
-        cache: if prep.warm && config.enable_cache {
+        map: (adaptive && prep.plan_assists).then_some(&table.map),
+        plan: if adaptive && prep.plan_assists {
+            prep.plan.as_ref()
+        } else {
+            None
+        },
+        cache: if adaptive && config.enable_cache {
             Some(&table.cache)
         } else {
             None
@@ -400,33 +633,61 @@ pub(crate) fn run_partitions(
         // offsets there would only replay no-ops.
         collect_offsets: prep.plan.is_some() && !prep.warm,
     };
-    let collected: Vec<EngineResult<PartitionOutput>> = std::thread::scope(|s| {
-        let handles: Vec<_> = partitions
-            .iter()
-            .map(|&p| {
-                let ctx = &ctx;
-                s.spawn(move || worker::run_partition(ctx, p))
+
+    let workers = prep.threads.min(partitions.len()).max(1);
+    let steals = AtomicU64::new(0);
+    let slots: Vec<Mutex<Option<EngineResult<PartitionOutput>>>> =
+        partitions.iter().map(|_| Mutex::new(None)).collect();
+    let bounds: Vec<(usize, usize)> = (0..workers)
+        .map(|w| {
+            (
+                partitions.len() * w / workers,
+                partitions.len() * (w + 1) / workers,
+            )
+        })
+        .collect();
+    let cursors: Vec<AtomicUsize> = bounds.iter().map(|&(lo, _)| AtomicUsize::new(lo)).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (ctx, slots, bounds, cursors, steals) =
+                    (&ctx, &slots, &bounds, &cursors, &steals);
+                s.spawn(move || {
+                    // Errors park in the slice's slot; the worker keeps
+                    // draining so every lower-numbered slice completes and
+                    // the driver can report the lowest-slice error with an
+                    // exact row rebase, exactly like the static split did.
+                    while let Some((idx, stolen)) = claim_slice(w, cursors, bounds) {
+                        if stolen {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let r = worker::run_partition(ctx, partitions[idx]);
+                        *slots[idx].lock().expect("slice slot") = Some(r);
+                    }
+                })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err(EngineError::Execution("scan worker panicked".into())))
-            })
-            .collect()
+        for h in handles {
+            // A panicked worker leaves its claimed slice's slot empty; the
+            // collection loop below reports it.
+            let _ = h.join();
+        }
     });
-    let mut results: Vec<PartitionOutput> = Vec::with_capacity(collected.len());
-    for r in collected {
+
+    let mut results: Vec<PartitionOutput> = Vec::with_capacity(slots.len());
+    for slot in slots {
+        let r = slot
+            .into_inner()
+            .expect("slice slot")
+            .unwrap_or_else(|| Err(EngineError::Execution("scan worker panicked".into())));
         match r {
             Ok(o) => results.push(o),
             Err(e) => {
-                // Abort without merging any side effects; the error a caller
-                // sees is the lowest-partition one. Cold-mode workers number
-                // rows partition-locally, so rebase row references by the
-                // preceding partitions' row counts to report the true file
-                // row (warm-mode workers already use global rows).
-                let e = if prep.warm {
+                // Abort without merging any side effects. Workers without
+                // global row bases number rows slice-locally, so rebase row
+                // references by the preceding slices' row counts to report
+                // the true file row.
+                let e = if prep.warm || rows_known {
                     e
                 } else {
                     let base: usize = results.iter().map(|o| o.rows).sum();
@@ -436,7 +697,7 @@ pub(crate) fn run_partitions(
             }
         }
     }
-    Ok(results)
+    Ok((results, steals.into_inner()))
 }
 
 /// What [`merge_outputs`] hands back: the total rows scanned and the output
@@ -460,10 +721,13 @@ pub(crate) struct MergeInfo {
 /// `scan_threads = 1` facade path or direct `RawScanSource` use) the
 /// frontiers equal the plan-time snapshots, reproducing the sequential scan
 /// decision for decision.
+#[allow(clippy::too_many_arguments)] // phase boundary: each argument is one staged ingredient
 pub(crate) fn merge_outputs(
     table: &mut RawTable,
     config: &NoDbConfig,
     prep: &ScanPrep,
+    cold: Option<&ColdScanPlan>,
+    steals: u64,
     mut results: Vec<PartitionOutput>,
     mut bd: Breakdown,
     telemetry: &TelemetryHandle,
@@ -491,6 +755,22 @@ pub(crate) fn merge_outputs(
         io.merge(o.io);
         worker_hits += o.cache_hits;
         worker_misses += o.cache_misses;
+    }
+
+    // Cold-scan bookkeeping: account the pre-count pass's I/O and memoize
+    // the newline counts it established — boundary counts from the counting
+    // pass, plus the file-total count every completed cold scan knows. The
+    // next cold scan over the same bytes partitions at the same offsets and
+    // skips the counting pass entirely.
+    if let Some(cp) = cold {
+        io.merge(cp.io);
+        for &(off, lines) in &cp.new_counts {
+            table.map.line_counts_mut().note(off, lines);
+        }
+        if let Some(last) = cp.partitions.last() {
+            let raw_lines = total as u64 + u64::from(prep.has_header);
+            table.map.line_counts_mut().note(last.range.end, raw_lines);
+        }
     }
 
     if prep.plan.is_some() {
@@ -653,6 +933,8 @@ pub(crate) fn merge_outputs(
     tel.breakdown = bd;
     tel.cache_hits = worker_hits;
     tel.cache_misses = worker_misses;
+    tel.precounted = cold.is_some_and(|c| c.rows_known);
+    tel.steals = steals;
 
     MergeInfo { total, queue }
 }
@@ -673,29 +955,44 @@ pub(crate) fn scan_shared(
     let clock = PhaseClock::new(config.detailed_timing);
     let mut bd = Breakdown::default();
     // Partitioning. Warm row ranges were captured at prepare time; cold
-    // byte partitioning probes only the raw file and needs no table lock.
-    let partitions: Vec<Partition> = if prep.warm {
-        prep.warm_partitions.clone()
+    // byte partitioning (and the newline pre-count, when triggered) probes
+    // only the raw file and the prep's memo snapshot — no table lock.
+    let cold = if prep.warm {
+        None
     } else {
         let t = clock.start();
-        let ranges = partition_line_ranges(&prep.path, prep.threads)?;
+        let cp = plan_cold_partitions(prep, config.io_block_size)?;
         clock.lap(t, &mut bd.io);
-        cold_partitions(ranges, prep.has_header)
+        Some(cp)
+    };
+    let partitions: &[Partition] = match &cold {
+        Some(cp) => &cp.partitions,
+        None => &prep.warm_partitions,
     };
 
-    let outputs = {
+    let (outputs, steals) = {
         let table = handle.read();
         if table.generation != prep.generation {
             return Ok(None);
         }
-        run_partitions(&table, config, prep, &partitions)?
+        run_partitions(&table, config, prep, partitions)?
     };
 
     let mut table = handle.write();
     if table.generation != prep.generation {
         return Ok(None);
     }
-    let info = merge_outputs(&mut table, config, prep, outputs, bd, telemetry, &clock);
+    let info = merge_outputs(
+        &mut table,
+        config,
+        prep,
+        cold.as_ref(),
+        steals,
+        outputs,
+        bd,
+        telemetry,
+        &clock,
+    );
     Ok(Some(info.queue))
 }
 
@@ -1186,29 +1483,44 @@ impl<'a> RawScanSource<'a> {
     /// the queue.
     fn run_parallel(&mut self) -> EngineResult<()> {
         let mut bd = std::mem::take(&mut self.bd);
-        let partitions: Vec<Partition> = if self.prep.warm {
-            self.prep.warm_partitions.clone()
+        let cold = if self.prep.warm {
+            None
         } else {
             let t = self.clock.start();
-            let ranges = partition_line_ranges(&self.table.path, self.prep.threads)?;
+            let cp = match plan_cold_partitions(&self.prep, self.config.io_block_size) {
+                Ok(cp) => cp,
+                Err(e) => {
+                    self.bd = bd;
+                    self.done = true;
+                    self.parallel_queue = Some(VecDeque::new());
+                    return Err(e);
+                }
+            };
             self.clock.lap(t, &mut bd.io);
-            cold_partitions(ranges, self.table.has_header)
+            Some(cp)
+        };
+        let partitions: &[Partition] = match &cold {
+            Some(cp) => &cp.partitions,
+            None => &self.prep.warm_partitions,
         };
 
-        let outputs = match run_partitions(self.table, &self.config, &self.prep, &partitions) {
-            Ok(o) => o,
-            Err(e) => {
-                self.bd = bd;
-                self.done = true;
-                self.parallel_queue = Some(VecDeque::new());
-                return Err(e);
-            }
-        };
+        let (outputs, steals) =
+            match run_partitions(self.table, &self.config, &self.prep, partitions) {
+                Ok(o) => o,
+                Err(e) => {
+                    self.bd = bd;
+                    self.done = true;
+                    self.parallel_queue = Some(VecDeque::new());
+                    return Err(e);
+                }
+            };
 
         let info = merge_outputs(
             self.table,
             &self.config,
             &self.prep,
+            cold.as_ref(),
+            steals,
             outputs,
             bd,
             &self.telemetry,
@@ -1490,7 +1802,7 @@ mod tests {
         rows: u64,
         seed: u64,
         threads: usize,
-        mk_cfg: fn(usize) -> NoDbConfig,
+        mk_cfg: impl Fn(usize) -> NoDbConfig,
         reqs: &[ScanRequest],
     ) {
         let (p, schema) = tmp_csv(cols, rows, seed);
@@ -1512,23 +1824,20 @@ mod tests {
             );
         }
         assert_eq!(t_seq.row_count, t_par.row_count);
-        // Hit/miss telemetry matches whenever warm (row-partitioned) mode
-        // is reachable. Without the positional map there is no row index,
-        // so parallel scans stay cold and honestly report zero cache reads
-        // (they re-parse instead of peeking) — contents still match, but
-        // read counters diverge by design; skip the comparison there.
-        if cfg_seq.enable_positional_map {
-            assert_eq!(
-                t_seq.cache.metrics().hits,
-                t_par.cache.metrics().hits,
-                "cache hit accounting must match"
-            );
-            assert_eq!(
-                t_seq.cache.metrics().misses,
-                t_par.cache.metrics().misses,
-                "cache miss accounting must match"
-            );
-        }
+        // Hit/miss telemetry matches in warm (row-partitioned) mode *and*,
+        // since the two-phase pre-count, in cold byte-partitioned mode:
+        // pre-counted workers know their global rows and read the cache
+        // exactly where the sequential scan would.
+        assert_eq!(
+            t_seq.cache.metrics().hits,
+            t_par.cache.metrics().hits,
+            "cache hit accounting must match"
+        );
+        assert_eq!(
+            t_seq.cache.metrics().misses,
+            t_par.cache.metrics().misses,
+            "cache miss accounting must match"
+        );
         assert_eq!(t_seq.map.row_index().len(), t_par.map.row_index().len());
         assert_eq!(
             t_seq.map.row_index().is_complete(),
@@ -1882,6 +2191,213 @@ mod tests {
         assert_eq!(a[7][2], Datum::from("say \"hi\""));
         // Quoted files bypass the positional map but still cache.
         assert_eq!(t1.cache.coverage(1), t4.cache.coverage(1));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn cold_scan_reuses_partial_cache_via_precount() {
+        // Cache-only configuration: the positional map is off, so there is
+        // never a row index and every rescan is cold byte-partitioned. With
+        // a tight budget the first query caches only a prefix; the second
+        // cold scan must pre-count, read that prefix from the cache, and
+        // still end byte-identical to the sequential scan.
+        let mk = |threads: usize| NoDbConfig {
+            scan_threads: threads,
+            cache_budget_bytes: 1200,
+            ..NoDbConfig::cache_only()
+        };
+        assert_parallel_matches_sequential(
+            4,
+            400,
+            31,
+            8,
+            mk,
+            &[ScanRequest::project(vec![1]), ScanRequest::project(vec![1])],
+        );
+
+        // Telemetry detail: the second parallel scan ran the pre-count and
+        // tallied cache hits for the covered prefix.
+        let (p, schema) = tmp_csv(4, 400, 31);
+        let cfg = mk(8);
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let req = ScanRequest::project(vec![1]);
+        let (_, tel1) = scan_once(&mut t, cfg, req.clone());
+        assert!(!tel1.precounted, "first scan has nothing to reuse");
+        assert_eq!(tel1.cache_hits, 0);
+        let cov = t.cache.coverage(1);
+        assert!(cov > 0 && cov < 400, "partial coverage, got {cov}");
+        let (_, tel2) = scan_once(&mut t, cfg, req.clone());
+        assert!(tel2.precounted, "partial cache must trigger the pre-count");
+        assert_eq!(tel2.cache_hits, cov as u64, "covered prefix served");
+        assert!(
+            !t.map.line_counts().is_empty(),
+            "pre-count boundaries memoized"
+        );
+        // Third scan: same boundaries, so the memo answers the pre-count
+        // without re-reading the file — strictly less I/O.
+        let (_, tel3) = scan_once(&mut t, cfg, req);
+        assert!(tel3.precounted);
+        assert!(
+            tel3.io.bytes_read < tel2.io.bytes_read,
+            "memoized pre-count must skip the counting I/O ({} vs {})",
+            tel3.io.bytes_read,
+            tel2.io.bytes_read
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn negligible_cache_coverage_skips_the_precount() {
+        // A cache covering a vanishing fraction of a known row count must
+        // not trigger the pre-count: the counting pass reads the whole
+        // file, which can't pay for serving a handful of rows.
+        let cfg = NoDbConfig {
+            scan_threads: 8,
+            cache_budget_bytes: 100, // ~12 of 400 rows
+            ..NoDbConfig::cache_only()
+        };
+        let (p, schema) = tmp_csv(4, 400, 35);
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let req = ScanRequest::project(vec![1]);
+        let (a, _) = scan_once(&mut t, cfg, req.clone());
+        let cov = t.cache.coverage(1);
+        assert!(cov > 0 && (cov as u64) * 32 < 400, "tiny coverage: {cov}");
+        let (b, tel2) = scan_once(&mut t, cfg, req);
+        assert_eq!(a, b);
+        assert!(!tel2.precounted, "coverage below threshold: no pre-count");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn cold_precount_off_keeps_raw_only_behavior() {
+        let cfg = NoDbConfig {
+            scan_threads: 8,
+            cache_budget_bytes: 1200,
+            cold_precount: false,
+            ..NoDbConfig::cache_only()
+        };
+        let (p, schema) = tmp_csv(4, 400, 32);
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let req = ScanRequest::project(vec![1]);
+        let (a, _) = scan_once(&mut t, cfg, req.clone());
+        let (b, tel2) = scan_once(&mut t, cfg, req);
+        assert_eq!(a, b);
+        assert!(!tel2.precounted, "knob off: no pre-count");
+        assert_eq!(tel2.cache_hits, 0, "cold workers resolve from raw bytes");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn cold_scan_after_append_reuses_map_chunks() {
+        // An append invalidates row-index completeness but keeps chunks and
+        // cache for the prefix: the next scan is cold *with* reuse
+        // potential, so it pre-counts and must match the sequential scan.
+        use nodb_rawcsv::GeneratorConfig;
+        let gen = GeneratorConfig::uniform_ints(5, 500, 33);
+        let mk_table = |threads: usize, path: &PathBuf| {
+            let cfg = NoDbConfig {
+                scan_threads: threads,
+                ..NoDbConfig::default()
+            };
+            (
+                RawTable::register(path, gen.schema(), false, &cfg).unwrap(),
+                cfg,
+            )
+        };
+        let mut p1 = std::env::temp_dir();
+        p1.push(format!("nodb_rawscan_append_seq_{}", std::process::id()));
+        gen.generate_file(&p1).unwrap();
+        let mut p8 = std::env::temp_dir();
+        p8.push(format!("nodb_rawscan_append_par_{}", std::process::id()));
+        gen.generate_file(&p8).unwrap();
+        let (mut t1, cfg1) = mk_table(1, &p1);
+        let (mut t8, cfg8) = mk_table(8, &p8);
+        let req = ScanRequest::project(vec![1, 3]);
+        let (a0, _) = scan_once(&mut t1, cfg1, req.clone());
+        let (b0, _) = scan_once(&mut t8, cfg8, req.clone());
+        assert_eq!(a0, b0);
+        gen.append_rows(&p1, 120).unwrap();
+        gen.append_rows(&p8, 120).unwrap();
+        t1.check_updates().unwrap();
+        t8.check_updates().unwrap();
+        let (a1, tel_a) = scan_once(&mut t1, cfg1, req.clone());
+        let (b1, tel_b) = scan_once(&mut t8, cfg8, req);
+        assert_eq!(a1, b1, "post-append scans must agree");
+        assert_eq!(a1.len(), 620);
+        assert!(tel_b.precounted, "append rescan reuses prefix state");
+        assert!(
+            tel_b.cache_hits > 0,
+            "cold workers must peek the prefix cache"
+        );
+        assert_eq!(tel_a.cache_hits, tel_b.cache_hits, "hit parity");
+        assert_eq!(t1.row_count, t8.row_count);
+        for attr in [1usize, 3] {
+            assert_eq!(t1.cache.coverage(attr), t8.cache.coverage(attr));
+            for row in 0..t1.cache.coverage(attr) {
+                assert_eq!(t1.cache.peek(attr, row), t8.cache.peek(attr, row));
+            }
+        }
+        std::fs::remove_file(p1).unwrap();
+        std::fs::remove_file(p8).unwrap();
+    }
+
+    #[test]
+    fn stealing_and_static_partitioning_agree() {
+        // Same dataset and queries under static partitioning
+        // (steal_slices_per_thread = 0) and fine-grained stealing: results
+        // and post-scan state must be identical — which worker executes a
+        // slice can never matter.
+        for steal in [0usize, 1, 4, 16] {
+            assert_parallel_matches_sequential(
+                6,
+                700,
+                34,
+                8,
+                move |t| NoDbConfig {
+                    scan_threads: t,
+                    steal_slices_per_thread: steal,
+                    ..NoDbConfig::default()
+                },
+                &[
+                    ScanRequest::project(vec![0, 4]),
+                    ScanRequest::project(vec![2]),
+                ],
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_line_widths_balance_via_stealing() {
+        // A file whose first half has enormous lines and second half tiny
+        // ones: equal-byte slices then hold wildly different row counts.
+        // The scan must still return every row, in order, at any thread
+        // count, with stealing on.
+        let mut p = std::env::temp_dir();
+        p.push(format!("nodb_rawscan_skew_{}", std::process::id()));
+        let mut content = String::new();
+        let wide = "x".repeat(900);
+        for i in 0..200 {
+            content.push_str(&format!("{i},{wide}\n"));
+        }
+        for i in 200..2200 {
+            content.push_str(&format!("{i},s\n"));
+        }
+        std::fs::write(&p, content).unwrap();
+        let schema = nodb_rawcsv::Schema::new(vec![
+            nodb_rawcsv::ColumnDef::new("a", nodb_rawcsv::ColumnType::Int),
+            nodb_rawcsv::ColumnDef::new("b", nodb_rawcsv::ColumnType::Str),
+        ]);
+        for threads in [1usize, 3, 8] {
+            let cfg = NoDbConfig {
+                scan_threads: threads,
+                ..NoDbConfig::default()
+            };
+            let mut t = RawTable::register(&p, schema.clone(), false, &cfg).unwrap();
+            let (rows, _) = scan_once(&mut t, cfg, ScanRequest::project(vec![0]));
+            assert_eq!(rows.len(), 2200, "threads = {threads}");
+            assert_eq!(rows[0][0], Datum::Int(0));
+            assert_eq!(rows[2199][0], Datum::Int(2199));
+        }
         std::fs::remove_file(p).unwrap();
     }
 

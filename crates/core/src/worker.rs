@@ -28,10 +28,13 @@ use crate::metrics::{Breakdown, PhaseClock};
 
 /// Immutable scan-wide state shared by every worker.
 ///
-/// `map`/`plan`/`cache` are only populated in *row-partitioned* (warm) mode,
-/// where partition row bases are known up front and per-row adaptive reads
-/// are therefore addressable; in cold byte-partitioned mode workers resolve
-/// everything from raw bytes (see `rawscan` module docs).
+/// `map`/`plan`/`cache` are populated whenever partition row bases are
+/// known up front — *row-partitioned* (warm) mode, or cold byte-partitioned
+/// mode after a newline pre-count — since per-row adaptive reads need
+/// global row numbers (`cache` additionally requires the cache enabled,
+/// `map`/`plan` an access plan that actually resolves something through a
+/// chunk). In cold mode without a pre-count all three are `None` and
+/// workers resolve everything from raw bytes (see `rawscan` module docs).
 pub(crate) struct ScanContext<'a> {
     pub config: NoDbConfig,
     pub req: &'a ScanRequest,
@@ -59,8 +62,14 @@ pub(crate) struct Partition {
     /// Partition 0 of a file with a header skips its first line.
     pub skip_header: bool,
     /// Global index of this partition's first data row, when known
-    /// (row-partitioned mode); `None` in cold byte-partitioned mode.
+    /// (row-partitioned mode, or cold mode after a newline pre-count);
+    /// `None` in cold byte-partitioned mode without a pre-count.
     pub row_base: Option<usize>,
+    /// Exact data-row count of the partition, when known (same sources as
+    /// `row_base`). Together with `row_base` this enables the
+    /// whole-partition cache probe: a partition fully covered by the cache
+    /// for every requested attribute is served without opening the file.
+    pub rows: Option<usize>,
 }
 
 /// Everything a worker hands back for the deterministic merge.
@@ -97,6 +106,22 @@ pub(crate) fn run_partition(
     let mut d_parse = Duration::ZERO;
     let mut d_conv = Duration::ZERO;
     let mut d_nodb = Duration::ZERO;
+
+    // Whole-partition cache probe: with the global row range known (warm
+    // slices, or cold slices after a pre-count) and every requested
+    // attribute cached for every row of it, the raw file has nothing left
+    // to offer — serve the partition straight from the cache, zero I/O.
+    // Skipped when the scan collects row offsets or a map chunk (those need
+    // the raw line bytes), so the partition-local partials stay identical
+    // to what the streaming loop would have produced.
+    if let (Some(base), Some(rows), Some(cache)) = (part.row_base, part.rows, ctx.cache) {
+        if !ctx.collect_offsets
+            && !ctx.build_chunk
+            && cache.covers_range(&ctx.req.attrs, base, base + rows)
+        {
+            return run_cached_partition(ctx, base, rows, cache, &clock);
+        }
+    }
 
     let t = clock.start();
     let mut scanner = RangeScanner::open(ctx.path, ctx.config.io_block_size, part.range, 0)?;
@@ -139,6 +164,14 @@ pub(crate) fn run_partition(
         _ => false,
     };
     let map_reads = ctx.map.is_some() && ctx.plan.is_some() && part.row_base.is_some();
+    // Resolve the cache columns once per partition; the per-row reads index
+    // straight through the handles instead of re-probing the cache's map.
+    let cache_cols: Vec<Option<&TypedColumn>> = match (ctx.cache, part.row_base) {
+        (Some(cache), Some(_)) if cache_reads => {
+            ctx.req.attrs.iter().map(|&a| cache.column(a)).collect()
+        }
+        _ => vec![None; n],
+    };
     let upto = if ctx.config.selective_tokenizing {
         ctx.req.attrs.last().copied().unwrap_or(0)
     } else {
@@ -192,6 +225,7 @@ pub(crate) fn run_partition(
             &line_buf,
             &mut tokens,
             fused,
+            &cache_cols,
             &mut values,
             &mut spans,
             (&mut out.cache_hits, &mut out.cache_misses),
@@ -247,6 +281,80 @@ pub(crate) fn run_partition(
     Ok(out)
 }
 
+/// Serve one fully-cached partition without touching the raw file: every
+/// value comes from the cache columns, side columns replay the same values
+/// (so a later merge under shrunk coverage re-admits real data, never
+/// placeholders), and tuple formation is the shared `form_tuple_into`. The
+/// output is exactly what the streaming loop would have produced for the
+/// same rows — minus the I/O.
+fn run_cached_partition(
+    ctx: &ScanContext<'_>,
+    base: usize,
+    rows: usize,
+    cache: &RawCache,
+    clock: &PhaseClock,
+) -> EngineResult<PartitionOutput> {
+    let n = ctx.req.attrs.len();
+    let mut d_nodb = Duration::ZERO;
+    let cols: Vec<&TypedColumn> = ctx
+        .req
+        .attrs
+        .iter()
+        .map(|&a| cache.column(a).expect("covers_range probed"))
+        .collect();
+    let mut out = PartitionOutput {
+        rows,
+        line_starts: Vec::new(),
+        side_cols: if ctx.collect_side {
+            ctx.req
+                .attrs
+                .iter()
+                .map(|&a| TypedColumn::new(ctx.schema.ty(a)))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        builder: None,
+        batches: Vec::new(),
+        cache_hits: 0,
+        cache_misses: 0,
+        breakdown: Breakdown::default(),
+        io: IoCounters::default(),
+    };
+    let mut values: Vec<Option<Datum>> = vec![None; n];
+    let mut pred_row: Vec<Datum> = Vec::with_capacity(n);
+    let mut batch = Batch::with_columns(n);
+    for row in base..base + rows {
+        for (v, col) in values.iter_mut().zip(&cols) {
+            *v = col.datum(row);
+            debug_assert!(v.is_some(), "covered row {row} missing from cache");
+            out.cache_hits += 1;
+        }
+        {
+            let t = clock.start();
+            if ctx.collect_side {
+                for (col, v) in out.side_cols.iter_mut().zip(&values) {
+                    match v {
+                        Some(d) => col.push(d),
+                        None => col.push(&Datum::Null),
+                    }
+                }
+            }
+            clock.lap(t, &mut d_nodb);
+        }
+        crate::rawscan::form_tuple_into(ctx.req, &mut values, &mut pred_row, &mut batch);
+        if batch.rows() >= BATCH_SIZE {
+            out.batches
+                .push(std::mem::replace(&mut batch, Batch::with_columns(n)));
+        }
+    }
+    if !batch.is_empty() {
+        out.batches.push(batch);
+    }
+    out.breakdown.nodb = d_nodb;
+    Ok(out)
+}
+
 /// Resolve every requested position of one row: cache reads and exact
 /// positional-map jumps (warm mode), then tokenizing for the rest, then
 /// selective parsing. Mirrors the sequential scan's `resolve_row` with the
@@ -259,6 +367,7 @@ fn resolve_row(
     line: &[u8],
     tokens: &mut Tokens,
     fused: bool,
+    cache_cols: &[Option<&TypedColumn>],
     values: &mut [Option<Datum>],
     spans: &mut [Option<(u32, u32)>],
     (cache_hits, cache_misses): (&mut u64, &mut u64),
@@ -273,13 +382,14 @@ fn resolve_row(
         spans[i] = None;
     }
 
-    // 1. Cache reads (warm mode only: global rows addressable). `peek`
-    // cannot count on the shared metrics, so hits/misses are tallied here
-    // and folded in by the driver — same accounting as sequential `get`.
-    if let (Some(cache), Some(row)) = (ctx.cache, global_row) {
+    // 1. Cache reads (global rows addressable: warm mode, or cold mode
+    // after a pre-count). Workers cannot count on the shared metrics, so
+    // hits/misses are tallied here and folded in by the driver — same
+    // accounting as sequential `get`.
+    if let Some(row) = global_row {
         for (i, v) in values.iter_mut().enumerate() {
             if row < ctx.cache_cov[i] {
-                *v = cache.peek(ctx.req.attrs[i], row);
+                *v = cache_cols[i].and_then(|c| c.datum(row));
                 match v {
                     Some(_) => *cache_hits += 1,
                     None => *cache_misses += 1,

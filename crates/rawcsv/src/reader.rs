@@ -17,7 +17,7 @@ use std::path::{Path, PathBuf};
 use std::time::SystemTime;
 
 use crate::error::RawCsvError;
-use crate::tokenizer::{find_byte, find_byte2, trim_cr, Tokens};
+use crate::tokenizer::{count_byte, find_byte, find_byte2, trim_cr, Tokens};
 use crate::Result;
 
 /// Default block size for sequential scans (1 MiB).
@@ -66,6 +66,13 @@ pub struct BlockScanner {
     file: File,
     path: PathBuf,
     block_size: usize,
+    /// Soft read cap: reads stop short of this file offset, then degrade to
+    /// [`TAIL_READ`]-sized steps for the (usually short) line straddling it.
+    /// `u64::MAX` = uncapped. Set by [`RangeScanner`]: a scanner over a
+    /// small slice of a large file must not pull a whole block past its
+    /// range — with many fine-grained partition slices that amplifies I/O
+    /// by `block_size / slice_len`.
+    read_cap: u64,
     /// Buffered window of the file. `buf[pos..filled]` is unconsumed.
     buf: Vec<u8>,
     pos: usize,
@@ -77,6 +84,11 @@ pub struct BlockScanner {
     counters: IoCounters,
 }
 
+/// Read granularity beyond a [`BlockScanner::read_cap`] (one page: enough
+/// for the typical tail line in one step without over-reading into the
+/// next scanner's slice).
+const TAIL_READ: usize = 4096;
+
 impl BlockScanner {
     /// Open `path` for a sequential scan with the given block size.
     pub fn open(path: impl AsRef<Path>, block_size: usize) -> Result<Self> {
@@ -87,6 +99,7 @@ impl BlockScanner {
             file,
             path,
             block_size: block_size.max(4096),
+            read_cap: u64::MAX,
             buf: Vec::new(),
             pos: 0,
             filled: 0,
@@ -272,6 +285,14 @@ impl BlockScanner {
         }
     }
 
+    /// Restrict reads to stop at file offset `cap` and continue in
+    /// [`TAIL_READ`]-sized steps beyond it (for the line straddling the
+    /// cap). Lines are still produced normally past the cap — this caps
+    /// *read-ahead*, not the scan.
+    pub fn set_read_cap(&mut self, cap: u64) {
+        self.read_cap = cap;
+    }
+
     /// Slide the unconsumed tail to the front of the buffer and read one more
     /// block from the file.
     fn refill(&mut self) -> Result<()> {
@@ -282,13 +303,22 @@ impl BlockScanner {
             self.filled -= self.pos;
             self.pos = 0;
         }
-        // Ensure capacity for one more block past `filled`.
-        if self.buf.len() < self.filled + self.block_size {
-            self.buf.resize(self.filled + self.block_size, 0);
+        // Block size, clipped to the soft cap (tail steps beyond it).
+        let read_at = self.buf_file_offset + self.filled as u64;
+        let want = if read_at >= self.read_cap {
+            TAIL_READ
+        } else {
+            (self.block_size as u64)
+                .min(self.read_cap - read_at)
+                .max(TAIL_READ as u64) as usize
+        };
+        // Ensure capacity for the read past `filled`.
+        if self.buf.len() < self.filled + want {
+            self.buf.resize(self.filled + want, 0);
         }
         let n = self
             .file
-            .read(&mut self.buf[self.filled..self.filled + self.block_size])
+            .read(&mut self.buf[self.filled..self.filled + want])
             .map_err(|e| RawCsvError::io(format!("read {}", self.path.display()), e))?;
         self.counters.read_calls += 1;
         self.counters.bytes_read += n as u64;
@@ -323,9 +353,15 @@ pub struct LineRange {
 ///
 /// Each candidate split point (`len * k / parts`) is snapped forward to the
 /// next line start by probing for the following `\n`. Snapping can collapse
-/// neighbouring candidates (tiny files, very long lines), so the result may
-/// hold fewer ranges than requested — but always at least one for a
-/// non-empty file, and the ranges concatenate to exactly `[0, len)`.
+/// neighbouring candidates (very long lines), so the result may hold fewer
+/// ranges than requested — but always at least one for a non-empty file, and
+/// the ranges concatenate to exactly `[0, len)`.
+///
+/// Files smaller than `parts` bytes are special-cased: equal-byte targets
+/// there collapse so badly that the snap loop used to return fewer
+/// partitions than the line count supports, leaving workers idle. For those
+/// the whole file is read (it is tiny by definition) and split line-exactly
+/// into `min(parts, lines)` ranges.
 pub fn partition_line_ranges(path: impl AsRef<Path>, parts: usize) -> Result<Vec<LineRange>> {
     let path = path.as_ref();
     let mut file =
@@ -336,6 +372,9 @@ pub fn partition_line_ranges(path: impl AsRef<Path>, parts: usize) -> Result<Vec
         .len();
     if len == 0 {
         return Ok(Vec::new());
+    }
+    if len < parts as u64 {
+        return partition_tiny_file(&mut file, path, len, parts);
     }
     let mut cuts: Vec<u64> = vec![0];
     for k in 1..parts {
@@ -353,6 +392,82 @@ pub fn partition_line_ranges(path: impl AsRef<Path>, parts: usize) -> Result<Vec
             end: w[1],
         })
         .collect())
+}
+
+/// Exact split of a file smaller than `parts` bytes: read it whole, list
+/// every line start, and deal lines out to exactly `min(parts, lines)`
+/// ranges, near-equal in line count.
+fn partition_tiny_file(
+    file: &mut File,
+    path: &Path,
+    len: u64,
+    parts: usize,
+) -> Result<Vec<LineRange>> {
+    let mut bytes = Vec::with_capacity(len as usize);
+    file.read_to_end(&mut bytes)
+        .map_err(|e| RawCsvError::io(format!("read {}", path.display()), e))?;
+    let mut starts: Vec<u64> = vec![0];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' && i + 1 < bytes.len() {
+            starts.push(i as u64 + 1);
+        }
+    }
+    let lines = starts.len();
+    let nparts = parts.min(lines).max(1);
+    let mut ranges = Vec::with_capacity(nparts);
+    for k in 0..nparts {
+        let lo = lines * k / nparts;
+        let hi = lines * (k + 1) / nparts;
+        let start = starts[lo];
+        let end = if hi < lines { starts[hi] } else { len };
+        ranges.push(LineRange { start, end });
+    }
+    Ok(ranges)
+}
+
+/// Count the lines a [`LineRange`] *owns* (lines whose first byte lies in
+/// `[start, end)`), in one SWAR pass over block reads — the counting-only
+/// scanner of the two-phase cold scan's pre-count phase.
+///
+/// A non-empty range starts at a line start, so it owns one line plus one
+/// per `\n` in `[start, end - 1)` (the newline at `end - 1`, if any,
+/// terminates the range's last line rather than starting a new owned one —
+/// see the [`LineRange`] ownership discipline). No line reassembly, no
+/// copies: the block buffer is only ever scanned by [`count_byte`].
+/// Returns the owned-line count together with the I/O performed.
+pub fn count_lines_in_range(
+    path: impl AsRef<Path>,
+    block_size: usize,
+    range: LineRange,
+) -> Result<(u64, IoCounters)> {
+    let path = path.as_ref();
+    if range.end <= range.start {
+        return Ok((0, IoCounters::default()));
+    }
+    let mut file =
+        File::open(path).map_err(|e| RawCsvError::io(format!("open {}", path.display()), e))?;
+    if range.start > 0 {
+        file.seek(SeekFrom::Start(range.start))
+            .map_err(|e| RawCsvError::io(format!("seek {}", path.display()), e))?;
+    }
+    let mut counters = IoCounters::default();
+    let mut remaining = (range.end - range.start - 1) as usize; // [start, end-1)
+    let mut buf = vec![0u8; block_size.max(4096)];
+    let mut lines = 1u64; // the line starting at `range.start`
+    while remaining > 0 {
+        let want = remaining.min(buf.len());
+        let n = file
+            .read(&mut buf[..want])
+            .map_err(|e| RawCsvError::io(format!("read {}", path.display()), e))?;
+        counters.read_calls += 1;
+        counters.bytes_read += n as u64;
+        if n == 0 {
+            break; // file shrank under us; the scan proper will notice
+        }
+        lines += count_byte(&buf[..n], b'\n') as u64;
+        remaining -= n;
+    }
+    Ok((lines, counters))
 }
 
 /// Byte offset of the first line that starts at or after `from`: scan
@@ -406,6 +521,10 @@ impl RangeScanner {
         if range.start > 0 {
             inner.seek_to(range.start, first_line_no)?;
         }
+        // Stop read-ahead at the range end (plus page-sized steps for the
+        // final straddling line): with many fine-grained slices, full-block
+        // read-ahead would multiply I/O by `block_size / slice_len`.
+        inner.set_read_cap(range.end);
         Ok(RangeScanner {
             inner,
             end: range.end,
@@ -775,6 +894,105 @@ mod tests {
             }
             std::fs::remove_file(p).unwrap();
         }
+    }
+
+    #[test]
+    fn tiny_files_get_exactly_min_parts_lines_partitions() {
+        // Regression: equal-byte snapping on files smaller than `parts`
+        // bytes used to collapse cuts and return fewer partitions than the
+        // line count supports. Such files must now split line-exactly into
+        // min(parts, lines) ranges.
+        for (content, parts, lines) in [
+            (b"a\nb\nc\n".to_vec(), 8usize, 3usize), // 6 bytes < 8 parts
+            (b"a\nb\nc\n".to_vec(), 7, 3),
+            (b"a\nb".to_vec(), 8, 2), // unterminated tail line
+            (b"\n\n\n\n".to_vec(), 6, 4),
+            (b"x,y\n".to_vec(), 9, 1),
+        ] {
+            let p = tmp_file("partition_tiny", &content);
+            let ranges = partition_line_ranges(&p, parts).unwrap();
+            assert_eq!(
+                ranges.len(),
+                parts.min(lines),
+                "content {:?} parts {parts}: want exactly min(parts, lines)",
+                String::from_utf8_lossy(&content)
+            );
+            assert_partitions_cover(&p, parts);
+            std::fs::remove_file(p).unwrap();
+        }
+        // At or above the byte threshold the snapping path still applies.
+        let p = tmp_file("partition_tiny_edge", b"a\nb\nc\n");
+        let ranges = partition_line_ranges(&p, 6).unwrap();
+        assert!(!ranges.is_empty() && ranges.len() <= 6);
+        assert_partitions_cover(&p, 6);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn range_scanner_reads_little_beyond_its_slice() {
+        // Regression: a RangeScanner over a small slice of a big file must
+        // not pull a whole block past its range — that amplified I/O by
+        // block_size / slice_len under fine-grained partition slicing.
+        let content = gen_lines(4000); // ~50 KiB
+        let p = tmp_file("readcap", &content);
+        let len = content.len() as u64;
+        let ranges = partition_line_ranges(&p, 16).unwrap();
+        let mut total = 0u64;
+        for r in &ranges {
+            let mut sc = RangeScanner::open(&p, 1 << 20, *r, 0).unwrap();
+            while sc.next_line().unwrap().is_some() {}
+            let io = sc.take_counters();
+            assert!(
+                io.bytes_read <= (r.end - r.start) + 2 * 4096,
+                "slice {:?} read {} bytes",
+                r,
+                io.bytes_read
+            );
+            total += io.bytes_read;
+        }
+        assert!(
+            total <= len + ranges.len() as u64 * 2 * 4096,
+            "whole sweep read {total} bytes of a {len}-byte file"
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn count_lines_in_range_matches_range_scanner() {
+        // The counting-only pre-count pass must agree with the full scanner
+        // on every partitioning, including unterminated tails and newline
+        // runs straddling block boundaries.
+        let mut contents = vec![
+            gen_lines(257),
+            b"a,b".to_vec(),
+            b"a,b\nc,d\ne,f".to_vec(),
+            b"\n\n\n".to_vec(),
+        ];
+        let mut long = vec![b'z'; 9000];
+        long.extend_from_slice(b"\nshort\n");
+        contents.push(long);
+        for content in contents {
+            let p = tmp_file("count_range", &content);
+            for parts in [1usize, 2, 3, 8, 64] {
+                let ranges = partition_line_ranges(&p, parts).unwrap();
+                for r in &ranges {
+                    let (counted, io) = count_lines_in_range(&p, 4096, *r).unwrap();
+                    let mut sc = RangeScanner::open(&p, 4096, *r, 0).unwrap();
+                    let mut scanned = 0u64;
+                    while sc.next_line().unwrap().is_some() {
+                        scanned += 1;
+                    }
+                    assert_eq!(counted, scanned, "parts={parts} range={r:?}");
+                    assert!(io.bytes_read <= r.end - r.start);
+                }
+            }
+            std::fs::remove_file(p).unwrap();
+        }
+        // Degenerate empty range.
+        let p = tmp_file("count_range_empty", b"a\nb\n");
+        let (n, io) = count_lines_in_range(&p, 4096, LineRange { start: 2, end: 2 }).unwrap();
+        assert_eq!((n, io.bytes_read), (0, 0));
+        std::fs::remove_file(p).unwrap();
     }
 
     #[test]

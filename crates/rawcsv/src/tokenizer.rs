@@ -371,6 +371,37 @@ pub fn find_byte2(hay: &[u8], needle_a: u8, needle_b: u8) -> Option<(usize, u8)>
         .map(|p| (p + i, hay[p + i]))
 }
 
+/// Count every occurrence of `needle` in `hay` with an 8-byte SWAR loop.
+///
+/// This is the pre-count primitive of the two-phase cold scan: counting the
+/// newlines of a partition establishes its row count (and therefore every
+/// worker's global row base) without tokenizing or copying a single line.
+/// Per 8-byte word the match mask is reduced with `count_ones`, so the pass
+/// is pure load/XOR/SUB/AND/POPCNT — no branches on the hot path.
+#[inline]
+pub fn count_byte(hay: &[u8], needle: u8) -> usize {
+    // `find_byte`'s zero-detect mask is only exact below its lowest hit
+    // (subtraction borrows can smear into higher bytes), so counting uses
+    // the carry-free variant: per byte, `(x & 0x7f) + 0x7f` overflows into
+    // the high bit unless the low 7 bits are zero, and `| x` folds in the
+    // byte's own high bit — the complement's high bits then mark exactly
+    // the zero bytes, with no carries crossing byte lanes.
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const SEVENF: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+    let pat = LO.wrapping_mul(needle as u64);
+    let mut i = 0usize;
+    let mut count = 0usize;
+    let n = hay.len();
+    while i + 8 <= n {
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte chunk"));
+        let x = w ^ pat;
+        let hit = !(((x & SEVENF) + SEVENF) | x | SEVENF);
+        count += hit.count_ones() as usize;
+        i += 8;
+    }
+    count + hay[i..].iter().filter(|&&b| b == needle).count()
+}
+
 /// Locate the end of the current line (`\n`) starting at `from`.
 /// Returns the index of the newline byte, or `None` if the buffer ends first.
 #[inline]
@@ -424,6 +455,28 @@ mod tests {
         assert_eq!(find_byte2(b"abcdefgh\nx", b',', b'\n'), Some((8, b'\n')));
         // Same byte twice degenerates to find_byte.
         assert_eq!(find_byte2(b"ab,cd", b',', b','), Some((2, b',')));
+    }
+
+    #[test]
+    fn count_byte_matches_naive_count() {
+        assert_eq!(count_byte(b"", b'\n'), 0);
+        assert_eq!(count_byte(b"\n", b'\n'), 1);
+        assert_eq!(count_byte(b"a,b\nc,d\ne", b'\n'), 2);
+        // Pseudo-random soup at several offsets so both the SWAR body and
+        // the scalar tail are exercised.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut bytes = Vec::new();
+        for _ in 0..4099 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            bytes.push((x % 5) as u8 + b'\n');
+        }
+        for start in [0usize, 1, 3, 7, 8, 15] {
+            let hay = &bytes[start..];
+            let naive = hay.iter().filter(|&&b| b == b'\n').count();
+            assert_eq!(count_byte(hay, b'\n'), naive, "start = {start}");
+        }
     }
 
     #[test]

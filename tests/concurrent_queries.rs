@@ -37,6 +37,17 @@ fn scan_thread_counts() -> Vec<usize> {
     }
 }
 
+/// Repetition multiplier for the racy tests: `NODB_TEST_STRESS=k` runs
+/// `4k`× the default rounds (CI's steal-race stress job pins 8 scan threads
+/// and sets it to 1; unset = 1×).
+fn stress_rounds() -> u64 {
+    std::env::var("NODB_TEST_STRESS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(|v| v.max(1) * 4)
+        .unwrap_or(1)
+}
+
 fn mk_db(path: &std::path::Path, schema: Schema, scan_threads: usize) -> NoDb {
     let cfg = NoDbConfig {
         scan_threads,
@@ -231,6 +242,69 @@ fn racing_cold_scans_merge_to_union_state() {
             }
         });
         assert_same_state(&format!("threads={threads} union"), &db, &seq, cols);
+    }
+    std::fs::remove_file(path).unwrap();
+}
+
+/// Steal-race stress: concurrent clients rescanning a table whose cache
+/// holds only a partial prefix (tight budget, positional map off, so every
+/// rescan is a cold byte-partitioned scan). Each scan runs the two-phase
+/// pre-count and the work-stealing slice queue, so N clients × 8 workers ×
+/// stealing exercises every claim interleaving; results and final state
+/// must still equal the sequential replay. `NODB_TEST_STRESS` multiplies
+/// the rounds.
+#[test]
+fn racing_cold_rescans_with_partial_cache_and_stealing() {
+    let cols = 4;
+    let gen = GeneratorConfig::uniform_ints(cols, 900, 0x57EA1);
+    let path = scratch("steal", 0);
+    gen.generate_file(&path).unwrap();
+    let sql = "SELECT c1 FROM t WHERE c2 < 700000000";
+    let mk = |threads: usize| {
+        let cfg = NoDbConfig {
+            enable_positional_map: false,
+            cache_budget_bytes: 2_500, // partial prefix only
+            scan_threads: threads,
+            ..NoDbConfig::default()
+        };
+        let mut db = NoDb::new(cfg);
+        db.register_csv_with_schema("t", &path, gen.schema(), false)
+            .unwrap();
+        db
+    };
+
+    for round in 0..stress_rounds() {
+        for threads in scan_thread_counts() {
+            let seq = mk(threads.max(2));
+            let expect = seq.query(sql).unwrap();
+            seq.query(sql).unwrap(); // sequential replay of the rescan
+
+            let db = Arc::new(mk(threads.max(2)));
+            db.query(sql).unwrap(); // populate the partial cache
+            let results: Vec<QueryResult> = std::thread::scope(|s| {
+                (0..4)
+                    .map(|_| {
+                        let db = Arc::clone(&db);
+                        s.spawn(move || db.query(sql).unwrap())
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            for (c, r) in results.iter().enumerate() {
+                assert_eq!(
+                    r, &expect,
+                    "round {round} threads {threads} client {c}: rescan result"
+                );
+            }
+            assert_same_state(
+                &format!("round {round} threads {threads} steal-race"),
+                &db,
+                &seq,
+                cols,
+            );
+        }
     }
     std::fs::remove_file(path).unwrap();
 }

@@ -57,6 +57,16 @@ fn scratch(tag: &str, n: u64) -> std::path::PathBuf {
     p
 }
 
+/// Randomized-iteration multiplier: `NODB_TEST_STRESS=k` runs `4k`× the
+/// default case count (CI's steal-race stress job sets it to 1; unset = 1×).
+fn stress_factor() -> u64 {
+    std::env::var("NODB_TEST_STRESS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(|v| v.max(1) * 4)
+        .unwrap_or(1)
+}
+
 #[test]
 fn adaptive_equals_baseline() {
     let mut rng = CaseRng::new(0xADA7);
@@ -191,6 +201,120 @@ fn parallel_scan_equals_sequential() {
             tp.map().row_index().len(),
             "case {case}: row index size"
         );
+        std::fs::remove_file(path).ok();
+    }
+}
+
+/// The two-phase cold-scan invariant (ISSUE 3): a cold byte-partitioned
+/// scan over a table with a *pre-populated partial cache* — random coverage
+/// prefixes induced by random tight budgets — must produce byte-identical
+/// results, cache contents and statistics to a fully-cold sequential scan.
+/// Exercised across scan_threads 1/2/8, stealing off and on, pre-count on
+/// and off, and with an occasional append (which turns a warm table cold
+/// again while keeping reusable prefix state).
+#[test]
+fn cold_partial_cache_reuse_equals_sequential() {
+    let mut rng = CaseRng::new(0xC01D);
+    for case in 0..12 * stress_factor() {
+        let cols = 2 + rng.below(6) as usize;
+        let rows = 40 + rng.below(500);
+        let seed = rng.below(1_000);
+        let threads = *rng.pick(&[1usize, 2, 8]);
+        let steal = *rng.pick(&[0usize, 4]);
+        let precount = rng.below(4) != 0; // mostly on
+        let append = rng.below(3) == 0;
+        let a1 = rng.below(cols as u64);
+        let pred = rng.below(cols as u64);
+        let cut = rng.below(1_000_000_000) as i64;
+        // Tight random budget → the first query caches a random prefix.
+        let budget = 300 + rng.below(5_000) as usize;
+        // Positional map off on most cases: without it there is no row
+        // index, so every rescan stays cold byte-partitioned — the exact
+        // path under test. Map-on cases cover the cold-after-append route.
+        let map_on = append && rng.below(2) == 0;
+
+        let gen = GeneratorConfig::uniform_ints(cols, rows, seed);
+        let path = scratch("coldreuse", case);
+        gen.generate_file(&path).unwrap();
+        let queries = [
+            format!("SELECT c{a1} FROM t WHERE c{pred} < {cut}"),
+            format!("SELECT c{a1} FROM t WHERE c{pred} < {cut}"),
+            format!("SELECT c{a1}, c{pred} FROM t"),
+        ];
+
+        let mk = |scan_threads: usize| {
+            let cfg = NoDbConfig {
+                enable_positional_map: map_on,
+                cache_budget_bytes: budget,
+                scan_threads,
+                steal_slices_per_thread: steal,
+                cold_precount: precount,
+                ..NoDbConfig::pm_c()
+            };
+            let mut db = NoDb::new(cfg);
+            db.register_csv_with_schema("t", &path, gen.schema(), false)
+                .unwrap();
+            db
+        };
+        let seq = mk(1);
+        let par = mk(threads);
+
+        let tag = format!(
+            "case {case} (threads {threads} steal {steal} precount {precount} \
+             append {append} map {map_on} budget {budget})"
+        );
+        for (qi, sql) in queries.iter().enumerate() {
+            let a = seq.query(sql).unwrap();
+            let b = par.query(sql).unwrap();
+            assert_eq!(a, b, "{tag} query {qi}: {sql}");
+            if append && qi == 0 {
+                gen.append_rows(&path, 1 + rng.below(200)).unwrap();
+            }
+        }
+
+        // Post-scan adaptive state must be byte-identical.
+        let (hs, hp) = (
+            seq.table_handle("t").unwrap(),
+            par.table_handle("t").unwrap(),
+        );
+        let (ts, tp) = (hs.read(), hp.read());
+        // Hit accounting parity needs the pre-count: without it, cold
+        // parallel workers honestly report zero cache reads (they re-parse
+        // instead of peeking) while the sequential scan counts its `get`s.
+        if precount || threads == 1 {
+            assert_eq!(
+                ts.cache().metrics().hits,
+                tp.cache().metrics().hits,
+                "{tag}: lifetime cache hits"
+            );
+        }
+        for attr in 0..cols {
+            assert_eq!(
+                ts.cache().coverage(attr),
+                tp.cache().coverage(attr),
+                "{tag}: cache coverage of c{attr}"
+            );
+            for row in 0..ts.cache().coverage(attr) {
+                assert_eq!(
+                    ts.cache().peek(attr, row),
+                    tp.cache().peek(attr, row),
+                    "{tag}: cache content c{attr} row {row}"
+                );
+            }
+            assert_eq!(
+                ts.stats().observed_upto(attr),
+                tp.stats().observed_upto(attr),
+                "{tag}: stats frontier c{attr}"
+            );
+            match (ts.stats().attr(attr), tp.stats().attr(attr)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.rows_seen(), b.rows_seen(), "{tag}: stats rows c{attr}");
+                    assert_eq!(a.sample(), b.sample(), "{tag}: reservoir c{attr}");
+                }
+                other => panic!("{tag}: stats presence differs for c{attr}: {other:?}"),
+            }
+        }
         std::fs::remove_file(path).ok();
     }
 }
