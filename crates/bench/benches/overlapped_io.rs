@@ -1,0 +1,163 @@
+//! Overlapped-I/O benchmark — the read-ahead layer's acceptance measurement
+//! (ISSUE 4).
+//!
+//! Cold full-file scans at equal thread counts — a fresh registration per
+//! iteration so nothing is reusable, *and* the file evicted from the OS
+//! page cache before every iteration so each block read pays real disk
+//! latency (`workload::evict_from_page_cache`) — sweeping
+//! `io_readahead_blocks` over {0, 2, 8}:
+//!
+//! * `overlapped_io_ra0` — synchronous reads (`SyncBlocks`): every block
+//!   read stalls the tokenizer.
+//! * `overlapped_io_ra2` — the default double-buffered prefetch
+//!   (`ReadaheadBlocks`): the helper thread fills the next block while the
+//!   scan thread tokenizes the current one.
+//! * `overlapped_io_ra8` — deeper pipeline, for the diminishing-returns
+//!   curve.
+//!
+//! Each record carries the new `stall_ms` column — mean I/O stall per
+//! iteration (`IoCounters::stall`, via `QueryReport.io`) — so the
+//! trajectory shows not just that read-ahead wins but *why*: bytes and
+//! read calls stay put while the time spent waiting on disk collapses.
+//!
+//! Acceptance: readahead ≥ 2 beats readahead 0 at equal threads, and the
+//! stall column shrinks. Records land in `BENCH_overlapped_io.json`
+//! (merged by configuration key) and feed the CI perf gate.
+//! `NODB_BENCH_ROWS` overrides the row count.
+
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nodb_bench::report::{update_bench_json, BenchRecord};
+use nodb_bench::workload::{evict_from_page_cache, scratch_dir};
+use nodb_core::{NoDb, NoDbConfig};
+use nodb_rawcsv::{GeneratorConfig, Schema};
+
+const COLS: usize = 8;
+/// Scan workers for the sweep. The readahead-vs-sync comparison is
+/// *per-scanner* (each worker owns a private pipeline), so one worker
+/// measures it cleanest: every extra worker brings its own helper thread,
+/// and on hosts with few cores that oversubscription measures the
+/// scheduler, not the I/O backend (thread *scaling* has its own bench,
+/// `parallel_scan`). Raise this on a many-core host to see the per-worker
+/// pipelines stack.
+const THREADS: [usize; 1] = [1];
+const READAHEAD: [usize; 3] = [0, 2, 8];
+
+fn rows() -> u64 {
+    std::env::var("NODB_BENCH_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Pure-scan configuration: adaptive structures off, so every iteration is
+/// the same cold tokenize-and-parse pass and the only variable is how its
+/// blocks arrive.
+fn config(threads: usize, readahead: usize) -> NoDbConfig {
+    NoDbConfig {
+        enable_positional_map: false,
+        enable_cache: false,
+        enable_stats: false,
+        detailed_timing: false,
+        detect_updates: false,
+        scan_threads: threads,
+        io_readahead_blocks: readahead,
+        ..NoDbConfig::default()
+    }
+}
+
+fn fresh_db(path: &PathBuf, schema: &Schema, cfg: NoDbConfig) -> NoDb {
+    let mut db = NoDb::new(cfg);
+    db.register_csv_with_schema("t", path, schema.clone(), false)
+        .unwrap();
+    db
+}
+
+fn bench_overlapped_io(c: &mut Criterion) {
+    let rows = rows();
+    let dir = scratch_dir("bench_overlapped_io");
+    let gen = GeneratorConfig::uniform_ints(COLS, rows, 0x0A11);
+    let mut path = dir.clone();
+    path.push("data.csv");
+    gen.generate_file(&path).expect("generate dataset");
+    let schema = gen.schema();
+    let sql = "SELECT c1, c5 FROM t WHERE c5 < 300000000";
+
+    let expect = fresh_db(&path, &schema, config(1, 0))
+        .query(sql)
+        .unwrap()
+        .len();
+
+    let mut group = c.benchmark_group(format!("overlapped_io_{rows}_rows"));
+    group.sample_size(10);
+    let samples: RefCell<Vec<BenchRecord>> = RefCell::new(Vec::new());
+    for threads in THREADS {
+        for readahead in READAHEAD {
+            let name = format!("overlapped_io_ra{readahead}");
+            let durations = RefCell::new(Vec::new());
+            let stalls = RefCell::new(Vec::new());
+            group.bench_function(format!("{name}_threads_{threads}"), |b| {
+                b.iter_batched(
+                    || {
+                        // Cold means cold: drop the file from the page
+                        // cache so every iteration pays real disk latency
+                        // (best-effort; see `evict_from_page_cache`).
+                        evict_from_page_cache(&path);
+                        fresh_db(&path, &schema, config(threads, readahead))
+                    },
+                    |db| {
+                        let t = Instant::now();
+                        let r = db.query(sql).unwrap();
+                        durations.borrow_mut().push(t.elapsed());
+                        let report = db.last_report().expect("query just ran");
+                        stalls.borrow_mut().push(report.io.stall);
+                        assert_eq!(
+                            r.len(),
+                            expect,
+                            "{name} threads={threads} changed the answer"
+                        );
+                        black_box(r.len())
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+            samples.borrow_mut().push(
+                BenchRecord::from_samples(&name, threads, rows, &durations.borrow())
+                    .with_stall(&stalls.borrow()),
+            );
+        }
+    }
+    group.finish();
+
+    let records = samples.into_inner();
+    let mut out = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    out.pop(); // crates/
+    out.pop(); // workspace root
+    out.push("BENCH_overlapped_io.json");
+    update_bench_json(&out, &records).expect("write BENCH_overlapped_io.json");
+    for threads in THREADS {
+        let at = |ra: usize| {
+            records
+                .iter()
+                .find(|r| r.name == format!("overlapped_io_ra{ra}") && r.scan_threads == threads)
+                .map(|r| (r.mean_ms, r.stall_ms))
+                .unwrap_or((f64::NAN, f64::NAN))
+        };
+        let ((m0, s0), (m2, s2), (m8, s8)) = (at(0), at(2), at(8));
+        println!(
+            "threads={threads:<2} ra0 {m0:>9.2} ms (stall {s0:>8.2})  ra2 {m2:>9.2} ms \
+             (stall {s2:>8.2})  ra8 {m8:>9.2} ms (stall {s8:>8.2})  (ra2 speedup {:.2}x)",
+            m0 / m2
+        );
+    }
+    println!("wrote {}", out.display());
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+criterion_group!(benches, bench_overlapped_io);
+criterion_main!(benches);

@@ -26,6 +26,11 @@ pub struct BenchRecord {
     pub mean_ms: f64,
     /// Fastest iteration, milliseconds.
     pub min_ms: f64,
+    /// Mean I/O stall per iteration, milliseconds: summed time the scan
+    /// threads spent blocked waiting for bytes (`IoCounters::stall`).
+    /// `0.0` for benches that don't track it — the field is optional when
+    /// parsing, so pre-stall trajectory files stay readable.
+    pub stall_ms: f64,
 }
 
 impl BenchRecord {
@@ -61,7 +66,17 @@ impl BenchRecord {
             rows,
             mean_ms: mean,
             min_ms: if min.is_finite() { min } else { 0.0 },
+            stall_ms: 0.0,
         }
+    }
+
+    /// Attach a mean I/O stall time (milliseconds) to the record.
+    pub fn with_stall(mut self, stall: &[std::time::Duration]) -> Self {
+        if !stall.is_empty() {
+            self.stall_ms =
+                stall.iter().map(|d| d.as_secs_f64() * 1e3).sum::<f64>() / stall.len() as f64;
+        }
+        self
     }
 }
 
@@ -73,8 +88,8 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
         let _ = write!(
             out,
             "    {{\"name\": {:?}, \"scan_threads\": {}, \"clients\": {}, \"rows\": {}, \
-             \"mean_ms\": {:.3}, \"min_ms\": {:.3}}}",
-            r.name, r.scan_threads, r.clients, r.rows, r.mean_ms, r.min_ms
+             \"mean_ms\": {:.3}, \"min_ms\": {:.3}, \"stall_ms\": {:.3}}}",
+            r.name, r.scan_threads, r.clients, r.rows, r.mean_ms, r.min_ms, r.stall_ms
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -126,6 +141,10 @@ pub fn parse_bench_json(body: &str) -> Option<Vec<BenchRecord>> {
             rows: field("rows")?.parse().ok()?,
             mean_ms: field("mean_ms")?.parse().ok()?,
             min_ms: field("min_ms")?.parse().ok()?,
+            // Optional: trajectory files predating stall accounting omit it.
+            stall_ms: field("stall_ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0),
         });
     }
     Some(records)
@@ -363,7 +382,8 @@ mod tests {
     fn bench_json_parses_back() {
         use std::time::Duration;
         let records = vec![
-            BenchRecord::from_samples("cold_scan", 1, 200_000, &[Duration::from_millis(100)]),
+            BenchRecord::from_samples("cold_scan", 1, 200_000, &[Duration::from_millis(100)])
+                .with_stall(&[Duration::from_millis(40), Duration::from_millis(60)]),
             BenchRecord::from_samples_clients(
                 "warm_shared",
                 4,
@@ -378,7 +398,18 @@ mod tests {
             assert_eq!(bench_key(a), bench_key(b));
             assert!((a.mean_ms - b.mean_ms).abs() < 1e-3);
             assert!((a.min_ms - b.min_ms).abs() < 1e-3);
+            assert!((a.stall_ms - b.stall_ms).abs() < 1e-3);
         }
+        assert!(
+            (parsed[0].stall_ms - 50.0).abs() < 1e-3,
+            "stall column survives"
+        );
+        // Pre-stall trajectory files (no stall_ms field) still parse.
+        let legacy = "{\"benchmarks\": [{\"name\": \"old\", \"scan_threads\": 1, \
+                      \"clients\": 1, \"rows\": 10, \"mean_ms\": 5.0, \"min_ms\": 4.0}]}";
+        let old = parse_bench_json(legacy).unwrap();
+        assert_eq!(old.len(), 1);
+        assert_eq!(old[0].stall_ms, 0.0, "missing stall defaults to 0");
         assert!(parse_bench_json("{\"benchmarks\": []}\n")
             .unwrap()
             .is_empty());

@@ -7,6 +7,22 @@
 
 use nodb_posmap::CombinationTrigger;
 
+/// Smallest accepted [`NoDbConfig::io_block_size`]. Values below one page
+/// degenerate (per-line syscalls) or outright break the scanner's tail-read
+/// stepping; [`NoDbConfig::validated`] clamps instead of trusting callers.
+pub const MIN_IO_BLOCK_SIZE: usize = 4096;
+
+/// Largest accepted [`NoDbConfig::io_block_size`] (256 MiB): past this a
+/// typo'd budget would make every scanner buffer a sizeable fraction of
+/// RAM for no throughput gain.
+pub const MAX_IO_BLOCK_SIZE: usize = 256 << 20;
+
+/// Largest accepted [`NoDbConfig::io_readahead_blocks`]: each in-flight
+/// block pins `io_block_size` bytes per scanner, so depth × block × workers
+/// is real memory; past a handful of blocks the pipeline is already never
+/// empty and extra depth only buys footprint.
+pub const MAX_READAHEAD_BLOCKS: usize = 64;
+
 /// Full configuration of a [`crate::NoDb`] instance.
 #[derive(Debug, Clone, Copy)]
 pub struct NoDbConfig {
@@ -35,8 +51,26 @@ pub struct NoDbConfig {
     /// Observe every `stats_sample_every`-th row in the statistics
     /// accumulators (1 = every row).
     pub stats_sample_every: u64,
-    /// Block size for sequential raw-file reads.
+    /// Block size for sequential raw-file reads. Clamped to
+    /// `[MIN_IO_BLOCK_SIZE, MAX_IO_BLOCK_SIZE]` by [`Self::validated`] —
+    /// a zero/tiny value would degenerate to per-line syscalls.
     pub io_block_size: usize,
+    /// Read-ahead depth for raw-file scans: how many `io_block_size` blocks
+    /// a scanner's prefetch helper keeps in flight (`nodb_rawcsv::reader::
+    /// ReadaheadBlocks`), overlapping disk reads with tokenize/parse CPU.
+    /// `0` disables the helper and reads synchronously on the scanning
+    /// thread (`SyncBlocks` — byte-for-byte the pre-readahead behavior).
+    /// Every depth produces byte-identical positional map, cache and
+    /// statistics; only the I/O stall time changes. Clamped to at most
+    /// [`MAX_READAHEAD_BLOCKS`] by [`Self::validated`].
+    pub io_readahead_blocks: usize,
+    /// Best-effort core pinning: pin each parallel-scan worker (and
+    /// pre-count counter) to a distinct CPU core via `sched_setaffinity`
+    /// on Linux; a no-op elsewhere and on kernels that refuse. Off by
+    /// default — pinning helps dedicated hosts (stable caches, no
+    /// migration) but hurts when several queries share the machine, since
+    /// every scan pins to the same low-numbered cores.
+    pub pin_cores: bool,
     /// Collect per-phase execution breakdowns (Fig 3). Costs a few ns per
     /// row; disable for pure-throughput microbenchmarks.
     pub detailed_timing: bool,
@@ -88,6 +122,8 @@ impl Default for NoDbConfig {
             cache_force_full_parse: false,
             stats_sample_every: 1,
             io_block_size: 1 << 20,
+            io_readahead_blocks: 2,
+            pin_cores: false,
             detailed_timing: true,
             detect_updates: true,
             scan_threads: 0,
@@ -131,6 +167,23 @@ impl NoDbConfig {
             enable_positional_map: false,
             ..NoDbConfig::default()
         }
+    }
+
+    /// Clamp out-of-range I/O knobs instead of letting them panic or
+    /// degenerate downstream: `io_block_size` into
+    /// `[MIN_IO_BLOCK_SIZE, MAX_IO_BLOCK_SIZE]` (a zero/tiny block would
+    /// turn every scan into per-line syscalls; the scanner used to clamp
+    /// silently, now the config owns the rule), `io_readahead_blocks` to at
+    /// most [`MAX_READAHEAD_BLOCKS`] (each in-flight block pins a block of
+    /// memory per scanner). Applied by `NoDb::new`, so every facade query
+    /// runs on a validated snapshot; direct `RawScanSource` users can call
+    /// it themselves.
+    pub fn validated(mut self) -> Self {
+        self.io_block_size = self
+            .io_block_size
+            .clamp(MIN_IO_BLOCK_SIZE, MAX_IO_BLOCK_SIZE);
+        self.io_readahead_blocks = self.io_readahead_blocks.min(MAX_READAHEAD_BLOCKS);
+        self
     }
 
     /// Resolved scan worker count: `scan_threads`, with `0` mapped to the
@@ -201,6 +254,37 @@ mod tests {
             ..NoDbConfig::default()
         };
         assert_eq!(four.effective_scan_threads(), 4);
+    }
+
+    #[test]
+    fn validated_clamps_io_knobs() {
+        let cfg = NoDbConfig {
+            io_block_size: 0,
+            io_readahead_blocks: 10_000,
+            ..NoDbConfig::default()
+        }
+        .validated();
+        assert_eq!(
+            cfg.io_block_size, MIN_IO_BLOCK_SIZE,
+            "zero block clamped up"
+        );
+        assert_eq!(
+            cfg.io_readahead_blocks, MAX_READAHEAD_BLOCKS,
+            "depth capped"
+        );
+        let huge = NoDbConfig {
+            io_block_size: usize::MAX,
+            ..NoDbConfig::default()
+        }
+        .validated();
+        assert_eq!(
+            huge.io_block_size, MAX_IO_BLOCK_SIZE,
+            "absurd block clamped down"
+        );
+        let normal = NoDbConfig::default().validated();
+        assert_eq!(normal.io_block_size, 1 << 20, "in-range values untouched");
+        assert_eq!(normal.io_readahead_blocks, 2, "default double-buffering");
+        assert!(!normal.pin_cores, "pinning is opt-in");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! [`rawscan`] (the in-situ scan operator), [`metrics`] (Fig 2 / Fig 3
 //! panels as data).
 
+mod affinity;
 pub mod config;
 pub mod metrics;
 pub mod rawscan;
@@ -71,10 +72,12 @@ pub struct NoDb {
 }
 
 impl NoDb {
-    /// A new instance with the given configuration.
+    /// A new instance with the given configuration. Out-of-range I/O knobs
+    /// are clamped here ([`NoDbConfig::validated`]) so every query runs on
+    /// sane block/read-ahead settings.
     pub fn new(config: NoDbConfig) -> Self {
         NoDb {
-            config: parking_lot::RwLock::new(config),
+            config: parking_lot::RwLock::new(config.validated()),
             tables: TableRegistry::new(),
             last_report: Mutex::new(None),
         }

@@ -1,7 +1,8 @@
 //! The per-partition scan worker of the parallel raw scan.
 //!
 //! One worker owns one [`LineRange`] of the file and everything it needs to
-//! process it without synchronization: its own [`RangeScanner`], a reusable
+//! process it without synchronization: its own [`RangeScanner`] (with its
+//! own read-ahead pipeline when `io_readahead_blocks > 0`), a reusable
 //! [`Tokens`] buffer, a partial positional-map [`ChunkBuilder`], partial
 //! cache columns ([`TypedColumn`] per requested attribute) and per-phase
 //! timing. All shared state is borrowed immutably ([`ScanContext`]); the
@@ -123,8 +124,18 @@ pub(crate) fn run_partition(
         }
     }
 
+    // Each partition worker gets its own read-ahead pipeline: with
+    // `io_readahead_blocks > 0` a helper thread keeps the next blocks in
+    // flight while this worker tokenizes the current one (`BlockSource` in
+    // `nodb_rawcsv::reader`); `0` reads synchronously as before.
     let t = clock.start();
-    let mut scanner = RangeScanner::open(ctx.path, ctx.config.io_block_size, part.range, 0)?;
+    let mut scanner = RangeScanner::open_with_readahead(
+        ctx.path,
+        ctx.config.io_block_size,
+        ctx.config.io_readahead_blocks,
+        part.range,
+        0,
+    )?;
     clock.lap(t, &mut d_io);
 
     let mut out = PartitionOutput {

@@ -34,7 +34,7 @@ pub mod tokenizer;
 pub use datum::Datum;
 pub use error::RawCsvError;
 pub use generator::{ColumnGenSpec, GeneratorConfig, ValueDistribution};
-pub use reader::{BlockScanner, IoCounters, RawFileMeta};
+pub use reader::{BlockScanner, BlockSource, IoCounters, RawFileMeta, ReadaheadBlocks, SyncBlocks};
 pub use schema::{ColumnDef, ColumnType, Schema};
 pub use tokenizer::{FieldSpan, TokenizerConfig, Tokens};
 

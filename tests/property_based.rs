@@ -67,6 +67,16 @@ fn stress_factor() -> u64 {
         .unwrap_or(1)
 }
 
+/// Read-ahead depth for the suites that don't sweep it themselves:
+/// `NODB_TEST_READAHEAD` pins `io_readahead_blocks` (CI's stress job runs
+/// 8); unset, the config default applies.
+fn test_readahead() -> usize {
+    std::env::var("NODB_TEST_READAHEAD")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(NoDbConfig::default().io_readahead_blocks)
+}
+
 #[test]
 fn adaptive_equals_baseline() {
     let mut rng = CaseRng::new(0xADA7);
@@ -138,6 +148,7 @@ fn parallel_scan_equals_sequential() {
             let cfg = NoDbConfig {
                 scan_threads,
                 cache_budget_bytes: cache_budget,
+                io_readahead_blocks: test_readahead(),
                 ..NoDbConfig::pm_c()
             };
             let mut db = NoDb::new(cfg);
@@ -249,6 +260,7 @@ fn cold_partial_cache_reuse_equals_sequential() {
                 scan_threads,
                 steal_slices_per_thread: steal,
                 cold_precount: precount,
+                io_readahead_blocks: test_readahead(),
                 ..NoDbConfig::pm_c()
             };
             let mut db = NoDb::new(cfg);
@@ -313,6 +325,107 @@ fn cold_partial_cache_reuse_equals_sequential() {
                     assert_eq!(a.sample(), b.sample(), "{tag}: reservoir c{attr}");
                 }
                 other => panic!("{tag}: stats presence differs for c{attr}: {other:?}"),
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+}
+
+/// The overlapped-I/O invariant (ISSUE 4): every combination of
+/// `scan_threads` {1, 4, 8} × `io_readahead_blocks` {0, 2, 8} × stealing
+/// {off, on} must produce byte-identical positional map, cache and
+/// statistics and identical result batches to the synchronous sequential
+/// reference (`threads 1, readahead 0`). Read-ahead only changes *when*
+/// bytes arrive, never which bytes the scan consumes, so no schedule may
+/// perturb results or post-scan adaptive state — including under cache
+/// budget pressure, where admission replays must stay decision-identical.
+#[test]
+fn readahead_schedules_equal_sync_sequential_state() {
+    let mut rng = CaseRng::new(0x10AD);
+    for case in 0..(3 * stress_factor()) {
+        let cols = 2 + rng.below(5) as usize;
+        let rows = 30 + rng.below(400);
+        let seed = rng.below(1_000);
+        let a1 = rng.below(cols as u64);
+        let pred = rng.below(cols as u64);
+        let cut = rng.below(1_000_000_000) as i64;
+        let cache_budget = *rng.pick(&[1_500usize, 1 << 22]);
+
+        let gen = GeneratorConfig::uniform_ints(cols, rows, seed);
+        let path = scratch("readahead", case);
+        gen.generate_file(&path).unwrap();
+        let queries = [
+            format!("SELECT c{a1} FROM t WHERE c{pred} < {cut}"),
+            format!("SELECT c{pred}, c{a1} FROM t"),
+        ];
+
+        let run = |threads: usize, readahead: usize, steal: usize| {
+            let cfg = NoDbConfig {
+                scan_threads: threads,
+                io_readahead_blocks: readahead,
+                steal_slices_per_thread: steal,
+                cache_budget_bytes: cache_budget,
+                ..NoDbConfig::pm_c()
+            };
+            let mut db = NoDb::new(cfg);
+            db.register_csv_with_schema("t", &path, gen.schema(), false)
+                .unwrap();
+            let results: Vec<_> = queries.iter().map(|q| db.query(q).unwrap()).collect();
+            (db, results)
+        };
+
+        let (ref_db, ref_results) = run(1, 0, 0);
+        let ref_handle = ref_db.table_handle("t").unwrap();
+        let ref_table = ref_handle.read();
+        for threads in [1usize, 4, 8] {
+            for readahead in [0usize, 2, 8] {
+                for steal in [0usize, 4] {
+                    let tag = format!(
+                        "case {case} threads {threads} readahead {readahead} steal {steal} \
+                         budget {cache_budget}"
+                    );
+                    let (db, results) = run(threads, readahead, steal);
+                    assert_eq!(results, ref_results, "{tag}: query results");
+                    let handle = db.table_handle("t").unwrap();
+                    let table = handle.read();
+                    for attr in 0..cols {
+                        assert_eq!(
+                            ref_table.map().coverage(attr),
+                            table.map().coverage(attr),
+                            "{tag}: posmap coverage c{attr}"
+                        );
+                        assert_eq!(
+                            ref_table.cache().coverage(attr),
+                            table.cache().coverage(attr),
+                            "{tag}: cache coverage c{attr}"
+                        );
+                        for row in 0..ref_table.cache().coverage(attr) {
+                            assert_eq!(
+                                ref_table.cache().peek(attr, row),
+                                table.cache().peek(attr, row),
+                                "{tag}: cache content c{attr} row {row}"
+                            );
+                        }
+                        assert_eq!(
+                            ref_table.stats().observed_upto(attr),
+                            table.stats().observed_upto(attr),
+                            "{tag}: stats frontier c{attr}"
+                        );
+                        match (ref_table.stats().attr(attr), table.stats().attr(attr)) {
+                            (None, None) => {}
+                            (Some(a), Some(b)) => {
+                                assert_eq!(a.rows_seen(), b.rows_seen(), "{tag}: stats c{attr}");
+                                assert_eq!(a.sample(), b.sample(), "{tag}: reservoir c{attr}");
+                            }
+                            other => panic!("{tag}: stats presence differs c{attr}: {other:?}"),
+                        }
+                    }
+                    assert_eq!(
+                        ref_table.map().row_index().len(),
+                        table.map().row_index().len(),
+                        "{tag}: row index size"
+                    );
+                }
             }
         }
         std::fs::remove_file(path).ok();
