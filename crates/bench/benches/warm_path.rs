@@ -1,0 +1,155 @@
+//! Warm-path vectorization benchmark — ISSUE 5's acceptance measurement.
+//!
+//! Once the cache fully covers the requested attributes, the paper's claim
+//! is that in-situ queries should run like a loaded column store — so the
+//! warm path must not pay a per-cell `Datum` boxing and row-at-a-time
+//! interpretation tax. This bench measures warm (fully-cached) queries in
+//! two modes at equal thread counts:
+//!
+//! * `vectorized` — `NoDbConfig::vectorized_exec = true`: typed cache
+//!   segments exported straight into the engine, columnar predicate kernels
+//!   producing selection vectors, columnar aggregate kernels.
+//! * `rowwise` — the ablation: the pre-ISSUE row-at-a-time warm path,
+//!   byte-for-byte.
+//!
+//! Three query shapes: a filter+projection (`warm_filter`), a
+//! filter+aggregate (`warm_agg` — the acceptance query: vectorized must be
+//! ≥ 1.3× faster than rowwise), and a hash group-by (`warm_group`). Records
+//! land in `BENCH_warm_path.json` with the `mode` ablation column (merged
+//! by configuration key, so CI's reduced row count coexists with full-size
+//! local runs) and feed the CI perf gate. `NODB_BENCH_ROWS` overrides the
+//! row count.
+
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nodb_bench::report::{update_bench_json, BenchRecord};
+use nodb_bench::workload::scratch_dir;
+use nodb_core::{NoDb, NoDbConfig};
+use nodb_rawcsv::{GeneratorConfig, Schema};
+
+const COLS: usize = 8;
+
+fn rows() -> u64 {
+    std::env::var("NODB_BENCH_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+fn config(threads: usize, vectorized: bool) -> NoDbConfig {
+    NoDbConfig {
+        scan_threads: threads,
+        vectorized_exec: vectorized,
+        detect_updates: false,
+        ..NoDbConfig::default()
+    }
+}
+
+/// A db whose cache fully covers every attribute the query touches: run the
+/// query twice so the second-and-later executions are pure warm path.
+fn warmed_db(path: &PathBuf, schema: &Schema, cfg: NoDbConfig, sql: &str) -> NoDb {
+    let mut db = NoDb::new(cfg);
+    db.register_csv_with_schema("t", path, schema.clone(), false)
+        .unwrap();
+    db.query(sql).unwrap();
+    let r = db.query(sql).unwrap();
+    assert!(
+        db.last_report().unwrap().fully_cached,
+        "warm query must be served from the cache"
+    );
+    black_box(r.len());
+    db
+}
+
+fn bench_warm_path(c: &mut Criterion) {
+    let rows = rows();
+    let dir = scratch_dir("bench_warm_path");
+    let gen = GeneratorConfig::uniform_ints(COLS, rows, 0x3A57);
+    let mut path = dir.clone();
+    path.push("data.csv");
+    gen.generate_file(&path).expect("generate dataset");
+    let schema = gen.schema();
+
+    // (bench name, SQL): ~30% selective filter+projection, the acceptance
+    // filter+aggregate, and a 7-group hash aggregation.
+    let queries: [(&str, String); 3] = [
+        (
+            "warm_filter",
+            "SELECT c1, c5 FROM t WHERE c5 < 300000000".into(),
+        ),
+        (
+            "warm_agg",
+            "SELECT COUNT(*), SUM(c1), MIN(c5), MAX(c5), AVG(c1) FROM t \
+             WHERE c5 < 500000000"
+                .into(),
+        ),
+        (
+            "warm_group",
+            "SELECT c1 % 7, COUNT(*), SUM(c5) FROM t GROUP BY c1 % 7 ORDER BY c1 % 7".into(),
+        ),
+    ];
+
+    let mut group = c.benchmark_group(format!("warm_path_{rows}_rows"));
+    group.sample_size(6);
+    let samples: RefCell<Vec<BenchRecord>> = RefCell::new(Vec::new());
+    for threads in [1usize, 4] {
+        for (name, sql) in &queries {
+            // Answers must agree across modes before anything is timed.
+            let expect = warmed_db(&path, &schema, config(threads, true), sql)
+                .query(sql)
+                .unwrap();
+            for (mode, vectorized) in [("vectorized", true), ("rowwise", false)] {
+                let db = warmed_db(&path, &schema, config(threads, vectorized), sql);
+                let durations = RefCell::new(Vec::new());
+                group.bench_function(format!("{name}_{mode}_threads_{threads}"), |b| {
+                    b.iter(|| {
+                        let t = Instant::now();
+                        let r = db.query(sql).unwrap();
+                        durations.borrow_mut().push(t.elapsed());
+                        assert_eq!(r, expect, "{name} {mode} changed the answer");
+                        black_box(r.len())
+                    })
+                });
+                samples.borrow_mut().push(
+                    BenchRecord::from_samples(*name, threads, rows, &durations.borrow())
+                        .with_mode(mode),
+                );
+            }
+        }
+    }
+    group.finish();
+
+    let records = samples.into_inner();
+    let mut out = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    out.pop(); // crates/
+    out.pop(); // workspace root
+    out.push("BENCH_warm_path.json");
+    update_bench_json(&out, &records).expect("write BENCH_warm_path.json");
+    for threads in [1usize, 4] {
+        for (name, _) in &queries {
+            let at = |mode: &str| {
+                records
+                    .iter()
+                    .find(|r| r.name == *name && r.scan_threads == threads && r.mode == mode)
+                    .map(|r| r.mean_ms)
+                    .unwrap_or(f64::NAN)
+            };
+            let (vec_ms, row_ms) = (at("vectorized"), at("rowwise"));
+            println!(
+                "threads={threads:<2} {name:<12} vectorized {vec_ms:>9.3} ms  \
+                 rowwise {row_ms:>9.3} ms  (speedup {:.2}x)",
+                row_ms / vec_ms
+            );
+        }
+    }
+    println!("wrote {}", out.display());
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+criterion_group!(benches, bench_warm_path);
+criterion_main!(benches);

@@ -104,6 +104,7 @@ pub fn fig3(scale: Scale) -> ExperimentReport {
             "parse_ms",
             "conv_ms",
             "nodb_ms",
+            "engine_ms",
             "proc_ms",
             "total_to_answer_s",
         ],
@@ -117,6 +118,7 @@ pub fn fig3(scale: Scale) -> ExperimentReport {
         pg.name(),
         secs(pg_init),
         secs(pg_q),
+        "-".into(),
         "-".into(),
         "-".into(),
         "-".into(),
@@ -142,6 +144,7 @@ pub fn fig3(scale: Scale) -> ExperimentReport {
             ms(rep.breakdown.parsing),
             ms(rep.breakdown.convert),
             ms(rep.breakdown.nodb),
+            ms(rep.breakdown.engine),
             ms(rep.breakdown.processing),
             secs(init + q),
         ]);
@@ -159,6 +162,7 @@ pub fn fig3(scale: Scale) -> ExperimentReport {
             "tok_ms",
             "parse_ms",
             "conv_ms",
+            "engine_ms",
             "fully_cached",
         ],
     );
@@ -173,6 +177,7 @@ pub fn fig3(scale: Scale) -> ExperimentReport {
             ms(rep.breakdown.tokenizing),
             ms(rep.breakdown.parsing),
             ms(rep.breakdown.convert),
+            ms(rep.breakdown.engine),
             format!("{}", rep.fully_cached),
         ]);
     }

@@ -31,6 +31,13 @@ pub struct BenchRecord {
     /// `0.0` for benches that don't track it — the field is optional when
     /// parsing, so pre-stall trajectory files stay readable.
     pub stall_ms: f64,
+    /// Execution-mode ablation label (e.g. `vectorized` / `rowwise` for the
+    /// warm-path bench). Part of the record's identity: the same bench at
+    /// the same threads/rows in two modes is two measurements. Empty for
+    /// benches without a mode axis, and optional when parsing (mirroring
+    /// the `stall_ms` precedent) so legacy `BENCH_*.json` files stay
+    /// readable.
+    pub mode: String,
 }
 
 impl BenchRecord {
@@ -67,7 +74,14 @@ impl BenchRecord {
             mean_ms: mean,
             min_ms: if min.is_finite() { min } else { 0.0 },
             stall_ms: 0.0,
+            mode: String::new(),
         }
+    }
+
+    /// Attach an execution-mode label (ablation column).
+    pub fn with_mode(mut self, mode: impl Into<String>) -> Self {
+        self.mode = mode.into();
+        self
     }
 
     /// Attach a mean I/O stall time (milliseconds) to the record.
@@ -88,9 +102,13 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
         let _ = write!(
             out,
             "    {{\"name\": {:?}, \"scan_threads\": {}, \"clients\": {}, \"rows\": {}, \
-             \"mean_ms\": {:.3}, \"min_ms\": {:.3}, \"stall_ms\": {:.3}}}",
+             \"mean_ms\": {:.3}, \"min_ms\": {:.3}, \"stall_ms\": {:.3}",
             r.name, r.scan_threads, r.clients, r.rows, r.mean_ms, r.min_ms, r.stall_ms
         );
+        if !r.mode.is_empty() {
+            let _ = write!(out, ", \"mode\": {:?}", r.mode);
+        }
+        out.push('}');
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
@@ -103,10 +121,17 @@ pub fn write_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> std:
 }
 
 /// The identity of one measurement within a `BENCH_*.json` trajectory:
-/// records agreeing on all four fields describe the same experiment and are
-/// comparable across runs (and across PRs).
-pub fn bench_key(r: &BenchRecord) -> (String, usize, usize, u64) {
-    (r.name.clone(), r.scan_threads, r.clients, r.rows)
+/// records agreeing on all five fields describe the same experiment and are
+/// comparable across runs (and across PRs). `mode` is "" for benches
+/// without an ablation axis, so pre-mode records keep their identity.
+pub fn bench_key(r: &BenchRecord) -> (String, usize, usize, u64, String) {
+    (
+        r.name.clone(),
+        r.scan_threads,
+        r.clients,
+        r.rows,
+        r.mode.clone(),
+    )
 }
 
 /// Parse a `BENCH_*.json` document produced by [`bench_records_json`].
@@ -145,6 +170,10 @@ pub fn parse_bench_json(body: &str) -> Option<Vec<BenchRecord>> {
             stall_ms: field("stall_ms")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0.0),
+            // Optional: files predating the ablation column omit it.
+            mode: field("mode")
+                .map(|v| v.trim_matches('"').to_string())
+                .unwrap_or_default(),
         });
     }
     Some(records)
@@ -228,11 +257,16 @@ pub fn gate_bench_records(
         if regressed {
             report.regressions += 1;
         }
+        let label = if f.mode.is_empty() {
+            f.name.clone()
+        } else {
+            format!("{} [{}]", f.name, f.mode)
+        };
         report.lines.push(GateLine {
             text: format!(
                 "{} {:<28} threads={:<2} clients={:<2} rows={:<9} base {:>9.2} ms  fresh {:>9.2} ms  ({:+.1}%)",
                 if regressed { "FAIL" } else { "  ok" },
-                f.name,
+                label,
                 f.scan_threads,
                 f.clients,
                 f.rows,
@@ -410,6 +444,18 @@ mod tests {
         let old = parse_bench_json(legacy).unwrap();
         assert_eq!(old.len(), 1);
         assert_eq!(old[0].stall_ms, 0.0, "missing stall defaults to 0");
+        assert_eq!(old[0].mode, "", "missing mode defaults to empty");
+        // The ablation mode column round-trips and separates record keys.
+        let moded = vec![
+            BenchRecord::from_samples("warm_filter", 1, 10, &[Duration::from_millis(2)])
+                .with_mode("vectorized"),
+            BenchRecord::from_samples("warm_filter", 1, 10, &[Duration::from_millis(6)])
+                .with_mode("rowwise"),
+        ];
+        assert_ne!(bench_key(&moded[0]), bench_key(&moded[1]));
+        let back = parse_bench_json(&bench_records_json(&moded)).unwrap();
+        assert_eq!(back[0].mode, "vectorized");
+        assert_eq!(back[1].mode, "rowwise");
         assert!(parse_bench_json("{\"benchmarks\": []}\n")
             .unwrap()
             .is_empty());

@@ -97,6 +97,15 @@ pub struct NoDbConfig {
     /// bytes, as before. A first-ever scan (nothing to reuse) never pays the
     /// pre-count either way.
     pub cold_precount: bool,
+    /// Vectorized warm-path execution: cache-resident scans export typed
+    /// column segments straight into the engine (no per-cell `Datum`
+    /// boxing), pushed predicates run as columnar kernels producing a
+    /// selection vector, and the engine's aggregate/projection operators
+    /// use columnar kernels over typed batches. Off, every path evaluates
+    /// row-at-a-time exactly as before — the ablation arm of
+    /// `BENCH_warm_path.json`. Results are byte-identical either way
+    /// (property-tested).
+    pub vectorized_exec: bool,
     /// Work-stealing granularity for parallel scans: each scan splits its
     /// work into `scan_threads * steal_slices_per_thread` partition slices
     /// instead of one partition per thread. Every worker owns a contiguous
@@ -128,6 +137,7 @@ impl Default for NoDbConfig {
             detect_updates: true,
             scan_threads: 0,
             cold_precount: true,
+            vectorized_exec: true,
             steal_slices_per_thread: 4,
         }
     }

@@ -126,7 +126,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use nodb_engine::batch::{Batch, SliceRow, BATCH_SIZE};
+use nodb_engine::batch::{Batch, ColView, Column, SliceRow, BATCH_SIZE};
 use nodb_engine::{EngineError, EngineResult, ScanRequest, ScanSource};
 use nodb_posmap::{AccessPlan, AttrSource, ChunkBuilder, LineCountMemo};
 use nodb_rawcache::TypedColumn;
@@ -245,6 +245,100 @@ pub(crate) fn form_tuple_into(
     }
     batch.finish_row();
     true
+}
+
+/// The vectorized warm path's batch former: serve cache rows `[lo, hi)` of
+/// the requested attributes as one typed batch, filtering columnar.
+///
+/// The pushed predicate runs as a vectorized kernel over the *borrowed*
+/// cache columns (`engine::expr::RExpr::filter_columnar` — selection vector
+/// out, no per-cell `Datum` boxing, row-at-a-time fallback inside for
+/// unsupported expression shapes). Only then is anything copied, and only
+/// for materialized positions (late materialization):
+///
+/// * selective outcome (< half the rows pass) — survivors are gathered into
+///   dense typed columns (`TypedColumn::gather`), nothing else is copied;
+/// * mostly-passing outcome — the full segment is exported once
+///   (`TypedColumn::export_range`, a `memcpy` for fixed-width types) and the
+///   selection vector travels with the batch for the engine's
+///   selection-aware kernels;
+/// * predicate-only positions (`materialize[i] == false`) become all-NULL
+///   columns either way, matching the row-wise path's never-materialized
+///   NULLs byte for byte.
+pub(crate) fn cached_segment_batch(
+    req: &ScanRequest,
+    cols: &[&TypedColumn],
+    lo: usize,
+    hi: usize,
+) -> Batch {
+    let rows = hi.saturating_sub(lo);
+    let materialized = |i: usize| req.materialize.get(i).copied().unwrap_or(true);
+    let sel: Option<Vec<u32>> = req.predicate.as_ref().map(|p| {
+        let views: Vec<ColView> = cols
+            .iter()
+            .map(|&c| ColView::Typed { col: c, base: lo })
+            .collect();
+        p.filter_columnar(&views, rows)
+    });
+    if cols.is_empty() {
+        // COUNT(*)-style scan: zero attributes, cardinality only.
+        return Batch::rows_only(sel.map(|s| s.len()).unwrap_or(rows));
+    }
+    match sel {
+        None => Batch::from_parts(
+            cols.iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if materialized(i) {
+                        Column::Typed(c.export_range(lo, hi))
+                    } else {
+                        Column::Nulls(rows)
+                    }
+                })
+                .collect(),
+            None,
+        ),
+        Some(sel) if sel.len() * 2 < rows => Batch::from_parts(
+            cols.iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if materialized(i) {
+                        Column::Typed(c.gather(&sel, lo))
+                    } else {
+                        Column::Nulls(sel.len())
+                    }
+                })
+                .collect(),
+            None,
+        ),
+        Some(sel) => Batch::from_parts(
+            cols.iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if materialized(i) {
+                        Column::Typed(c.export_range(lo, hi))
+                    } else {
+                        Column::Nulls(rows)
+                    }
+                })
+                .collect(),
+            Some(sel),
+        ),
+    }
+}
+
+/// Resolve the cache column handles backing a fully-cached scan: `None`
+/// when any requested attribute is not resident with at least `rows`
+/// coverage (a concurrent eviction since planning — the caller re-plans).
+pub(crate) fn cached_column_handles<'a>(
+    cache: &'a nodb_rawcache::RawCache,
+    attrs: &[usize],
+    rows: usize,
+) -> Option<Vec<&'a TypedColumn>> {
+    attrs
+        .iter()
+        .map(|&a| cache.column(a).filter(|c| c.len() >= rows))
+        .collect()
 }
 
 /// Everything a scan decides up front, captured under the table's write
@@ -1039,41 +1133,71 @@ pub(crate) fn scan_shared(
 /// lock, tallying hits locally and folding them into the cache metrics
 /// under a short write lock at the end.
 ///
+/// With `config.vectorized_exec` the cache segments cross into the engine
+/// typed ([`cached_segment_batch`]): columnar predicate kernels, selection
+/// vectors, no per-cell `Datum` boxing. Otherwise the original row-at-a-time
+/// loop runs byte-for-byte (the ablation arm). Hit accounting is identical
+/// either way: one hit per requested attribute per cached row.
+///
 /// Returns `Ok(None)` when the generation moved or a concurrent eviction
 /// dropped a column the plan relied on — the caller re-prepares (the next
 /// attempt will see the shrunk coverage and take a raw scan instead).
 pub(crate) fn stream_cached_shared(
     handle: &TableHandle,
+    config: &NoDbConfig,
     prep: &ScanPrep,
     telemetry: &TelemetryHandle,
 ) -> EngineResult<Option<VecDeque<Batch>>> {
     let n = prep.req.attrs.len();
+    let total = prep.cached_rows as usize;
     let mut queue: VecDeque<Batch> = VecDeque::new();
-    let mut batch = Batch::with_columns(n);
-    let mut values: Vec<Option<Datum>> = vec![None; n];
-    let mut pred_row: Vec<Datum> = Vec::with_capacity(n);
-    let mut hits = 0u64;
-    {
+    let hits;
+    if config.vectorized_exec {
         let table = handle.read();
         if table.generation != prep.generation {
             return Ok(None);
         }
-        for row in 0..prep.cached_rows as usize {
-            for (i, v) in values.iter_mut().enumerate() {
-                *v = table.cache.peek(prep.req.attrs[i], row);
-                if v.is_none() {
-                    return Ok(None);
-                }
-                hits += 1;
+        let Some(cols) = cached_column_handles(&table.cache, &prep.req.attrs, total) else {
+            return Ok(None);
+        };
+        let mut lo = 0usize;
+        while lo < total {
+            let hi = total.min(lo + BATCH_SIZE);
+            let batch = cached_segment_batch(&prep.req, &cols, lo, hi);
+            if !batch.is_empty() {
+                queue.push_back(batch);
             }
-            form_tuple_into(&prep.req, &mut values, &mut pred_row, &mut batch);
-            if batch.rows() >= BATCH_SIZE {
-                queue.push_back(std::mem::replace(&mut batch, Batch::with_columns(n)));
+            lo = hi;
+        }
+        hits = (total * n) as u64;
+    } else {
+        let mut batch = Batch::with_columns(n);
+        let mut values: Vec<Option<Datum>> = vec![None; n];
+        let mut pred_row: Vec<Datum> = Vec::with_capacity(n);
+        let mut tally = 0u64;
+        {
+            let table = handle.read();
+            if table.generation != prep.generation {
+                return Ok(None);
+            }
+            for row in 0..total {
+                for (i, v) in values.iter_mut().enumerate() {
+                    *v = table.cache.peek(prep.req.attrs[i], row);
+                    if v.is_none() {
+                        return Ok(None);
+                    }
+                    tally += 1;
+                }
+                form_tuple_into(&prep.req, &mut values, &mut pred_row, &mut batch);
+                if batch.rows() >= BATCH_SIZE {
+                    queue.push_back(std::mem::replace(&mut batch, Batch::with_columns(n)));
+                }
             }
         }
-    }
-    if !batch.is_empty() {
-        queue.push_back(batch);
+        if !batch.is_empty() {
+            queue.push_back(batch);
+        }
+        hits = tally;
     }
     handle.write().cache.record_reads(hits, 0);
     let mut tel = telemetry.lock().expect("telemetry lock");
@@ -1577,9 +1701,39 @@ impl<'a> RawScanSource<'a> {
 
     /// Serve one batch purely from the cache.
     fn next_cached_batch(&mut self) -> EngineResult<Option<Batch>> {
+        let total = self.prep.cached_rows as usize;
         let n = self.prep.req.attrs.len();
+        if self.config.vectorized_exec {
+            // Typed segments + columnar filter; see `cached_segment_batch`.
+            // A fully-filtered segment must not end the stream, so loop
+            // until a non-empty batch or exhaustion.
+            while self.row < total {
+                let lo = self.row;
+                let hi = total.min(lo + BATCH_SIZE);
+                let batch = match cached_column_handles(&self.table.cache, &self.prep.req.attrs, hi)
+                {
+                    Some(cols) => cached_segment_batch(&self.prep.req, &cols, lo, hi),
+                    // Exclusive access makes eviction impossible mid-scan,
+                    // but stay total: fall back to row-at-a-time reads.
+                    None => break,
+                };
+                self.row = hi;
+                // Same accounting as the row-wise loop's per-value `get`s.
+                self.table.cache.record_reads(((hi - lo) * n) as u64, 0);
+                if !batch.is_empty() {
+                    if self.row >= total {
+                        self.finish(false);
+                    }
+                    return Ok(Some(batch));
+                }
+            }
+            if self.row >= total {
+                self.finish(false);
+                return Ok(None);
+            }
+        }
         let mut batch = Batch::with_columns(n);
-        while (self.row as u64) < self.prep.cached_rows && batch.rows() < BATCH_SIZE {
+        while self.row < total && batch.rows() < BATCH_SIZE {
             let row = self.row;
             self.row += 1;
             for i in 0..n {
@@ -1587,7 +1741,7 @@ impl<'a> RawScanSource<'a> {
             }
             self.form_tuple(&mut batch);
         }
-        if (self.row as u64) >= self.prep.cached_rows {
+        if self.row >= total {
             self.finish(false);
         }
         Ok(if batch.is_empty() { None } else { Some(batch) })
@@ -1613,6 +1767,19 @@ impl ScanSource for RawScanSource<'_> {
             return Ok(q.pop_front());
         }
         self.next_streaming_batch()
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        // Staged parallel output counts exactly; otherwise the known row
+        // count (cache coverage or posmap line count) is an upper bound the
+        // executor uses for pre-sizing.
+        if let Some(q) = &self.parallel_queue {
+            return Some(q.iter().map(Batch::rows).sum());
+        }
+        if self.prep.fully_cached {
+            return Some(self.prep.cached_rows as usize);
+        }
+        (self.prep.rows_hint > 0).then_some(self.prep.rows_hint)
     }
 }
 

@@ -295,9 +295,11 @@ pub(crate) fn run_partition(
 /// Serve one fully-cached partition without touching the raw file: every
 /// value comes from the cache columns, side columns replay the same values
 /// (so a later merge under shrunk coverage re-admits real data, never
-/// placeholders), and tuple formation is the shared `form_tuple_into`. The
-/// output is exactly what the streaming loop would have produced for the
-/// same rows — minus the I/O.
+/// placeholders), and tuple formation is the shared `form_tuple_into` —
+/// or, with `vectorized_exec`, the typed-segment path
+/// (`rawscan::cached_segment_batch`): columnar predicate, selection vector,
+/// side columns exported as whole typed segments. The output rows are
+/// exactly what the streaming loop would have produced — minus the I/O.
 fn run_cached_partition(
     ctx: &ScanContext<'_>,
     base: usize,
@@ -316,15 +318,7 @@ fn run_cached_partition(
     let mut out = PartitionOutput {
         rows,
         line_starts: Vec::new(),
-        side_cols: if ctx.collect_side {
-            ctx.req
-                .attrs
-                .iter()
-                .map(|&a| TypedColumn::new(ctx.schema.ty(a)))
-                .collect()
-        } else {
-            Vec::new()
-        },
+        side_cols: Vec::new(),
         builder: None,
         batches: Vec::new(),
         cache_hits: 0,
@@ -332,6 +326,36 @@ fn run_cached_partition(
         breakdown: Breakdown::default(),
         io: IoCounters::default(),
     };
+    if ctx.config.vectorized_exec {
+        if ctx.collect_side {
+            let t = clock.start();
+            out.side_cols = cols
+                .iter()
+                .map(|c| c.export_range(base, base + rows))
+                .collect();
+            clock.lap(t, &mut d_nodb);
+        }
+        let mut lo = base;
+        while lo < base + rows {
+            let hi = (base + rows).min(lo + BATCH_SIZE);
+            let batch = crate::rawscan::cached_segment_batch(ctx.req, &cols, lo, hi);
+            if !batch.is_empty() {
+                out.batches.push(batch);
+            }
+            lo = hi;
+        }
+        out.cache_hits = (rows * n) as u64;
+        out.breakdown.nodb = d_nodb;
+        return Ok(out);
+    }
+    if ctx.collect_side {
+        out.side_cols = ctx
+            .req
+            .attrs
+            .iter()
+            .map(|&a| TypedColumn::new(ctx.schema.ty(a)))
+            .collect();
+    }
     let mut values: Vec<Option<Datum>> = vec![None; n];
     let mut pred_row: Vec<Datum> = Vec::with_capacity(n);
     let mut batch = Batch::with_columns(n);

@@ -51,6 +51,14 @@ impl ScanRequest {
 pub trait ScanSource {
     /// Produce the next batch, or `None` when exhausted.
     fn next_batch(&mut self) -> EngineResult<Option<Batch>>;
+
+    /// Rows this source still expects to yield, when it knows (staged
+    /// batches count exactly; streaming scans report the known row count of
+    /// their file — an upper bound under a pushed predicate). The executor
+    /// uses it to pre-size result vectors instead of growth-doubling.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// A [`ScanSource`] over batches that were produced before execution began.
@@ -62,18 +70,28 @@ pub trait ScanSource {
 /// itself borrows nothing — it is `'static` and trivially `Send`.
 pub struct QueueSource {
     batches: std::collections::VecDeque<Batch>,
+    remaining: usize,
 }
 
 impl QueueSource {
     /// Source over already-materialized batches, yielded in order.
     pub fn new(batches: std::collections::VecDeque<Batch>) -> Self {
-        QueueSource { batches }
+        let remaining = batches.iter().map(Batch::rows).sum();
+        QueueSource { batches, remaining }
     }
 }
 
 impl ScanSource for QueueSource {
     fn next_batch(&mut self) -> EngineResult<Option<Batch>> {
-        Ok(self.batches.pop_front())
+        let b = self.batches.pop_front();
+        if let Some(b) = &b {
+            self.remaining -= b.rows();
+        }
+        Ok(b)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
     }
 }
 
@@ -131,6 +149,10 @@ impl ScanSource for MemSource {
         }
         Ok(if batch.is_empty() { None } else { Some(batch) })
     }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.rows.len())
+    }
 }
 
 #[cfg(test)]
@@ -170,9 +192,10 @@ mod tests {
             materialize: vec![true, true],
         };
         let mut s = MemSource::from_table(&table(), &req);
+        assert_eq!(s.size_hint(), Some(4));
         let b = s.next_batch().unwrap().unwrap();
         assert_eq!(b.rows(), 4); // rows 6..9 have c1 > 50
-        assert_eq!(b.get(0, 0), &Datum::Int(6));
+        assert_eq!(b.value(0, 0), Datum::Int(6));
     }
 
     #[test]
@@ -185,8 +208,10 @@ mod tests {
         q.push_back(a);
         q.push_back(b);
         let mut s = QueueSource::new(q);
-        assert_eq!(s.next_batch().unwrap().unwrap().get(0, 0), &Datum::Int(1));
-        assert_eq!(s.next_batch().unwrap().unwrap().get(0, 0), &Datum::Int(2));
+        assert_eq!(s.size_hint(), Some(2));
+        assert_eq!(s.next_batch().unwrap().unwrap().value(0, 0), Datum::Int(1));
+        assert_eq!(s.size_hint(), Some(1));
+        assert_eq!(s.next_batch().unwrap().unwrap().value(0, 0), Datum::Int(2));
         assert!(s.next_batch().unwrap().is_none());
     }
 

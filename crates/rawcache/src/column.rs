@@ -41,6 +41,62 @@ impl NullMask {
         self.len
     }
 
+    /// True when at least one NULL bit is set; on a `false` (all-valid)
+    /// column, vectorized kernels skip the per-row null check entirely.
+    #[inline]
+    pub fn any_null(&self) -> bool {
+        self.any_null
+    }
+
+    /// The mask restricted to rows `[lo, hi)` (segment export). Copies
+    /// word-at-a-time (shift-and-merge across the `lo % 64` misalignment) —
+    /// this runs once per batch per column on the warm path, so per-bit
+    /// pushes would be ~64x too slow on nullable columns.
+    pub fn slice(&self, lo: usize, hi: usize) -> NullMask {
+        let len = hi.saturating_sub(lo);
+        let mut words = vec![0u64; len.div_ceil(64)];
+        let mut any_null = false;
+        if self.any_null {
+            let shift = lo % 64;
+            let base = lo / 64;
+            let src = |i: usize| self.words.get(i).copied().unwrap_or(0);
+            for (w, out) in words.iter_mut().enumerate() {
+                let mut v = src(base + w) >> shift;
+                if shift > 0 {
+                    v |= src(base + w + 1) << (64 - shift);
+                }
+                *out = v;
+            }
+            // Zero the bits past `len`: later pushes OR into these slots,
+            // and `any_null` must describe only the sliced range.
+            if !len.is_multiple_of(64) {
+                if let Some(last) = words.last_mut() {
+                    *last &= (1u64 << (len % 64)) - 1;
+                }
+            }
+            any_null = words.iter().any(|&w| w != 0);
+        }
+        NullMask {
+            words,
+            len,
+            any_null,
+        }
+    }
+
+    /// The mask at the given rows, in order (selective segment export).
+    pub fn gather(&self, rows: &[u32], base: usize) -> NullMask {
+        let mut out = NullMask::default();
+        if !self.any_null {
+            out.len = rows.len();
+            out.words = vec![0; out.len.div_ceil(64)];
+            return out;
+        }
+        for &r in rows {
+            out.push(self.is_null(base + r as usize));
+        }
+        out
+    }
+
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -308,6 +364,74 @@ impl TypedColumn {
         }
     }
 
+    /// Export rows `[lo, hi)` as an owned column of the same type — the
+    /// typed segment export the vectorized warm path is built on: a cache
+    /// segment crosses into the engine as value vectors plus a null mask,
+    /// never as per-cell boxed datums. Values are copied (`memcpy` for
+    /// fixed-width types). The range is clamped to `[0, len())`: rows past
+    /// the end are truncated, so the exported column's length is
+    /// `min(hi, len()) - min(lo, len())`.
+    pub fn export_range(&self, lo: usize, hi: usize) -> TypedColumn {
+        let lo = lo.min(self.len());
+        let hi = hi.clamp(lo, self.len());
+        match self {
+            TypedColumn::Int { values, nulls } => TypedColumn::Int {
+                values: values[lo..hi].to_vec(),
+                nulls: nulls.slice(lo, hi),
+            },
+            TypedColumn::Float { values, nulls } => TypedColumn::Float {
+                values: values[lo..hi].to_vec(),
+                nulls: nulls.slice(lo, hi),
+            },
+            TypedColumn::Bool { values, nulls } => TypedColumn::Bool {
+                values: values[lo..hi].to_vec(),
+                nulls: nulls.slice(lo, hi),
+            },
+            TypedColumn::Str { values, nulls, .. } => {
+                let vals: Vec<Box<str>> = values[lo..hi].to_vec();
+                let str_bytes = vals.iter().map(|s| s.len()).sum();
+                TypedColumn::Str {
+                    values: vals,
+                    str_bytes,
+                    nulls: nulls.slice(lo, hi),
+                }
+            }
+        }
+    }
+
+    /// Export the rows `base + rows[i]`, in order, as an owned column of the
+    /// same type — the selective (late-materializing) twin of
+    /// [`Self::export_range`]: only rows that survived a selection vector
+    /// are ever copied.
+    pub fn gather(&self, rows: &[u32], base: usize) -> TypedColumn {
+        match self {
+            TypedColumn::Int { values, nulls } => TypedColumn::Int {
+                values: rows.iter().map(|&r| values[base + r as usize]).collect(),
+                nulls: nulls.gather(rows, base),
+            },
+            TypedColumn::Float { values, nulls } => TypedColumn::Float {
+                values: rows.iter().map(|&r| values[base + r as usize]).collect(),
+                nulls: nulls.gather(rows, base),
+            },
+            TypedColumn::Bool { values, nulls } => TypedColumn::Bool {
+                values: rows.iter().map(|&r| values[base + r as usize]).collect(),
+                nulls: nulls.gather(rows, base),
+            },
+            TypedColumn::Str { values, nulls, .. } => {
+                let vals: Vec<Box<str>> = rows
+                    .iter()
+                    .map(|&r| values[base + r as usize].clone())
+                    .collect();
+                let str_bytes = vals.iter().map(|s| s.len()).sum();
+                TypedColumn::Str {
+                    values: vals,
+                    str_bytes,
+                    nulls: nulls.gather(rows, base),
+                }
+            }
+        }
+    }
+
     /// Value bytes held (budget accounting). Deliberately counts *data*
     /// bytes (`len`), not allocator capacity: capacity slack is bounded at
     /// 2x by Vec's growth policy and charging it would make per-row budget
@@ -486,6 +610,110 @@ mod tests {
     fn column_append_segment_rejects_type_mismatch() {
         let mut a = TypedColumn::new(ColumnType::Int);
         a.append_segment(TypedColumn::new(ColumnType::Str));
+    }
+
+    #[test]
+    fn export_range_matches_pushes() {
+        let vals = [
+            Datum::Int(3),
+            Datum::Null,
+            Datum::Int(-7),
+            Datum::Int(42),
+            Datum::Null,
+            Datum::Int(9),
+        ];
+        let mut col = TypedColumn::new(ColumnType::Int);
+        for v in &vals {
+            col.push(v);
+        }
+        for (lo, hi) in [(0usize, 6usize), (1, 4), (3, 3), (5, 6)] {
+            let seg = col.export_range(lo, hi);
+            assert_eq!(seg.len(), hi - lo, "({lo},{hi})");
+            for i in 0..hi - lo {
+                assert_eq!(seg.datum(i), col.datum(lo + i), "({lo},{hi}) row {i}");
+            }
+        }
+        let mut s = TypedColumn::new(ColumnType::Str);
+        s.push(&Datum::Str("ab".into()));
+        s.push(&Datum::Null);
+        s.push(&Datum::Str("cdef".into()));
+        let seg = s.export_range(1, 3);
+        assert_eq!(seg.datum(0), Some(Datum::Null));
+        assert_eq!(seg.datum(1), Some(Datum::Str("cdef".into())));
+        assert!(seg.footprint() >= 4, "str_bytes recomputed for the range");
+    }
+
+    #[test]
+    fn null_mask_slice_matches_per_bit() {
+        // Word-level shift-and-merge must agree with bit-by-bit extraction
+        // across alignments, word boundaries, and ragged tails.
+        let mut m = NullMask::default();
+        for i in 0..300 {
+            m.push(i % 5 == 0 || i % 37 == 0);
+        }
+        for (lo, hi) in [
+            (0usize, 300usize),
+            (0, 64),
+            (64, 128),
+            (1, 65),
+            (63, 64),
+            (63, 190),
+            (100, 100),
+            (129, 257),
+            (250, 310), // past the end: stray range reads as not-null
+        ] {
+            let s = m.slice(lo, hi);
+            assert_eq!(s.len(), hi - lo, "({lo},{hi})");
+            let mut any = false;
+            for i in 0..hi - lo {
+                let expect = m.is_null(lo + i);
+                assert_eq!(s.is_null(i), expect, "({lo},{hi}) bit {i}");
+                any |= expect;
+            }
+            assert_eq!(s.any_null(), any, "({lo},{hi}) any_null exact");
+            // Appending after a slice stays consistent (no stray tail bits).
+            let mut grown = s;
+            grown.push(true);
+            assert!(grown.is_null(hi - lo));
+        }
+        // Export range clamps to the column length, values and mask agreeing.
+        let mut c = TypedColumn::new(ColumnType::Int);
+        for i in 0..10 {
+            if i % 3 == 0 {
+                c.push(&Datum::Null);
+            } else {
+                c.push(&Datum::Int(i));
+            }
+        }
+        let seg = c.export_range(7, 99);
+        assert_eq!(seg.len(), 3, "range clamped to len()");
+        for i in 0..3 {
+            assert_eq!(seg.datum(i), c.datum(7 + i));
+        }
+    }
+
+    #[test]
+    fn gather_picks_selected_rows() {
+        let mut col = TypedColumn::new(ColumnType::Float);
+        for i in 0..10 {
+            if i % 4 == 0 {
+                col.push(&Datum::Null);
+            } else {
+                col.push(&Datum::Float(i as f64));
+            }
+        }
+        let picked = col.gather(&[0, 3, 5], 2); // rows 2, 5, 7
+        assert_eq!(picked.len(), 3);
+        assert_eq!(picked.datum(0), col.datum(2));
+        assert_eq!(picked.datum(1), col.datum(5));
+        assert_eq!(picked.datum(2), col.datum(7));
+        // All-valid fast path keeps bits addressable past the copy.
+        let mut dense = TypedColumn::new(ColumnType::Int);
+        for i in 0..70 {
+            dense.push(&Datum::Int(i));
+        }
+        let seg = dense.export_range(0, 70);
+        assert_eq!(seg.datum(69), Some(Datum::Int(69)));
     }
 
     #[test]

@@ -260,8 +260,8 @@ mod tests {
         let mut s = IndexScanSource::new(heap, 3, req, ids);
         let b = s.next_batch().unwrap().unwrap();
         assert_eq!(b.rows(), 3);
-        assert_eq!(b.get(0, 0), &Datum::Int(0));
-        assert_eq!(b.get(1, 0), &Datum::Int(5));
+        assert_eq!(b.value(0, 0), Datum::Int(0));
+        assert_eq!(b.value(1, 0), Datum::Int(5));
     }
 
     #[test]
