@@ -23,6 +23,23 @@ pub const MAX_IO_BLOCK_SIZE: usize = 256 << 20;
 /// empty and extra depth only buys footprint.
 pub const MAX_READAHEAD_BLOCKS: usize = 64;
 
+/// What a scan does with a row whose bytes fail to parse as the schema's
+/// type for a requested attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseErrorPolicy {
+    /// Abort the query with the parse error (the historical behavior).
+    #[default]
+    Strict,
+    /// Quarantine the malformed cell: it becomes a NULL tombstone (exactly
+    /// how a short row's absent attribute already materializes), the row
+    /// keeps its position and row number, and a capped sample of (row, byte
+    /// offset, attribute) triples is surfaced through
+    /// `ScanTelemetry`/`QueryReport`. Because the tombstone is what gets
+    /// cached and observed by statistics, cold scans, warm re-runs and
+    /// cache-served scans of the same file stay byte-identical.
+    Permissive,
+}
+
 /// Full configuration of a [`crate::NoDb`] instance.
 #[derive(Debug, Clone, Copy)]
 pub struct NoDbConfig {
@@ -116,6 +133,31 @@ pub struct NoDbConfig {
     /// order, so the post-scan state is identical for every steal
     /// interleaving.
     pub steal_slices_per_thread: usize,
+    /// Per-query deadline in milliseconds for facade queries (`0` = none).
+    /// An exceeded deadline unwinds the scan cooperatively with
+    /// `EngineError::DeadlineExceeded`; adaptive state built before the
+    /// stop is still installed, so the retry starts warmer. Callers wanting
+    /// per-query control use `NoDb::query_with_ctx` instead.
+    pub query_timeout_ms: u64,
+    /// Bounded retry for *transient* raw-file read errors (`EIO`/`EAGAIN`,
+    /// interrupted/timed-out reads): how many times a failed block refill
+    /// is re-issued before the error aborts the scan. `0` disables retry.
+    pub io_retry_attempts: u32,
+    /// Base backoff before the first retry, doubling per attempt.
+    pub io_retry_backoff_ms: u64,
+    /// Chaos knob: non-zero seeds a deterministic fault injector
+    /// (`FaultyBlocks`) under every scan's reads — transient `EIO`s, short
+    /// reads and injected latency, recoverable by the retry layer. Tests
+    /// and CI only; `0` (the default) injects nothing. The env knob
+    /// `NODB_TEST_FAULTS` overlays this for whole-suite chaos runs.
+    pub io_fault_seed: u64,
+    /// Inject a fault on roughly one refill in this many (when
+    /// `io_fault_seed` is set). Clamped to at least 1 by
+    /// [`Self::validated`].
+    pub io_fault_one_in: u32,
+    /// What to do with rows whose bytes fail to parse (see
+    /// [`ParseErrorPolicy`]).
+    pub parse_errors: ParseErrorPolicy,
 }
 
 impl Default for NoDbConfig {
@@ -139,6 +181,12 @@ impl Default for NoDbConfig {
             cold_precount: true,
             vectorized_exec: true,
             steal_slices_per_thread: 4,
+            query_timeout_ms: 0,
+            io_retry_attempts: 2,
+            io_retry_backoff_ms: 2,
+            io_fault_seed: 0,
+            io_fault_one_in: 100,
+            parse_errors: ParseErrorPolicy::Strict,
         }
     }
 }
@@ -193,7 +241,36 @@ impl NoDbConfig {
             .io_block_size
             .clamp(MIN_IO_BLOCK_SIZE, MAX_IO_BLOCK_SIZE);
         self.io_readahead_blocks = self.io_readahead_blocks.min(MAX_READAHEAD_BLOCKS);
+        self.io_fault_one_in = self.io_fault_one_in.max(1);
         self
+    }
+
+    /// The I/O resilience profile every scan of this config runs under:
+    /// retry knobs straight from the config, fault injection only when a
+    /// seed is set — by the config itself or by the `NODB_TEST_FAULTS` env
+    /// overlay (whole-suite chaos runs; config wins when both are set).
+    pub fn io_profile(&self) -> nodb_rawcsv::IoProfile {
+        let mut seed = self.io_fault_seed;
+        let mut one_in = self.io_fault_one_in.max(1);
+        if seed == 0 {
+            if let Ok(env_seed) = std::env::var("NODB_TEST_FAULTS") {
+                if let Ok(parsed) = env_seed.trim().parse::<u64>() {
+                    if parsed != 0 {
+                        seed = parsed;
+                        one_in = 100; // the acceptance criterion's 1%
+                    }
+                }
+            }
+        }
+        nodb_rawcsv::IoProfile {
+            retry_attempts: self.io_retry_attempts,
+            retry_backoff_ms: self.io_retry_backoff_ms,
+            faults: (seed != 0).then_some(nodb_rawcsv::FaultPlan {
+                seed,
+                one_in,
+                latency_us: 50,
+            }),
+        }
     }
 
     /// Resolved scan worker count: `scan_threads`, with `0` mapped to the

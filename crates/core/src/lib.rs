@@ -22,13 +22,41 @@
 //! queries stream under the read lock; structure growth is staged and
 //! installed under short write locks — see [`rawscan`]'s module docs).
 //!
-//! Module map: [`config`] (the demo's knob panel), [`registry`] (the
-//! concurrent table registry), [`table`] (per-file adaptive state),
-//! [`rawscan`] (the in-situ scan operator), [`metrics`] (Fig 2 / Fig 3
-//! panels as data).
+//! Module map: [`config`] (the demo's knob panel), [`ctx`] (per-query
+//! deadlines and cancellation), [`registry`] (the concurrent table
+//! registry), [`table`] (per-file adaptive state), [`rawscan`] (the in-situ
+//! scan operator), [`metrics`] (Fig 2 / Fig 3 panels as data).
+//!
+//! ## Error taxonomy & resilience
+//!
+//! Queries fail in structured, recoverable ways — an in-situ engine points
+//! at files it does not control has to treat failure as a first-class path:
+//!
+//! * **Deadline / cancellation** — [`EngineError::DeadlineExceeded`] /
+//!   [`EngineError::Cancelled`], raised cooperatively (see [`ctx`]) via
+//!   [`NoDb::query_with_ctx`] or the `query_timeout_ms` config knob. A
+//!   stopped scan merges the completed prefix of its partials first, so the
+//!   re-run starts from warmer map/cache/statistics state ("queries as
+//!   advisors", applied to failure paths).
+//! * **Transient I/O** — `EIO`/`EAGAIN`-class read errors are retried with
+//!   bounded exponential backoff inside the block readers
+//!   (`io_retry_attempts` / `io_retry_backoff_ms`); only errors that
+//!   survive the retries surface, as [`EngineError::Csv`]. Retry counts are
+//!   reported in the query's `IoCounters`.
+//! * **Malformed rows** — under [`config::ParseErrorPolicy::Strict`] the
+//!   first bad cell aborts the query with a precise row/attribute error and
+//!   no side effects merged; under `Permissive` the cell is tombstoned as
+//!   NULL, the row stays in the result, and the quarantine count plus
+//!   row/offset samples surface in [`QueryReport`].
+//! * **Worker panics** — contained at the partition-worker boundary and
+//!   converted to [`EngineError::WorkerPanic`] (slice index + panic
+//!   payload). Locks on the failure path recover from poisoning, so one
+//!   crashed query never bricks the shared table — the next query on the
+//!   same handle runs normally.
 
 mod affinity;
 pub mod config;
+pub mod ctx;
 pub mod metrics;
 pub mod rawscan;
 pub mod registry;
@@ -46,9 +74,10 @@ use nodb_sqlparse::parse_select;
 use nodb_stats::estimate::NoStats;
 use nodb_stats::table::StatsEstimator;
 
-pub use config::NoDbConfig;
+pub use config::{NoDbConfig, ParseErrorPolicy};
+pub use ctx::{CancelToken, QueryCtx};
 pub use metrics::{Breakdown, QueryReport, SystemSnapshot};
-pub use rawscan::{RawScanSource, ScanTelemetry, TelemetryHandle};
+pub use rawscan::{QuarantineSample, RawScanSource, ScanTelemetry, TelemetryHandle};
 pub use registry::{TableHandle, TableRegistry};
 pub use table::RawTable;
 
@@ -146,7 +175,21 @@ impl NoDb {
     /// (or, for `scan_threads = 1` and the force-full-parse ablation, under
     /// the write lock — the sequential path is kept byte-for-byte).
     pub fn query(&self, sql: &str) -> EngineResult<QueryResult> {
+        let ctx = QueryCtx::from_timeout_ms(self.config().query_timeout_ms);
+        self.query_with_ctx(sql, &ctx)
+    }
+
+    /// Execute one SQL query under a caller-supplied [`QueryCtx`]: a
+    /// deadline and/or a [`CancelToken`] another thread can trip. The scan
+    /// polls the context cooperatively (partition workers, block refills,
+    /// the newline pre-count, batch loops); a stopped query fails with
+    /// [`EngineError::Cancelled`] / [`EngineError::DeadlineExceeded`] *after*
+    /// merging whatever map/cache/statistics partials completed, so the
+    /// retry starts warmer than the original (see `rawscan`'s partial-merge
+    /// docs).
+    pub fn query_with_ctx(&self, sql: &str, ctx: &QueryCtx) -> EngineResult<QueryResult> {
         let t0 = Instant::now();
+        ctx.check()?;
         let stmt = parse_select(sql)?;
         let handle = self
             .tables
@@ -199,7 +242,14 @@ impl NoDb {
         };
         let result = loop {
             attempts += 1;
-            let prep = rawscan::prepare_scan(&mut guard, &config, planned.scan.clone(), &telemetry);
+            ctx.check()?;
+            let prep = rawscan::prepare_scan(
+                &mut guard,
+                &config,
+                planned.scan.clone(),
+                &telemetry,
+                ctx.clone(),
+            );
             // A stale prep (concurrent append/replace reconciliation, or a
             // cache column evicted under budget pressure) sends the query
             // around the loop; after a few spins it runs exclusively, which
@@ -236,7 +286,9 @@ impl NoDb {
         };
 
         let total = t0.elapsed();
-        let tel = telemetry.lock().expect("telemetry lock");
+        let mut tel = telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut breakdown = tel.breakdown;
         let scan_time = breakdown.io
             + breakdown.tokenizing
@@ -261,17 +313,25 @@ impl NoDb {
             cache_misses: tel.cache_misses,
             fully_cached: tel.fully_cached,
             installed_chunk: tel.installed_chunk,
+            rows_quarantined: tel.rows_quarantined,
+            quarantine_samples: std::mem::take(&mut tel.quarantine_samples),
             plan: planned.explain(),
         };
         drop(tel);
-        *self.last_report.lock().expect("report lock") = Some(report);
+        *self
+            .last_report
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(report);
         Ok(result)
     }
 
     /// Report for the most recent query on this instance (owned: concurrent
     /// queries each publish their report as they finish, last writer wins).
     pub fn last_report(&self) -> Option<QueryReport> {
-        self.last_report.lock().expect("report lock").clone()
+        self.last_report
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// The Figure 2 monitoring panel for one table.

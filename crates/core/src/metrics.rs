@@ -10,6 +10,8 @@ use std::time::Duration;
 
 use nodb_rawcsv::IoCounters;
 
+use crate::rawscan::QuarantineSample;
+
 /// Per-phase wall-clock breakdown of one query (Fig 3).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Breakdown {
@@ -99,6 +101,12 @@ pub struct QueryReport {
     pub fully_cached: bool,
     /// Whether a positional-map chunk was installed as a side effect.
     pub installed_chunk: bool,
+    /// Rows with a malformed cell tombstoned as NULL under the permissive
+    /// parse-error policy (always 0 under strict, which aborts instead).
+    pub rows_quarantined: u64,
+    /// Capped per-row detail of the quarantined rows (row number, line byte
+    /// offset, first offending attribute).
+    pub quarantine_samples: Vec<QuarantineSample>,
     /// Plan summary (EXPLAIN-lite).
     pub plan: String,
 }

@@ -117,13 +117,29 @@
 //!   concurrent queries never misattribute each other's reads.
 //!
 //! The `cache_force_full_parse` ablation always runs sequentially (it
-//! exists to demonstrate a pathology, not to be fast). Parse errors abort
-//! the parallel scan without merging any side effects.
+//! exists to demonstrate a pathology, not to be fast). Under the strict
+//! parse-error policy a malformed row aborts the parallel scan without
+//! merging any side effects; the permissive policy instead tombstones the
+//! malformed cell as NULL and quarantines the row into telemetry.
+//!
+//! ## Partial merge on cancellation
+//!
+//! A cancelled or deadline-expired scan is not all-or-nothing: the workers
+//! that finished their slices before the stop flag tripped hand back normal
+//! partials, and the driver merges the **contiguous completed prefix** of
+//! slices through the same frontier-based merge — with the end-of-scan
+//! bookkeeping (`row_count`, `mark_complete`, `set_row_count`) withheld,
+//! since the file was not fully visited. Statistics observation frontiers
+//! *are* advanced over the merged prefix so a re-run never double-observes.
+//! The query itself still fails with [`EngineError::Cancelled`] /
+//! [`EngineError::DeadlineExceeded`]; the next identical query starts from
+//! the warmer map/cache/statistics state the aborted one left behind — the
+//! paper's "queries as advisors" principle applied to failure paths.
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use nodb_engine::batch::{Batch, ColView, Column, SliceRow, BATCH_SIZE};
@@ -131,16 +147,37 @@ use nodb_engine::{EngineError, EngineResult, ScanRequest, ScanSource};
 use nodb_posmap::{AccessPlan, AttrSource, ChunkBuilder, LineCountMemo};
 use nodb_rawcache::TypedColumn;
 use nodb_rawcsv::reader::{
-    count_lines_in_range_with, partition_line_ranges, BlockScanner, LineRange,
+    count_lines_in_range_ctl, partition_line_ranges, BlockScanner, LineRange,
 };
 use nodb_rawcsv::tokenizer::{find_byte, Tokens};
 use nodb_rawcsv::{parser, Datum, IoCounters, RawCsvError};
 
-use crate::config::NoDbConfig;
+use crate::config::{NoDbConfig, ParseErrorPolicy};
+use crate::ctx::{QueryCtx, CHECK_STRIDE};
 use crate::metrics::{Breakdown, PhaseClock};
 use crate::registry::TableHandle;
 use crate::table::RawTable;
 use crate::worker::{self, Partition, PartitionOutput, ScanContext};
+
+/// One quarantined malformed cell, sampled for telemetry under
+/// [`ParseErrorPolicy::Permissive`]: the row stayed in the result with the
+/// offending cell tombstoned as NULL, and this records where it came from so
+/// an operator can inspect the raw bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineSample {
+    /// Global data-row number of the malformed tuple.
+    pub row: u64,
+    /// Byte offset of the tuple's line start in the raw file.
+    pub offset: u64,
+    /// First requested attribute whose cell failed to parse.
+    pub attr: usize,
+}
+
+impl QuarantineSample {
+    /// Cap on samples retained per scan; the quarantined *count* is always
+    /// exact, only the per-row detail is sampled.
+    pub const MAX_SAMPLES: usize = 8;
+}
 
 /// Telemetry the scan writes as it finishes; the facade keeps a handle and
 /// reads it after execution.
@@ -179,6 +216,15 @@ pub struct ScanTelemetry {
     /// (work stealing under skewed line widths). Always 0 for sequential
     /// scans and static partitioning.
     pub steals: u64,
+    /// Rows with at least one malformed cell tombstoned under
+    /// [`ParseErrorPolicy::Permissive`] (always 0 under strict).
+    pub rows_quarantined: u64,
+    /// Capped per-row detail of the quarantined rows (first
+    /// [`QuarantineSample::MAX_SAMPLES`] in row order).
+    pub quarantine_samples: Vec<QuarantineSample>,
+    /// The scan stopped before EOF (cancellation or deadline) and merged
+    /// only the completed prefix of its partials.
+    pub stopped_early: bool,
 }
 
 /// Rewrite a partition-local row number in a worker error to the global
@@ -207,6 +253,39 @@ fn rebase_row_error(e: EngineError, base: u64) -> EngineError {
         }
         other => other,
     }
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` / `String`
+/// payloads cover `panic!` and `assert!`; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Map an error from a layer below the engine to the structured stop error
+/// when the query context tripped mid-operation (a cancelled refill
+/// surfaces as a wrapped "scan interrupted" I/O error otherwise).
+fn check_stop<T>(ctx: &QueryCtx, r: EngineResult<T>) -> EngineResult<T> {
+    r.map_err(|e| {
+        if ctx.is_stopped() {
+            ctx.stop_error()
+        } else {
+            e
+        }
+    })
+}
+
+/// Lock a mutex, recovering the guard from a poisoned lock: every value
+/// behind these mutexes (telemetry, result slots) is plain data that stays
+/// structurally valid even if a panicking thread held the guard, and the
+/// panic itself is surfaced separately as [`EngineError::WorkerPanic`].
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Shared handle to the telemetry a scan publishes when it finishes.
@@ -391,6 +470,9 @@ pub(crate) struct ScanPrep {
     pub path: PathBuf,
     /// Whether partition 0 of a cold scan must skip a header line.
     pub has_header: bool,
+    /// Per-query deadline/cancellation state; every execution path of this
+    /// scan polls it cooperatively.
+    pub ctx: QueryCtx,
 }
 
 /// Phase 1 of a scan: access planning and coverage snapshots, run under the
@@ -401,6 +483,7 @@ pub(crate) fn prepare_scan(
     config: &NoDbConfig,
     req: ScanRequest,
     telemetry: &TelemetryHandle,
+    ctx: QueryCtx,
 ) -> ScanPrep {
     let n = req.attrs.len();
     let cache_cov: Vec<usize> = if config.enable_cache {
@@ -442,7 +525,7 @@ pub(crate) fn prepare_scan(
         }
         _ => (false, 0),
     };
-    telemetry.lock().expect("telemetry lock").fully_cached = fully_cached;
+    lock_recover(telemetry).fully_cached = fully_cached;
 
     let threads = config.effective_scan_threads();
     let slice_target = config.scan_slice_target();
@@ -523,6 +606,7 @@ pub(crate) fn prepare_scan(
         generation: table.generation,
         path: table.path.clone(),
         has_header: table.has_header,
+        ctx,
     }
 }
 
@@ -612,14 +696,22 @@ pub(crate) fn plan_cold_partitions(
                         config.io_readahead_blocks,
                         config.pin_cores,
                     );
+                    let profile = config.io_profile();
+                    let interrupt = prep.ctx.stop_flag();
                     s.spawn(move || {
                         if pin {
                             crate::affinity::pin_current_thread(w);
                         }
                         let mut out = Vec::with_capacity(mine.len());
                         for &i in mine {
-                            let (lines, io) =
-                                count_lines_in_range_with(path, io_block, readahead, ranges[i])?;
+                            let (lines, io) = count_lines_in_range_ctl(
+                                path,
+                                io_block,
+                                readahead,
+                                ranges[i],
+                                profile,
+                                Some(Arc::clone(&interrupt)),
+                            )?;
                             out.push((i, lines, io));
                         }
                         Ok(out)
@@ -629,10 +721,13 @@ pub(crate) fn plan_cold_partitions(
             handles
                 .into_iter()
                 .map(|h| {
-                    h.join().unwrap_or_else(|_| {
+                    h.join().unwrap_or_else(|payload| {
                         Err(RawCsvError::io(
                             "newline pre-count",
-                            std::io::Error::other("counting worker panicked"),
+                            std::io::Error::other(format!(
+                                "counting worker panicked: {}",
+                                panic_message(payload)
+                            )),
                         ))
                     })
                 })
@@ -720,16 +815,38 @@ fn claim_slice(
 /// invariants promise. Returns the outputs plus the number of stolen
 /// slices (telemetry).
 ///
+/// What [`run_partitions`] hands back.
+pub(crate) struct ScanOutcome {
+    /// Completed partition partials — all of them on success, the
+    /// contiguous completed prefix when `stopped` is set.
+    pub outputs: Vec<PartitionOutput>,
+    /// Stolen-slice tally (telemetry).
+    pub steals: u64,
+    /// The cancellation/deadline error that stopped the scan, when one did.
+    pub stopped: Option<EngineError>,
+}
+
 /// A worker error aborts the scan; the error reported is the
 /// lowest-numbered slice's. Cold-mode errors without a pre-count are
 /// rebased to global row numbers using the preceding slices' row counts
 /// (pre-counted and warm workers already use global rows).
+///
+/// Two error classes get special handling:
+///
+/// * A worker **panic** is contained at the worker boundary
+///   (`catch_unwind`) and surfaced as [`EngineError::WorkerPanic`] with the
+///   slice index and panic payload — one bad slice never takes down the
+///   process or poisons shared state.
+/// * **Cancellation / deadline** errors do not abort: the contiguous
+///   completed prefix of slices is handed back in
+///   [`ScanOutcome::stopped`], so the caller can merge the partials before
+///   failing the query (see the module docs on partial merge).
 pub(crate) fn run_partitions(
     table: &RawTable,
     config: &NoDbConfig,
     prep: &ScanPrep,
     partitions: &[Partition],
-) -> EngineResult<(Vec<PartitionOutput>, u64)> {
+) -> EngineResult<ScanOutcome> {
     // With global row bases known — warm mode, or a pre-counted cold scan —
     // workers can address per-row adaptive state: the cache always, the map
     // only when the plan actually resolves something through a chunk (an
@@ -738,6 +855,7 @@ pub(crate) fn run_partitions(
     let adaptive = prep.warm || rows_known;
     let ctx = ScanContext {
         config: *config,
+        ctx: &prep.ctx,
         req: &prep.req,
         tokenizer: table.tokenizer,
         schema: &table.schema,
@@ -794,8 +912,21 @@ pub(crate) fn run_partitions(
                         if stolen {
                             steals.fetch_add(1, Ordering::Relaxed);
                         }
-                        let r = worker::run_partition(ctx, partitions[idx]);
-                        *slots[idx].lock().expect("slice slot") = Some(r);
+                        // Worker-panic containment: a panicking slice is
+                        // converted to a structured error right here, so the
+                        // other workers keep draining and the process (and
+                        // any lock the panic would otherwise poison)
+                        // survives.
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            worker::run_partition(ctx, partitions[idx])
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(EngineError::WorkerPanic {
+                                partition: idx,
+                                message: panic_message(payload),
+                            })
+                        });
+                        *lock_recover(&slots[idx]) = Some(r);
                     }
                 })
             })
@@ -807,14 +938,33 @@ pub(crate) fn run_partitions(
         }
     });
 
+    let steals = steals.into_inner();
     let mut results: Vec<PartitionOutput> = Vec::with_capacity(slots.len());
-    for slot in slots {
+    for (idx, slot) in slots.into_iter().enumerate() {
         let r = slot
             .into_inner()
-            .expect("slice slot")
-            .unwrap_or_else(|| Err(EngineError::Execution("scan worker panicked".into())));
+            .unwrap_or_else(PoisonError::into_inner)
+            .unwrap_or_else(|| {
+                // `catch_unwind` converts every worker panic in place, so an
+                // empty slot means the worker thread died before reporting —
+                // still surfaced structurally rather than as a bare string.
+                Err(EngineError::WorkerPanic {
+                    partition: idx,
+                    message: "worker exited without reporting a result".into(),
+                })
+            });
         match r {
             Ok(o) => results.push(o),
+            Err(e @ (EngineError::Cancelled | EngineError::DeadlineExceeded)) => {
+                // Cooperative stop: hand back the contiguous completed
+                // prefix so the caller can merge the partials (the NoDB
+                // "no work is wasted" promise applied to failure paths).
+                return Ok(ScanOutcome {
+                    outputs: results,
+                    steals,
+                    stopped: Some(e),
+                });
+            }
             Err(e) => {
                 // Abort without merging any side effects. Workers without
                 // global row bases number rows slice-locally, so rebase row
@@ -830,7 +980,11 @@ pub(crate) fn run_partitions(
             }
         }
     }
-    Ok((results, steals.into_inner()))
+    Ok(ScanOutcome {
+        outputs: results,
+        steals,
+        stopped: None,
+    })
 }
 
 /// What [`merge_outputs`] hands back: the total rows scanned and the output
@@ -854,6 +1008,13 @@ pub(crate) struct MergeInfo {
 /// `scan_threads = 1` facade path or direct `RawScanSource` use) the
 /// frontiers equal the plan-time snapshots, reproducing the sequential scan
 /// decision for decision.
+/// `complete` is false when the scan stopped before EOF (cancellation /
+/// deadline) and `results` holds only the contiguous completed prefix of
+/// partitions: every frontier-based sub-merge still runs over that prefix,
+/// but the end-of-scan bookkeeping (`row_count`, `mark_complete`,
+/// `set_row_count`) is withheld — the file was not fully visited, so those
+/// totals are unknown. Statistics observation frontiers are still advanced
+/// over the merged prefix, so a re-run never double-observes.
 #[allow(clippy::too_many_arguments)] // phase boundary: each argument is one staged ingredient
 pub(crate) fn merge_outputs(
     table: &mut RawTable,
@@ -865,6 +1026,7 @@ pub(crate) fn merge_outputs(
     mut bd: Breakdown,
     telemetry: &TelemetryHandle,
     clock: &PhaseClock,
+    complete: bool,
 ) -> MergeInfo {
     // Ordered merge. Timed as NoDB-structure maintenance, like the
     // sequential scan's chunk install.
@@ -883,11 +1045,27 @@ pub(crate) fn merge_outputs(
     let mut io = IoCounters::default();
     let mut worker_hits = 0u64;
     let mut worker_misses = 0u64;
-    for o in &results {
+    let mut quarantined = 0u64;
+    let mut quarantine_samples: Vec<QuarantineSample> = Vec::new();
+    // Cold workers without a pre-count number sample rows slice-locally;
+    // rebase by the preceding partitions' row counts, like error rows.
+    let rows_global = prep.warm || cold.is_some_and(|c| c.rows_known);
+    for (p, o) in results.iter().enumerate() {
         bd.merge(&o.breakdown);
         io.merge(o.io);
         worker_hits += o.cache_hits;
         worker_misses += o.cache_misses;
+        quarantined += o.quarantined;
+        for s in &o.quarantine_samples {
+            if quarantine_samples.len() >= QuarantineSample::MAX_SAMPLES {
+                break;
+            }
+            let mut s = *s;
+            if !rows_global {
+                s.row += bases[p] as u64;
+            }
+            quarantine_samples.push(s);
+        }
     }
 
     // Cold-scan bookkeeping: account the pre-count pass's I/O and memoize
@@ -900,9 +1078,13 @@ pub(crate) fn merge_outputs(
         for &(off, lines) in &cp.new_counts {
             table.map.line_counts_mut().note(off, lines);
         }
-        if let Some(last) = cp.partitions.last() {
-            let raw_lines = total as u64 + u64::from(prep.has_header);
-            table.map.line_counts_mut().note(last.range.end, raw_lines);
+        // The file-total memo entry derives from `total`, which only equals
+        // the file's row count when every partition completed.
+        if complete {
+            if let Some(last) = cp.partitions.last() {
+                let raw_lines = total as u64 + u64::from(prep.has_header);
+                table.map.line_counts_mut().note(last.range.end, raw_lines);
+            }
         }
     }
 
@@ -1026,13 +1208,21 @@ pub(crate) fn merge_outputs(
         }
     }
 
-    // End-of-scan bookkeeping (the sequential scan's `finish`).
-    table.row_count = Some(total as u64);
-    if prep.plan.is_some() {
-        table.map.row_index_mut().mark_complete();
+    // End-of-scan bookkeeping (the sequential scan's `finish`) — withheld
+    // on a partial merge, where `total` is a prefix, not the file.
+    if complete {
+        table.row_count = Some(total as u64);
+        if prep.plan.is_some() {
+            table.map.row_index_mut().mark_complete();
+        }
+        if config.enable_stats {
+            table.stats.set_row_count(total as u64);
+        }
     }
     if config.enable_stats {
-        table.stats.set_row_count(total as u64);
+        // Always advance the observation frontier over the merged prefix
+        // (monotone): the statistics replay above fed rows `[0, total)`, and
+        // a re-run after a cancellation must not observe them again.
         for &attr in &prep.req.attrs {
             table.stats.advance_observed(attr, total as u64);
         }
@@ -1059,7 +1249,7 @@ pub(crate) fn merge_outputs(
     }
     clock.lap(t, &mut bd.nodb);
 
-    let mut tel = telemetry.lock().expect("telemetry lock");
+    let mut tel = lock_recover(telemetry);
     tel.io.merge(io);
     tel.rows_scanned = total as u64;
     tel.installed_chunk = installed;
@@ -1068,6 +1258,9 @@ pub(crate) fn merge_outputs(
     tel.cache_misses = worker_misses;
     tel.precounted = cold.is_some_and(|c| c.rows_known);
     tel.steals = steals;
+    tel.rows_quarantined = quarantined;
+    tel.quarantine_samples = quarantine_samples;
+    tel.stopped_early = !complete;
 
     MergeInfo { total, queue }
 }
@@ -1094,7 +1287,7 @@ pub(crate) fn scan_shared(
         None
     } else {
         let t = clock.start();
-        let cp = plan_cold_partitions(prep, config)?;
+        let cp = check_stop(&prep.ctx, plan_cold_partitions(prep, config))?;
         clock.lap(t, &mut bd.io);
         Some(cp)
     };
@@ -1103,7 +1296,7 @@ pub(crate) fn scan_shared(
         None => &prep.warm_partitions,
     };
 
-    let (outputs, steals) = {
+    let outcome = {
         let table = handle.read();
         if table.generation != prep.generation {
             return Ok(None);
@@ -1113,20 +1306,33 @@ pub(crate) fn scan_shared(
 
     let mut table = handle.write();
     if table.generation != prep.generation {
-        return Ok(None);
+        // The staged work describes dead state; a stopped query still fails
+        // with its structured cause rather than retrying against new state.
+        return match outcome.stopped {
+            Some(stop) => Err(stop),
+            None => Ok(None),
+        };
     }
+    // A stopped scan still merges its completed prefix (partial merge, see
+    // module docs) before failing the query: the next identical query
+    // starts from the warmer map/cache/statistics state.
+    let complete = outcome.stopped.is_none();
     let info = merge_outputs(
         &mut table,
         config,
         prep,
         cold.as_ref(),
-        steals,
-        outputs,
+        outcome.steals,
+        outcome.outputs,
         bd,
         telemetry,
         &clock,
+        complete,
     );
-    Ok(Some(info.queue))
+    match outcome.stopped {
+        Some(stop) => Err(stop),
+        None => Ok(Some(info.queue)),
+    }
 }
 
 /// Serve a fully-cached query from a shared table handle under the read
@@ -1162,6 +1368,9 @@ pub(crate) fn stream_cached_shared(
         };
         let mut lo = 0usize;
         while lo < total {
+            // Cancellation granularity: one check per batch; a pure cache
+            // read mutates nothing, so stopping here needs no partial merge.
+            prep.ctx.check()?;
             let hi = total.min(lo + BATCH_SIZE);
             let batch = cached_segment_batch(&prep.req, &cols, lo, hi);
             if !batch.is_empty() {
@@ -1181,6 +1390,9 @@ pub(crate) fn stream_cached_shared(
                 return Ok(None);
             }
             for row in 0..total {
+                if (row as u64).is_multiple_of(CHECK_STRIDE) {
+                    prep.ctx.check()?;
+                }
                 for (i, v) in values.iter_mut().enumerate() {
                     *v = table.cache.peek(prep.req.attrs[i], row);
                     if v.is_none() {
@@ -1200,7 +1412,7 @@ pub(crate) fn stream_cached_shared(
         hits = tally;
     }
     handle.write().cache.record_reads(hits, 0);
-    let mut tel = telemetry.lock().expect("telemetry lock");
+    let mut tel = lock_recover(telemetry);
     tel.rows_scanned = prep.cached_rows;
     tel.cache_hits = hits;
     Ok(Some(queue))
@@ -1234,6 +1446,11 @@ pub struct RawScanSource<'a> {
     header_skipped: bool,
     row: usize,
     done: bool,
+    /// Byte offset of the current line's start (for quarantine samples).
+    cur_offset: u64,
+    /// Rows with a tombstoned malformed cell (permissive policy).
+    quarantined: u64,
+    quarantine_samples: Vec<QuarantineSample>,
     /// Buffered result batches of a completed parallel scan, drained by
     /// `next_batch`. `Some` once the parallel driver has run.
     parallel_queue: Option<VecDeque<Batch>>,
@@ -1262,7 +1479,8 @@ impl<'a> RawScanSource<'a> {
         req: ScanRequest,
         telemetry: TelemetryHandle,
     ) -> Self {
-        let prep = prepare_scan(table, &config, req, &telemetry);
+        let ctx = QueryCtx::from_timeout_ms(config.query_timeout_ms);
+        let prep = prepare_scan(table, &config, req, &telemetry, ctx);
         Self::from_prep(table, config, prep, telemetry)
     }
 
@@ -1294,6 +1512,9 @@ impl<'a> RawScanSource<'a> {
             header_skipped: false,
             row: 0,
             done: false,
+            cur_offset: 0,
+            quarantined: 0,
+            quarantine_samples: Vec::new(),
             parallel_queue: None,
             tokens: Tokens::new(),
             values: vec![None; n],
@@ -1413,6 +1634,7 @@ impl<'a> RawScanSource<'a> {
         // 4. Selective parsing: convert only what is needed.
         {
             let t = self.clock.start();
+            let mut quarantined_attr: Option<usize> = None;
             for i in 0..n {
                 if self.values[i].is_some() {
                     continue;
@@ -1428,13 +1650,36 @@ impl<'a> RawScanSource<'a> {
                             Some(q) if ty == nodb_rawcsv::ColumnType::Str && raw.contains(&q) => {
                                 Datum::Str(parser::unescape_quoted(raw, q).into_boxed_str())
                             }
-                            _ => parser::parse_field(raw, ty, row as u64, attr)?,
+                            _ => match parser::parse_field(raw, ty, row as u64, attr) {
+                                Ok(d) => d,
+                                // Permissive policy: tombstone the malformed
+                                // cell exactly like a short row's absent
+                                // attribute, so cache/stats/map state stays
+                                // byte-identical across cold and warm runs.
+                                Err(RawCsvError::ParseField { .. })
+                                    if self.config.parse_errors == ParseErrorPolicy::Permissive =>
+                                {
+                                    quarantined_attr.get_or_insert(attr);
+                                    Datum::Null
+                                }
+                                Err(e) => return Err(e.into()),
+                            },
                         }
                     }
                     // Short row: attribute absent → NULL.
                     None => Datum::Null,
                 };
                 self.values[i] = Some(d);
+            }
+            if let Some(attr) = quarantined_attr {
+                self.quarantined += 1;
+                if self.quarantine_samples.len() < QuarantineSample::MAX_SAMPLES {
+                    self.quarantine_samples.push(QuarantineSample {
+                        row: row as u64,
+                        offset: self.cur_offset,
+                        attr,
+                    });
+                }
             }
             self.clock.lap(t, &mut d_conv);
         }
@@ -1512,12 +1757,24 @@ impl<'a> RawScanSource<'a> {
                 continue; // not contiguous; skip
             }
             let d = match self.tokens.get(attr) {
-                Some(span) => parser::parse_field(
+                Some(span) => match parser::parse_field(
                     span.of(line),
                     self.table.schema.ty(attr),
                     row as u64,
                     attr,
-                )?,
+                ) {
+                    Ok(d) => d,
+                    // Permissive: tombstone, keeping the ablation's cache
+                    // contents consistent with what a requested-attr scan
+                    // would have admitted. Not counted as a quarantined row
+                    // (the attribute was never requested).
+                    Err(RawCsvError::ParseField { .. })
+                        if self.config.parse_errors == ParseErrorPolicy::Permissive =>
+                    {
+                        Datum::Null
+                    }
+                    Err(e) => return Err(e.into()),
+                },
                 None => Datum::Null,
             };
             let ty = self.table.schema.ty(attr);
@@ -1560,14 +1817,37 @@ impl<'a> RawScanSource<'a> {
             .unwrap_or_default();
         let cache_hits = self.table.cache.metrics().hits - self.hits0;
         let cache_misses = self.table.cache.metrics().misses - self.misses0;
-        let mut tel = self.telemetry.lock().expect("telemetry lock");
+        let mut tel = lock_recover(&self.telemetry);
         tel.io.merge(io);
         tel.rows_scanned = self.row as u64;
         tel.installed_chunk = installed;
         tel.breakdown = self.bd;
         tel.cache_hits = cache_hits;
         tel.cache_misses = cache_misses;
+        tel.rows_quarantined = self.quarantined;
+        tel.quarantine_samples = std::mem::take(&mut self.quarantine_samples);
         self.done = true;
+    }
+
+    /// End-of-scan bookkeeping for a scan stopped mid-stream by its query
+    /// context: the sequential analogue of the parallel partial merge. Rows
+    /// `[0, self.row)` were fully processed — their cache appends and
+    /// statistics observations already happened inline — so the collected
+    /// chunk prefix is installed and the statistics observation frontier is
+    /// advanced over the visited prefix (a re-run must not double-observe),
+    /// while the EOF bookkeeping (`row_count`, `mark_complete`,
+    /// `set_row_count`) is withheld.
+    fn finish_cancelled(&mut self) {
+        if self.config.enable_stats {
+            for (i, &attr) in self.prep.req.attrs.iter().enumerate() {
+                // The streaming loop only observes rows at or beyond the
+                // plan-time frontier; advance from whichever is further.
+                let upto = (self.row as u64).max(self.prep.stats_frontier[i]);
+                self.table.stats.advance_observed(attr, upto);
+            }
+        }
+        self.finish(false);
+        lock_recover(&self.telemetry).stopped_early = true;
     }
 
     /// Stream one batch from the raw file.
@@ -1575,11 +1855,13 @@ impl<'a> RawScanSource<'a> {
         let mut d_io = Duration::ZERO;
         if self.scanner.is_none() {
             let t = self.clock.start();
-            let scanner = BlockScanner::open_with_readahead(
+            let mut scanner = BlockScanner::open_with_profile(
                 &self.table.path,
                 self.config.io_block_size,
                 self.config.io_readahead_blocks,
+                self.config.io_profile(),
             )?;
+            scanner.set_interrupt(self.prep.ctx.stop_flag());
             self.clock.lap(t, &mut d_io);
             self.scanner = Some(scanner);
             // The chunk builder is created here, not in `from_prep`: the
@@ -1599,19 +1881,40 @@ impl<'a> RawScanSource<'a> {
         let mut batch = Batch::with_columns(n);
         let mut reached_eof = false;
         loop {
+            // Cooperative cancellation, at the same stride the partition
+            // workers use. A stopped scan installs its partial state (the
+            // sequential partial merge) before surfacing the error.
+            if (self.row as u64).is_multiple_of(CHECK_STRIDE) {
+                if let Err(e) = self.prep.ctx.check() {
+                    self.bd.io += d_io;
+                    self.finish_cancelled();
+                    return Err(e);
+                }
+            }
             // Pull one line (timed as I/O, including newline discovery).
             // The line is copied into a reusable buffer so the borrow on the
             // scanner's block does not pin `self`.
             let t = self.clock.start();
             let line_meta: Option<u64> = {
                 let scanner = self.scanner.as_mut().expect("scanner open");
-                match scanner.next_line()? {
-                    Some(l) => {
+                match scanner.next_line() {
+                    Ok(Some(l)) => {
                         self.line_buf.clear();
                         self.line_buf.extend_from_slice(l.bytes);
                         Some(l.offset)
                     }
-                    None => None,
+                    Ok(None) => None,
+                    Err(e) => {
+                        // A tripped interrupt flag surfaces as a wrapped
+                        // read error; report the structured cause instead.
+                        self.bd.io += d_io;
+                        if self.prep.ctx.is_stopped() {
+                            let stop = self.prep.ctx.stop_error();
+                            self.finish_cancelled();
+                            return Err(stop);
+                        }
+                        return Err(e.into());
+                    }
                 }
             };
             self.clock.lap(t, &mut d_io);
@@ -1626,6 +1929,7 @@ impl<'a> RawScanSource<'a> {
             if self.prep.plan.is_some() {
                 self.table.map.row_index_mut().note_row(self.row, offset);
             }
+            self.cur_offset = offset;
             let line = std::mem::take(&mut self.line_buf);
             let r = self.resolve_row(&line);
             self.line_buf = line;
@@ -1654,7 +1958,10 @@ impl<'a> RawScanSource<'a> {
             None
         } else {
             let t = self.clock.start();
-            let cp = match plan_cold_partitions(&self.prep, &self.config) {
+            let cp = match check_stop(
+                &self.prep.ctx,
+                plan_cold_partitions(&self.prep, &self.config),
+            ) {
                 Ok(cp) => cp,
                 Err(e) => {
                     self.bd = bd;
@@ -1671,32 +1978,43 @@ impl<'a> RawScanSource<'a> {
             None => &self.prep.warm_partitions,
         };
 
-        let (outputs, steals) =
-            match run_partitions(self.table, &self.config, &self.prep, partitions) {
-                Ok(o) => o,
-                Err(e) => {
-                    self.bd = bd;
-                    self.done = true;
-                    self.parallel_queue = Some(VecDeque::new());
-                    return Err(e);
-                }
-            };
+        let outcome = match run_partitions(self.table, &self.config, &self.prep, partitions) {
+            Ok(o) => o,
+            Err(e) => {
+                self.bd = bd;
+                self.done = true;
+                self.parallel_queue = Some(VecDeque::new());
+                return Err(e);
+            }
+        };
 
+        // A stopped scan still merges its completed prefix (partial merge)
+        // before failing, exactly like the shared-handle path.
+        let complete = outcome.stopped.is_none();
         let info = merge_outputs(
             self.table,
             &self.config,
             &self.prep,
             cold.as_ref(),
-            steals,
-            outputs,
+            outcome.steals,
+            outcome.outputs,
             bd,
             &self.telemetry,
             &self.clock,
+            complete,
         );
         self.row = info.total;
         self.done = true;
-        self.parallel_queue = Some(info.queue);
-        Ok(())
+        match outcome.stopped {
+            Some(stop) => {
+                self.parallel_queue = Some(VecDeque::new());
+                Err(stop)
+            }
+            None => {
+                self.parallel_queue = Some(info.queue);
+                Ok(())
+            }
+        }
     }
 
     /// Serve one batch purely from the cache.
@@ -1708,6 +2026,9 @@ impl<'a> RawScanSource<'a> {
             // A fully-filtered segment must not end the stream, so loop
             // until a non-empty batch or exhaustion.
             while self.row < total {
+                // Pure cache reads mutate nothing: stopping needs no
+                // partial-state bookkeeping.
+                self.prep.ctx.check()?;
                 let lo = self.row;
                 let hi = total.min(lo + BATCH_SIZE);
                 let batch = match cached_column_handles(&self.table.cache, &self.prep.req.attrs, hi)
@@ -1733,6 +2054,7 @@ impl<'a> RawScanSource<'a> {
             }
         }
         let mut batch = Batch::with_columns(n);
+        self.prep.ctx.check()?;
         while self.row < total && batch.rows() < BATCH_SIZE {
             let row = self.row;
             self.row += 1;
@@ -2651,6 +2973,207 @@ mod tests {
         let (b, tel) = scan_once(&mut t, cfg, req);
         assert_eq!(a, b, "mixed cache+raw scan must match raw scan");
         assert!(!tel.fully_cached);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    /// `scan_once` variant that surfaces the scan error instead of
+    /// unwrapping, for the failure-path tests.
+    fn try_scan_once(
+        table: &mut RawTable,
+        config: NoDbConfig,
+        req: ScanRequest,
+        ctx: QueryCtx,
+    ) -> (EngineResult<Vec<Vec<Datum>>>, ScanTelemetry) {
+        let tel: TelemetryHandle = Arc::new(Mutex::new(ScanTelemetry::default()));
+        let r = {
+            let prep = prepare_scan(table, &config, req, &tel, ctx);
+            let mut src = RawScanSource::from_prep(table, config, prep, Arc::clone(&tel));
+            let mut out = Vec::new();
+            loop {
+                match src.next_batch() {
+                    Ok(Some(b)) => {
+                        for r in 0..b.rows() {
+                            out.push(b.row(r));
+                        }
+                    }
+                    Ok(None) => break Ok(out),
+                    Err(e) => break Err(e),
+                }
+            }
+        };
+        let t = Arc::try_unwrap(tel).unwrap().into_inner().unwrap();
+        (r, t)
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_table_stays_usable() {
+        let (p, schema) = tmp_csv(4, 400, 21);
+        let cfg = NoDbConfig {
+            scan_threads: 4,
+            ..NoDbConfig::default()
+        };
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        worker::INJECT_WORKER_PANIC.store(true, Ordering::Relaxed);
+        let (r, _) = try_scan_once(
+            &mut t,
+            cfg,
+            ScanRequest::project(vec![0, 2]),
+            QueryCtx::unbounded(),
+        );
+        worker::INJECT_WORKER_PANIC.store(false, Ordering::Relaxed);
+        match r {
+            Err(EngineError::WorkerPanic { partition, message }) => {
+                assert_eq!(partition, 0, "lowest failed slice reported");
+                assert!(
+                    message.contains("injected worker panic"),
+                    "panic payload carried: {message}"
+                );
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // The same table serves the next query normally.
+        let (rows, tel) = scan_once(&mut t, cfg, ScanRequest::project(vec![0, 2]));
+        assert_eq!(rows.len(), 400);
+        assert_eq!(tel.rows_scanned, 400);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn permissive_policy_quarantines_malformed_cells() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nodb_rawscan_quar_{}", std::process::id()));
+        std::fs::write(&p, "1,10\n2,oops\n3,30\nbad,40\n5,50\n").unwrap();
+        let schema = nodb_rawcsv::Schema::new(vec![
+            nodb_rawcsv::ColumnDef::new("a", nodb_rawcsv::ColumnType::Int),
+            nodb_rawcsv::ColumnDef::new("b", nodb_rawcsv::ColumnType::Int),
+        ]);
+
+        // Strict (the default) aborts on the first malformed cell.
+        let strict = NoDbConfig {
+            scan_threads: 1,
+            ..NoDbConfig::default()
+        };
+        let mut t = RawTable::register(&p, schema.clone(), false, &strict).unwrap();
+        let (r, _) = try_scan_once(
+            &mut t,
+            strict,
+            ScanRequest::project(vec![0, 1]),
+            QueryCtx::unbounded(),
+        );
+        assert!(matches!(r, Err(EngineError::Csv(_))), "strict aborts");
+
+        // Permissive keeps every row, tombstoning the bad cells as NULL, at
+        // any thread count, with identical output and telemetry.
+        for threads in [1usize, 4] {
+            let cfg = NoDbConfig {
+                scan_threads: threads,
+                parse_errors: ParseErrorPolicy::Permissive,
+                ..NoDbConfig::default()
+            };
+            let mut t = RawTable::register(&p, schema.clone(), false, &cfg).unwrap();
+            let (r, tel) = try_scan_once(
+                &mut t,
+                cfg,
+                ScanRequest::project(vec![0, 1]),
+                QueryCtx::unbounded(),
+            );
+            let rows = r.unwrap();
+            assert_eq!(rows.len(), 5, "threads = {threads}");
+            assert_eq!(rows[1], vec![Datum::Int(2), Datum::Null]);
+            assert_eq!(rows[3], vec![Datum::Null, Datum::Int(40)]);
+            assert_eq!(tel.rows_quarantined, 2, "threads = {threads}");
+            let sampled: Vec<(u64, usize)> = tel
+                .quarantine_samples
+                .iter()
+                .map(|s| (s.row, s.attr))
+                .collect();
+            assert_eq!(sampled, vec![(1, 1), (3, 0)], "threads = {threads}");
+            // The tombstones land in the cache like short-row NULLs: the
+            // warm rerun serves identical rows.
+            let (rows2, tel2) = scan_once(&mut t, cfg, ScanRequest::project(vec![0, 1]));
+            assert_eq!(rows, rows2, "cached rerun identical (threads = {threads})");
+            assert!(tel2.fully_cached);
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_stops_scan_and_leaves_state_reusable() {
+        let (p, schema) = tmp_csv(4, 300, 22);
+        for threads in [1usize, 4] {
+            let cfg = NoDbConfig {
+                scan_threads: threads,
+                ..NoDbConfig::default()
+            };
+            let mut t = RawTable::register(&p, schema.clone(), false, &cfg).unwrap();
+            // Already-expired deadline: the scan stops at its first check.
+            let (r, _) = try_scan_once(
+                &mut t,
+                cfg,
+                ScanRequest::project(vec![1]),
+                QueryCtx::with_timeout(Duration::ZERO),
+            );
+            assert!(
+                matches!(r, Err(EngineError::DeadlineExceeded)),
+                "threads = {threads}, got {r:?}"
+            );
+            // The table is immediately usable and the rerun is complete and
+            // correct — no double-observed statistics, full row count.
+            let (rows, tel) = scan_once(&mut t, cfg, ScanRequest::project(vec![1]));
+            assert_eq!(rows.len(), 300, "threads = {threads}");
+            assert_eq!(tel.rows_scanned, 300);
+            assert_eq!(t.row_count, Some(300));
+            assert_eq!(t.stats.attr(1).unwrap().rows_seen(), 300);
+            assert_eq!(t.stats.observed_upto(1), 300);
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn cancel_token_stops_streaming_scan_with_partial_state() {
+        // Sequential path, cancel after the first batch: the partial chunk
+        // and cache prefix must be installed and the frontier advanced.
+        let (p, schema) = tmp_csv(3, 5000, 23);
+        let cfg = NoDbConfig {
+            scan_threads: 1,
+            ..NoDbConfig::default()
+        };
+        let mut t = RawTable::register(&p, schema, false, &cfg).unwrap();
+        let tel: TelemetryHandle = Arc::new(Mutex::new(ScanTelemetry::default()));
+        let ctx = QueryCtx::unbounded();
+        let token = ctx.cancel_token();
+        let err = {
+            let prep = prepare_scan(&mut t, &cfg, ScanRequest::project(vec![1]), &tel, ctx);
+            let mut src = RawScanSource::from_prep(&mut t, cfg, prep, Arc::clone(&tel));
+            let first = src.next_batch().unwrap();
+            assert!(first.is_some(), "first batch before cancellation");
+            token.cancel();
+            loop {
+                match src.next_batch() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => panic!("scan finished despite cancellation"),
+                    Err(e) => break e,
+                }
+            }
+        };
+        assert!(matches!(err, EngineError::Cancelled), "got {err:?}");
+        let stopped_tel = Arc::try_unwrap(tel).unwrap().into_inner().unwrap();
+        assert!(stopped_tel.stopped_early);
+        let visited = stopped_tel.rows_scanned;
+        assert!(
+            visited > 0 && visited < 5000,
+            "stopped mid-file, visited {visited}"
+        );
+        // Partial state: cache/frontier cover the visited prefix; EOF
+        // bookkeeping withheld.
+        assert_eq!(t.row_count, None);
+        assert!(!t.map.row_index().is_complete());
+        assert_eq!(t.cache.coverage(1) as u64, visited);
+        assert_eq!(t.stats.observed_upto(1), visited);
+        // Rerun completes, starting warmer, without double observation.
+        let (rows, _) = scan_once(&mut t, cfg, ScanRequest::project(vec![1]));
+        assert_eq!(rows.len(), 5000);
+        assert_eq!(t.stats.attr(1).unwrap().rows_seen(), 5000);
         std::fs::remove_file(p).unwrap();
     }
 }

@@ -25,7 +25,13 @@
 //!
 //! The poison-free `RwLock` comes from the workspace's `parking_lot`
 //! stand-in: a panicking scan must not wedge every later query on the same
-//! table.
+//! table. That guarantee is load-bearing for resilience — worker panics are
+//! already contained at the scan's worker boundary
+//! (`EngineError::WorkerPanic`), and should a panic ever unwind while a
+//! guard is held, the next `read()`/`write()` on the same handle still
+//! succeeds against structurally valid state (every mutation of `RawTable`
+//! state goes through append/install operations that are individually
+//! complete). `one_bad_query_never_bricks_the_table` below pins this down.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -138,6 +144,29 @@ mod tests {
         assert_eq!(reg.get("t").unwrap().read().path(), p2.as_path());
         std::fs::remove_file(p1).unwrap();
         std::fs::remove_file(p2).unwrap();
+    }
+
+    #[test]
+    fn one_bad_query_never_bricks_the_table() {
+        // A thread panics while holding the table's write lock (the worst
+        // spot: mid-"query" with exclusive access). The registry's lock is
+        // poison-free, so the next query on the same handle proceeds and
+        // sees valid state.
+        let (p, t) = sample_table(6);
+        let reg = TableRegistry::new();
+        reg.insert("t", t);
+        let handle = reg.get("t").unwrap();
+        let h2 = reg.get("t").unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = h2.write();
+            panic!("query blew up while holding the write lock");
+        }));
+        assert!(result.is_err(), "the panic fired");
+        // Both lock modes still work on the same handle.
+        assert_eq!(handle.read().path(), p.as_path());
+        handle.write().attr_access[0] += 1;
+        assert_eq!(handle.read().attr_access[0], 1);
+        std::fs::remove_file(p).unwrap();
     }
 
     #[test]

@@ -22,10 +22,34 @@ use nodb_posmap::{AccessPlan, AttrSource, ChunkBuilder, PositionalMap};
 use nodb_rawcache::{RawCache, TypedColumn};
 use nodb_rawcsv::reader::{LineRange, RangeScanner};
 use nodb_rawcsv::tokenizer::{find_byte, TokenizerConfig, Tokens};
-use nodb_rawcsv::{parser, ColumnType, Datum, IoCounters, Schema};
+use nodb_rawcsv::{parser, ColumnType, Datum, IoCounters, RawCsvError, Schema};
 
-use crate::config::NoDbConfig;
+use crate::config::{NoDbConfig, ParseErrorPolicy};
+use crate::ctx::{QueryCtx, CHECK_STRIDE};
 use crate::metrics::{Breakdown, PhaseClock};
+use crate::rawscan::QuarantineSample;
+
+/// Test hook: make the next `run_partition` call panic, to exercise the
+/// worker-boundary `catch_unwind` containment without a contrived schema.
+#[cfg(test)]
+pub(crate) static INJECT_WORKER_PANIC: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Convert a scanner error into the structured stop error when the query
+/// context tripped mid-read: a cancelled refill surfaces as a wrapped "scan
+/// interrupted" I/O error, and callers should see `Cancelled` /
+/// `DeadlineExceeded` instead. (A real I/O error racing the stop flag is
+/// reported as the cancellation — acceptable, since the query was being
+/// abandoned either way.)
+fn check_io<T>(qctx: &QueryCtx, r: nodb_rawcsv::Result<T>) -> EngineResult<T> {
+    r.map_err(|e| {
+        if qctx.is_stopped() {
+            qctx.stop_error()
+        } else {
+            e.into()
+        }
+    })
+}
 
 /// Immutable scan-wide state shared by every worker.
 ///
@@ -38,6 +62,9 @@ use crate::metrics::{Breakdown, PhaseClock};
 /// workers resolve everything from raw bytes (see `rawscan` module docs).
 pub(crate) struct ScanContext<'a> {
     pub config: NoDbConfig,
+    /// Per-query deadline/cancellation state, polled every [`CHECK_STRIDE`]
+    /// rows and wired into each scanner's refill path as an interrupt flag.
+    pub ctx: &'a QueryCtx,
     pub req: &'a ScanRequest,
     pub tokenizer: TokenizerConfig,
     pub schema: &'a Schema,
@@ -93,6 +120,11 @@ pub(crate) struct PartitionOutput {
     pub cache_misses: u64,
     pub breakdown: Breakdown,
     pub io: IoCounters,
+    /// Rows with at least one malformed cell tombstoned under
+    /// [`ParseErrorPolicy::Permissive`] (0 under strict — strict aborts).
+    pub quarantined: u64,
+    /// Capped sample of quarantined rows for telemetry.
+    pub quarantine_samples: Vec<QuarantineSample>,
 }
 
 /// Scan one partition to completion.
@@ -100,6 +132,10 @@ pub(crate) fn run_partition(
     ctx: &ScanContext<'_>,
     part: Partition,
 ) -> EngineResult<PartitionOutput> {
+    #[cfg(test)]
+    if INJECT_WORKER_PANIC.load(std::sync::atomic::Ordering::Relaxed) {
+        panic!("injected worker panic (test hook)");
+    }
     let n = ctx.req.attrs.len();
     let clock = PhaseClock::new(ctx.config.detailed_timing);
     let mut d_io = Duration::ZERO;
@@ -129,13 +165,15 @@ pub(crate) fn run_partition(
     // flight while this worker tokenizes the current one (`BlockSource` in
     // `nodb_rawcsv::reader`); `0` reads synchronously as before.
     let t = clock.start();
-    let mut scanner = RangeScanner::open_with_readahead(
+    let mut scanner = RangeScanner::open_with_profile(
         ctx.path,
         ctx.config.io_block_size,
         ctx.config.io_readahead_blocks,
         part.range,
         0,
+        ctx.config.io_profile(),
     )?;
+    scanner.set_interrupt(ctx.ctx.stop_flag());
     clock.lap(t, &mut d_io);
 
     let mut out = PartitionOutput {
@@ -158,6 +196,8 @@ pub(crate) fn run_partition(
         cache_misses: 0,
         breakdown: Breakdown::default(),
         io: IoCounters::default(),
+        quarantined: 0,
+        quarantine_samples: Vec::new(),
     };
 
     // Per-row reusable buffers (the sequential scan's workhorse pattern).
@@ -196,9 +236,18 @@ pub(crate) fn run_partition(
     let mut header_pending = part.skip_header;
     let mut local = 0usize;
     loop {
+        // Cooperative cancellation: one relaxed load + deadline compare per
+        // CHECK_STRIDE rows, bounding stop latency without showing up in
+        // per-row profiles.
+        if (local as u64).is_multiple_of(CHECK_STRIDE) {
+            ctx.ctx.check()?;
+        }
         let t = clock.start();
         let line_meta: Option<u64> = if fused {
-            match scanner.next_line_tokenized(ctx.tokenizer.delimiter, upto, &mut tokens)? {
+            match check_io(
+                ctx.ctx,
+                scanner.next_line_tokenized(ctx.tokenizer.delimiter, upto, &mut tokens),
+            )? {
                 Some(l) => {
                     line_buf.clear();
                     line_buf.extend_from_slice(l.bytes);
@@ -207,7 +256,7 @@ pub(crate) fn run_partition(
                 None => None,
             }
         } else {
-            match scanner.next_line()? {
+            match check_io(ctx.ctx, scanner.next_line())? {
                 Some(l) => {
                     line_buf.clear();
                     line_buf.extend_from_slice(l.bytes);
@@ -229,7 +278,7 @@ pub(crate) fn run_partition(
             out.line_starts.push(offset);
         }
 
-        resolve_row(
+        let quarantined_attr = resolve_row(
             ctx,
             part.row_base.map(|b| b + local),
             local,
@@ -245,6 +294,16 @@ pub(crate) fn run_partition(
             &mut d_parse,
             &mut d_conv,
         )?;
+        if let Some(attr) = quarantined_attr {
+            out.quarantined += 1;
+            if out.quarantine_samples.len() < QuarantineSample::MAX_SAMPLES {
+                out.quarantine_samples.push(QuarantineSample {
+                    row: part.row_base.map(|b| b + local).unwrap_or(local) as u64,
+                    offset,
+                    attr,
+                });
+            }
+        }
 
         // Side effects into partition-local partials.
         {
@@ -325,6 +384,8 @@ fn run_cached_partition(
         cache_misses: 0,
         breakdown: Breakdown::default(),
         io: IoCounters::default(),
+        quarantined: 0,
+        quarantine_samples: Vec::new(),
     };
     if ctx.config.vectorized_exec {
         if ctx.collect_side {
@@ -394,6 +455,10 @@ fn run_cached_partition(
 /// positional-map jumps (warm mode), then tokenizing for the rest, then
 /// selective parsing. Mirrors the sequential scan's `resolve_row` with the
 /// shared state behind immutable borrows.
+///
+/// Returns `Some(attr)` when [`ParseErrorPolicy::Permissive`] tombstoned at
+/// least one malformed cell (the first offending attribute, for the
+/// telemetry sample); `None` for a clean row.
 #[allow(clippy::too_many_arguments)]
 fn resolve_row(
     ctx: &ScanContext<'_>,
@@ -410,7 +475,7 @@ fn resolve_row(
     d_tok: &mut Duration,
     d_parse: &mut Duration,
     d_conv: &mut Duration,
-) -> EngineResult<()> {
+) -> EngineResult<Option<usize>> {
     let n = ctx.req.attrs.len();
     for i in 0..n {
         values[i] = None;
@@ -514,6 +579,7 @@ fn resolve_row(
     // 4. Selective parsing: convert only what is needed.
     let t = clock.start();
     let err_row = global_row.unwrap_or(local_row) as u64;
+    let mut quarantined: Option<usize> = None;
     for i in 0..n {
         if values[i].is_some() {
             continue;
@@ -529,7 +595,19 @@ fn resolve_row(
                     Some(q) if ty == ColumnType::Str && raw.contains(&q) => {
                         Datum::Str(parser::unescape_quoted(raw, q).into_boxed_str())
                     }
-                    _ => parser::parse_field(raw, ty, err_row, attr)?,
+                    _ => match parser::parse_field(raw, ty, err_row, attr) {
+                        Ok(d) => d,
+                        // Permissive policy: tombstone the malformed cell
+                        // exactly like a short row's absent attribute, so
+                        // cache/stats/map stay byte-identical across runs.
+                        Err(RawCsvError::ParseField { .. })
+                            if ctx.config.parse_errors == ParseErrorPolicy::Permissive =>
+                        {
+                            quarantined.get_or_insert(attr);
+                            Datum::Null
+                        }
+                        Err(e) => return Err(e.into()),
+                    },
                 }
             }
             // Short row: attribute absent → NULL.
@@ -538,5 +616,5 @@ fn resolve_row(
         values[i] = Some(d);
     }
     clock.lap(t, d_conv);
-    Ok(())
+    Ok(quarantined)
 }

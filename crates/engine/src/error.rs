@@ -18,6 +18,23 @@ pub enum EngineError {
     Csv(RawCsvError),
     /// Referenced table is not registered.
     UnknownTable(String),
+    /// The query was cancelled through its `QueryCtx` cancel token. Any
+    /// adaptive state completed before the stop is still installed (the
+    /// NoDB promise applied to failure paths); only the result is dropped.
+    Cancelled,
+    /// The query ran past its `QueryCtx` deadline
+    /// (`NoDbConfig::query_timeout_ms`). Like [`Self::Cancelled`], partial
+    /// adaptive state survives so the retry starts warmer.
+    DeadlineExceeded,
+    /// A scan worker panicked. The panic is contained at the worker
+    /// boundary (`catch_unwind`), so the table stays usable; the payload
+    /// and the partition that blew up travel with the error.
+    WorkerPanic {
+        /// Partition-slice index the panicking worker was executing.
+        partition: usize,
+        /// Stringified panic payload (`&str`/`String` payloads verbatim).
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -28,6 +45,11 @@ impl fmt::Display for EngineError {
             EngineError::Execution(m) => write!(f, "execution error: {m}"),
             EngineError::Csv(e) => write!(f, "raw data error: {e}"),
             EngineError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            EngineError::WorkerPanic { partition, message } => {
+                write!(f, "scan worker panicked (partition {partition}): {message}")
+            }
         }
     }
 }

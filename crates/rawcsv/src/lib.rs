@@ -34,7 +34,10 @@ pub mod tokenizer;
 pub use datum::Datum;
 pub use error::RawCsvError;
 pub use generator::{ColumnGenSpec, GeneratorConfig, ValueDistribution};
-pub use reader::{BlockScanner, BlockSource, IoCounters, RawFileMeta, ReadaheadBlocks, SyncBlocks};
+pub use reader::{
+    is_transient_io, BlockScanner, BlockSource, FaultPlan, FaultyBlocks, IoCounters, IoProfile,
+    RawFileMeta, ReadaheadBlocks, RetryBlocks, SyncBlocks,
+};
 pub use schema::{ColumnDef, ColumnType, Schema};
 pub use tokenizer::{FieldSpan, TokenizerConfig, Tokens};
 

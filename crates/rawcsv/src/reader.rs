@@ -50,7 +50,9 @@
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 
 use crate::error::RawCsvError;
@@ -74,6 +76,14 @@ pub struct IoCounters {
     /// is the "waiting on disk" slice of the execution breakdown — with
     /// read-ahead it shrinks toward zero while bytes/calls stay put.
     pub stall: Duration,
+    /// Refills re-issued by [`RetryBlocks`] after a transient read error
+    /// (injected or real). Zero on a healthy scan.
+    pub retries: u64,
+    /// Times a [`ReadaheadBlocks`] had to degrade to synchronous reads
+    /// because its helper thread could not be spawned. Previously this
+    /// fallback was silent; surfacing it lets telemetry explain why a scan
+    /// that asked for read-ahead saw sync-like stall times.
+    pub readahead_fallbacks: u64,
 }
 
 impl IoCounters {
@@ -82,6 +92,8 @@ impl IoCounters {
         self.bytes_read += other.bytes_read;
         self.read_calls += other.read_calls;
         self.stall += other.stall;
+        self.retries += other.retries;
+        self.readahead_fallbacks += other.readahead_fallbacks;
     }
 }
 
@@ -200,6 +212,42 @@ pub trait BlockSource: Send {
 
     /// Return and reset the counters.
     fn take_counters(&mut self) -> IoCounters;
+
+    /// Install a cooperative interrupt flag: once it reads `true`, the next
+    /// `refill` fails with a *non-transient* "scan interrupted" error
+    /// instead of touching the file, so a cancelled query stops pulling
+    /// blocks mid-stream (including the refill-only pre-count pass, which
+    /// has no per-row check of its own). Default: ignore the flag.
+    fn set_interrupt(&mut self, _flag: Arc<AtomicBool>) {}
+}
+
+/// The error a [`BlockSource`] raises when its interrupt flag trips.
+/// `ErrorKind::Other` with no OS errno, so [`is_transient_io`] never
+/// classifies it as retryable — cancellation must not be retried away.
+fn interrupted_error(path: &Path) -> RawCsvError {
+    RawCsvError::io(
+        format!("read {}", path.display()),
+        std::io::Error::other("scan interrupted by query context"),
+    )
+}
+
+/// Should a failed refill be retried? Only errors that are plausibly
+/// transient at the device/syscall layer: `EIO`/`EAGAIN` by errno, or the
+/// interrupted/would-block/timed-out kinds. Interrupt-flag errors and
+/// parse-layer errors are final.
+pub fn is_transient_io(err: &RawCsvError) -> bool {
+    match err {
+        RawCsvError::Io { source, .. } => {
+            matches!(source.raw_os_error(), Some(5) | Some(11))
+                || matches!(
+                    source.kind(),
+                    std::io::ErrorKind::Interrupted
+                        | std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                )
+        }
+        _ => false,
+    }
 }
 
 /// Bytes to request when positioned at file offset `pos`: block-sized until
@@ -231,6 +279,7 @@ pub struct SyncBlocks {
     /// Next file offset to read.
     pos: u64,
     counters: IoCounters,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl SyncBlocks {
@@ -247,12 +296,18 @@ impl SyncBlocks {
             read_limit: u64::MAX,
             pos: 0,
             counters: IoCounters::default(),
+            interrupt: None,
         })
     }
 }
 
 impl BlockSource for SyncBlocks {
     fn refill(&mut self, win: &mut Window) -> Result<usize> {
+        if let Some(flag) = &self.interrupt {
+            if flag.load(Ordering::Relaxed) {
+                return Err(interrupted_error(&self.path));
+            }
+        }
         win.compact();
         let want = read_size_at(self.pos, self.block_size, self.read_cap, self.read_limit);
         if want == 0 {
@@ -296,6 +351,10 @@ impl BlockSource for SyncBlocks {
 
     fn take_counters(&mut self) -> IoCounters {
         std::mem::take(&mut self.counters)
+    }
+
+    fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
     }
 }
 
@@ -345,6 +404,11 @@ pub struct ReadaheadBlocks {
     /// Engaged when spawning the helper failed; delegates everything.
     fallback: Option<SyncBlocks>,
     counters: IoCounters,
+    interrupt: Option<Arc<AtomicBool>>,
+    /// Test hook: make `spawn_pipeline` fail so the sync-fallback path (and
+    /// its `readahead_fallbacks` accounting) can be exercised on a machine
+    /// where real spawns never fail.
+    fail_spawn_for_tests: bool,
 }
 
 impl ReadaheadBlocks {
@@ -367,6 +431,8 @@ impl ReadaheadBlocks {
             pipeline: None,
             fallback: None,
             counters: IoCounters::default(),
+            interrupt: None,
+            fail_spawn_for_tests: false,
         })
     }
 
@@ -376,6 +442,9 @@ impl ReadaheadBlocks {
     }
 
     fn spawn_pipeline(&self) -> std::io::Result<Pipeline> {
+        if self.fail_spawn_for_tests {
+            return Err(std::io::Error::other("forced spawn failure (test hook)"));
+        }
         let (tx, rx) = sync_channel(self.depth);
         let (recycle_tx, recycle_rx) = sync_channel(self.depth + 2);
         let path = self.path.clone();
@@ -402,6 +471,9 @@ impl ReadaheadBlocks {
             sync.seek(self.pos)?;
         }
         sync.counters = std::mem::take(&mut self.counters);
+        if let Some(flag) = &self.interrupt {
+            sync.set_interrupt(Arc::clone(flag));
+        }
         self.fallback = Some(sync);
         Ok(self.fallback.as_mut().expect("just set"))
     }
@@ -506,13 +578,24 @@ fn prefetch_loop(
 
 impl BlockSource for ReadaheadBlocks {
     fn refill(&mut self, win: &mut Window) -> Result<usize> {
+        if let Some(flag) = &self.interrupt {
+            if flag.load(Ordering::Relaxed) {
+                return Err(interrupted_error(&self.path));
+            }
+        }
         if let Some(sync) = &mut self.fallback {
             return sync.refill(win);
         }
         if self.pipeline.is_none() {
             match self.spawn_pipeline() {
                 Ok(p) => self.pipeline = Some(p),
-                Err(_) => return self.engage_fallback()?.refill(win),
+                Err(_) => {
+                    // Count the degradation *before* engaging the fallback:
+                    // `engage_fallback` moves the counters into the embedded
+                    // sync source, and this used to be a silent downgrade.
+                    self.counters.readahead_fallbacks += 1;
+                    return self.engage_fallback()?.refill(win);
+                }
             }
         }
         let rx = self
@@ -628,6 +711,13 @@ impl BlockSource for ReadaheadBlocks {
             None => std::mem::take(&mut self.counters),
         }
     }
+
+    fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        if let Some(sync) = &mut self.fallback {
+            sync.set_interrupt(Arc::clone(&flag));
+        }
+        self.interrupt = Some(flag);
+    }
 }
 
 /// Build a [`BlockSource`] for `path`: [`SyncBlocks`] when
@@ -659,6 +749,245 @@ pub fn make_source(
     })
 }
 
+/// Deterministic fault schedule for [`FaultyBlocks`]: a seeded PRNG decides
+/// per refill whether to inject, and which of the three fault kinds
+/// (transient `EIO`, injected latency, short read). Same seed + same refill
+/// sequence = same faults, which is what makes chaos runs reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// PRNG seed (splitmix64 stream).
+    pub seed: u64,
+    /// Inject on roughly one refill in `one_in` (clamped to at least 1).
+    pub one_in: u32,
+    /// Sleep this long when the latency fault fires.
+    pub latency_us: u64,
+}
+
+/// Resilience knobs for a scan's I/O stack, applied by [`make_source_with`]:
+/// optional deterministic fault injection (innermost) and bounded retry
+/// with backoff (outermost). The default profile is a no-op — no wrapper is
+/// stacked at all — so existing callers keep byte- and counter-identical
+/// behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoProfile {
+    /// Re-issue a failed refill up to this many times when the error is
+    /// transient ([`is_transient_io`]). `0` disables retry entirely.
+    pub retry_attempts: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub retry_backoff_ms: u64,
+    /// Inject deterministic faults (tests/CI chaos runs only).
+    pub faults: Option<FaultPlan>,
+}
+
+/// A [`BlockSource`] decorator that injects deterministic, *recoverable*
+/// faults: transient `EIO` (the refill fails without touching the inner
+/// source, so a retry succeeds), injected latency (a sleep before a normal
+/// read), and short reads (the inner hard limit is temporarily clamped one
+/// page ahead, then restored — the concatenated byte stream is unchanged,
+/// only the block boundaries move). Never injects twice in a row, so a
+/// single retry always clears an injected error.
+pub struct FaultyBlocks {
+    inner: Box<dyn BlockSource>,
+    plan: FaultPlan,
+    rng: u64,
+    /// Mirror of the inner source's position (refill advances, seek resets)
+    /// so short-read clamps can be computed without querying the inner.
+    pos: u64,
+    /// The real hard limit, restored after each short-read clamp.
+    read_limit: u64,
+    last_was_fault: bool,
+}
+
+impl FaultyBlocks {
+    /// Wrap `inner` with the given fault schedule.
+    pub fn new(inner: Box<dyn BlockSource>, plan: FaultPlan) -> Self {
+        FaultyBlocks {
+            inner,
+            plan,
+            rng: plan.seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+            pos: 0,
+            read_limit: u64::MAX,
+            last_was_fault: false,
+        }
+    }
+
+    /// splitmix64 step.
+    fn next_draw(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl BlockSource for FaultyBlocks {
+    fn refill(&mut self, win: &mut Window) -> Result<usize> {
+        let draw = self.next_draw();
+        let one_in = self.plan.one_in.max(1) as u64;
+        let inject = !self.last_was_fault && draw.is_multiple_of(one_in);
+        self.last_was_fault = false;
+        if inject {
+            match (draw / one_in) % 3 {
+                0 => {
+                    self.last_was_fault = true;
+                    return Err(RawCsvError::io(
+                        "injected transient fault".to_string(),
+                        std::io::Error::from_raw_os_error(5), // EIO
+                    ));
+                }
+                1 => {
+                    // Latency only: the read below proceeds normally.
+                    std::thread::sleep(Duration::from_micros(self.plan.latency_us));
+                }
+                _ => {
+                    // Short read: clamp the inner hard limit one page ahead
+                    // so this refill returns at most TAIL_READ fresh bytes,
+                    // then restore the real limit. Position-only state means
+                    // the byte stream is unaffected.
+                    self.last_was_fault = true;
+                    let short = (self.pos + TAIL_READ as u64).min(self.read_limit);
+                    self.inner.set_read_limit(short);
+                    let r = self.inner.refill(win);
+                    self.inner.set_read_limit(self.read_limit);
+                    let n = r?;
+                    self.pos += n as u64;
+                    return Ok(n);
+                }
+            }
+        }
+        let n = self.inner.refill(win)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn seek(&mut self, offset: u64) -> Result<()> {
+        self.inner.seek(offset)?;
+        self.pos = offset;
+        Ok(())
+    }
+
+    fn set_read_cap(&mut self, cap: u64) {
+        self.inner.set_read_cap(cap);
+    }
+
+    fn set_read_limit(&mut self, limit: u64) {
+        self.read_limit = limit;
+        self.inner.set_read_limit(limit);
+    }
+
+    fn counters(&self) -> IoCounters {
+        self.inner.counters()
+    }
+
+    fn take_counters(&mut self) -> IoCounters {
+        self.inner.take_counters()
+    }
+
+    fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.inner.set_interrupt(flag);
+    }
+}
+
+/// A [`BlockSource`] decorator that re-issues a failed refill up to
+/// `attempts` times when the error is transient ([`is_transient_io`]),
+/// sleeping an exponentially growing backoff between tries. Safe because a
+/// failed refill never advances any source's position: [`SyncBlocks`]
+/// forwards the error before bumping `pos`, and [`ReadaheadBlocks`] tears
+/// down its pipeline and respawns from the consumer position on the next
+/// call. Retries are tallied into [`IoCounters::retries`].
+pub struct RetryBlocks {
+    inner: Box<dyn BlockSource>,
+    attempts: u32,
+    backoff_ms: u64,
+    retries: u64,
+}
+
+impl RetryBlocks {
+    /// Wrap `inner` with bounded retry.
+    pub fn new(inner: Box<dyn BlockSource>, attempts: u32, backoff_ms: u64) -> Self {
+        RetryBlocks {
+            inner,
+            attempts,
+            backoff_ms,
+            retries: 0,
+        }
+    }
+}
+
+impl BlockSource for RetryBlocks {
+    fn refill(&mut self, win: &mut Window) -> Result<usize> {
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.refill(win) {
+                Err(e) if attempt < self.attempts && is_transient_io(&e) => {
+                    attempt += 1;
+                    self.retries += 1;
+                    let backoff = self.backoff_ms.saturating_mul(1u64 << (attempt - 1).min(6));
+                    if backoff > 0 {
+                        std::thread::sleep(Duration::from_millis(backoff));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn seek(&mut self, offset: u64) -> Result<()> {
+        self.inner.seek(offset)
+    }
+
+    fn set_read_cap(&mut self, cap: u64) {
+        self.inner.set_read_cap(cap);
+    }
+
+    fn set_read_limit(&mut self, limit: u64) {
+        self.inner.set_read_limit(limit);
+    }
+
+    fn counters(&self) -> IoCounters {
+        let mut c = self.inner.counters();
+        c.retries += self.retries;
+        c
+    }
+
+    fn take_counters(&mut self) -> IoCounters {
+        let mut c = self.inner.take_counters();
+        c.retries += std::mem::take(&mut self.retries);
+        c
+    }
+
+    fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.inner.set_interrupt(flag);
+    }
+}
+
+/// [`make_source`] with an [`IoProfile`]: the base source (sync or
+/// read-ahead, tiny files degraded as usual) is wrapped innermost-out with
+/// [`FaultyBlocks`] (when a fault plan is set) and [`RetryBlocks`] (when
+/// retries are enabled) — so retry sits *above* injection and both source
+/// kinds get the same recovery behavior on every scan path. A default
+/// profile stacks nothing.
+pub fn make_source_with(
+    path: impl AsRef<Path>,
+    block_size: usize,
+    readahead_blocks: usize,
+    profile: IoProfile,
+) -> Result<Box<dyn BlockSource>> {
+    let mut source = make_source(path, block_size, readahead_blocks)?;
+    if let Some(plan) = profile.faults {
+        source = Box::new(FaultyBlocks::new(source, plan));
+    }
+    if profile.retry_attempts > 0 {
+        source = Box::new(RetryBlocks::new(
+            source,
+            profile.retry_attempts,
+            profile.retry_backoff_ms,
+        ));
+    }
+    Ok(source)
+}
+
 impl BlockScanner {
     /// Open `path` for a sequential scan with the given block size, reading
     /// synchronously ([`SyncBlocks`]).
@@ -676,6 +1005,22 @@ impl BlockScanner {
             path,
             block_size,
             readahead_blocks,
+        )?))
+    }
+
+    /// [`Self::open_with_readahead`] with an [`IoProfile`] (retry /
+    /// fault-injection stack — see [`make_source_with`]).
+    pub fn open_with_profile(
+        path: impl AsRef<Path>,
+        block_size: usize,
+        readahead_blocks: usize,
+        profile: IoProfile,
+    ) -> Result<Self> {
+        Ok(Self::from_source(make_source_with(
+            path,
+            block_size,
+            readahead_blocks,
+            profile,
         )?))
     }
 
@@ -871,6 +1216,12 @@ impl BlockScanner {
         self.source.set_read_cap(cap);
     }
 
+    /// Install a cooperative interrupt flag on the underlying source (see
+    /// [`BlockSource::set_interrupt`]).
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.source.set_interrupt(flag);
+    }
+
     /// Pull the next sequential chunk from the source into the window.
     fn refill(&mut self) -> Result<()> {
         if self.source.refill(&mut self.win)? == 0 {
@@ -1007,6 +1358,28 @@ pub fn count_lines_in_range_with(
     readahead_blocks: usize,
     range: LineRange,
 ) -> Result<(u64, IoCounters)> {
+    count_lines_in_range_ctl(
+        path,
+        block_size,
+        readahead_blocks,
+        range,
+        IoProfile::default(),
+        None,
+    )
+}
+
+/// [`count_lines_in_range_with`] under an [`IoProfile`] and an optional
+/// cooperative interrupt flag: the pre-count pass is refill-only (no
+/// per-row loop), so without a source-level interrupt a cancelled query
+/// would keep counting newlines until its range ran out.
+pub fn count_lines_in_range_ctl(
+    path: impl AsRef<Path>,
+    block_size: usize,
+    readahead_blocks: usize,
+    range: LineRange,
+    profile: IoProfile,
+    interrupt: Option<Arc<AtomicBool>>,
+) -> Result<(u64, IoCounters)> {
     if range.end <= range.start {
         return Ok((0, IoCounters::default()));
     }
@@ -1015,7 +1388,10 @@ pub fn count_lines_in_range_with(
     } else {
         readahead_blocks
     };
-    let mut source = make_source(path, block_size, readahead_blocks)?;
+    let mut source = make_source_with(path, block_size, readahead_blocks, profile)?;
+    if let Some(flag) = interrupt {
+        source.set_interrupt(flag);
+    }
     if range.start > 0 {
         source.seek(range.start)?;
     }
@@ -1100,13 +1476,34 @@ impl RangeScanner {
         range: LineRange,
         first_line_no: u64,
     ) -> Result<Self> {
+        Self::open_with_profile(
+            path,
+            block_size,
+            readahead_blocks,
+            range,
+            first_line_no,
+            IoProfile::default(),
+        )
+    }
+
+    /// [`Self::open_with_readahead`] with an [`IoProfile`] (retry /
+    /// fault-injection stack — see [`make_source_with`]).
+    pub fn open_with_profile(
+        path: impl AsRef<Path>,
+        block_size: usize,
+        readahead_blocks: usize,
+        range: LineRange,
+        first_line_no: u64,
+        profile: IoProfile,
+    ) -> Result<Self> {
         let readahead_blocks =
             if range.end.saturating_sub(range.start) <= block_size.max(TAIL_READ) as u64 {
                 0
             } else {
                 readahead_blocks
             };
-        let mut inner = BlockScanner::open_with_readahead(path, block_size, readahead_blocks)?;
+        let mut inner =
+            BlockScanner::open_with_profile(path, block_size, readahead_blocks, profile)?;
         if range.start > 0 {
             inner.seek_to(range.start, first_line_no)?;
         }
@@ -1159,6 +1556,12 @@ impl RangeScanner {
     /// Return and reset the I/O counters.
     pub fn take_counters(&mut self) -> IoCounters {
         self.inner.take_counters()
+    }
+
+    /// Install a cooperative interrupt flag on the underlying source (see
+    /// [`BlockSource::set_interrupt`]).
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.inner.set_interrupt(flag);
     }
 }
 
@@ -1274,6 +1677,155 @@ mod tests {
             out.push((l.line_no, l.offset, l.bytes.to_vec()));
         }
         out
+    }
+
+    /// Drain a source to EOF, returning the concatenated byte stream.
+    fn drain_source(src: &mut dyn BlockSource) -> Vec<u8> {
+        let mut win = Window::default();
+        let mut bytes = Vec::new();
+        loop {
+            let n = src.refill(&mut win).unwrap();
+            if n == 0 {
+                break;
+            }
+            bytes.extend_from_slice(&win.buf[win.pos..win.filled]);
+            win.pos = win.filled;
+        }
+        bytes
+    }
+
+    #[test]
+    fn readahead_spawn_failure_engages_counted_fallback() {
+        // Big enough that make_source would not degrade it to sync anyway.
+        let mut content = Vec::new();
+        for i in 0..2000 {
+            content.extend_from_slice(format!("row{i},{}\n", i * 7).as_bytes());
+        }
+        let p = tmp_file("spawnfail", &content);
+        let mut src = ReadaheadBlocks::open(&p, 4096, 2).unwrap();
+        src.fail_spawn_for_tests = true;
+        let bytes = drain_source(&mut src);
+        assert_eq!(bytes, content, "fallback must deliver the same stream");
+        let c = src.take_counters();
+        assert_eq!(c.readahead_fallbacks, 1, "the downgrade must be recorded");
+        assert_eq!(c.bytes_read, content.len() as u64);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn faulty_stream_with_retry_is_byte_identical_and_deterministic() {
+        let mut content = Vec::new();
+        for i in 0..6000 {
+            content.extend_from_slice(format!("{i},name_{i},{}\n", i % 13).as_bytes());
+        }
+        let p = tmp_file("faulty", &content);
+        let profile = IoProfile {
+            retry_attempts: 2,
+            retry_backoff_ms: 0,
+            faults: Some(FaultPlan {
+                seed: 0x5eed,
+                one_in: 3,
+                latency_us: 10,
+            }),
+        };
+        for readahead in [0usize, 2] {
+            let mut counters = Vec::new();
+            for _ in 0..2 {
+                let mut src = make_source_with(&p, 4096, readahead, profile).unwrap();
+                let bytes = drain_source(src.as_mut());
+                assert_eq!(bytes, content, "faults must never corrupt the stream");
+                counters.push(src.take_counters());
+            }
+            // `stall` is wall-clock and excluded; everything the fault
+            // schedule controls must replay exactly.
+            let key = |c: &IoCounters| (c.bytes_read, c.read_calls, c.retries);
+            assert_eq!(
+                key(&counters[0]),
+                key(&counters[1]),
+                "seeded fault schedule must be reproducible"
+            );
+            assert!(
+                counters[0].retries > 0,
+                "one_in=3 over dozens of refills must inject at least one EIO"
+            );
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn injected_eio_without_retry_surfaces_as_transient() {
+        let content = vec![b'a'; 64 * 1024];
+        let p = tmp_file("eio_surface", &content);
+        let profile = IoProfile {
+            retry_attempts: 0,
+            retry_backoff_ms: 0,
+            faults: Some(FaultPlan {
+                seed: 1,
+                one_in: 1, // every eligible refill faults
+                latency_us: 0,
+            }),
+        };
+        let mut src = make_source_with(&p, 4096, 0, profile).unwrap();
+        let mut win = Window::default();
+        let mut saw_err = false;
+        for _ in 0..8 {
+            match src.refill(&mut win) {
+                Ok(_) => win.pos = win.filled,
+                Err(e) => {
+                    assert!(is_transient_io(&e), "injected EIO must classify transient");
+                    saw_err = true;
+                    break;
+                }
+            }
+        }
+        assert!(
+            saw_err,
+            "one_in=1 must inject an error within a few refills"
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn interrupt_flag_stops_refills_with_final_error() {
+        let content = vec![b'x'; 32 * 1024];
+        let p = tmp_file("interrupt", &content);
+        for readahead in [0usize, 2] {
+            let flag = Arc::new(AtomicBool::new(false));
+            let mut src = make_source(&p, 4096, readahead).unwrap();
+            src.set_interrupt(Arc::clone(&flag));
+            let mut win = Window::default();
+            assert!(
+                src.refill(&mut win).unwrap() > 0,
+                "runs until the flag trips"
+            );
+            win.pos = win.filled;
+            flag.store(true, Ordering::Relaxed);
+            let err = src.refill(&mut win).unwrap_err();
+            assert!(
+                !is_transient_io(&err),
+                "interrupt errors must never be retried away"
+            );
+            assert!(err.to_string().contains("interrupted"), "got: {err}");
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn precount_respects_interrupt_flag() {
+        let mut content = Vec::new();
+        for i in 0..5000 {
+            content.extend_from_slice(format!("{i},x\n").as_bytes());
+        }
+        let p = tmp_file("precount_intr", &content);
+        let range = LineRange {
+            start: 0,
+            end: content.len() as u64,
+        };
+        let tripped = Arc::new(AtomicBool::new(true));
+        let err = count_lines_in_range_ctl(&p, 4096, 0, range, IoProfile::default(), Some(tripped))
+            .unwrap_err();
+        assert!(err.to_string().contains("interrupted"), "got: {err}");
+        std::fs::remove_file(p).unwrap();
     }
 
     #[test]

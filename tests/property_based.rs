@@ -715,3 +715,123 @@ fn generated_files_always_queryable() {
         std::fs::remove_file(path).ok();
     }
 }
+
+/// Compare every piece of post-scan adaptive state between two instances
+/// holding the same table: positional-map coverage and row index, cache
+/// coverage and contents, statistics. Used by the chaos suite, where the
+/// two sides differ only in injected (and retried) I/O faults — wall-clock
+/// I/O counters are deliberately *not* compared, since retries legitimately
+/// re-issue reads.
+fn assert_same_adaptive_state(a: &NoDb, b: &NoDb, cols: usize, label: &str) {
+    let (ha, hb) = (a.table_handle("t").unwrap(), b.table_handle("t").unwrap());
+    let (ta, tb) = (ha.read(), hb.read());
+    for attr in 0..cols {
+        assert_eq!(
+            ta.map().coverage(attr),
+            tb.map().coverage(attr),
+            "{label}: posmap coverage of c{attr}"
+        );
+        assert_eq!(
+            ta.cache().coverage(attr),
+            tb.cache().coverage(attr),
+            "{label}: cache coverage of c{attr}"
+        );
+        for row in 0..ta.cache().coverage(attr) {
+            assert_eq!(
+                ta.cache().peek(attr, row),
+                tb.cache().peek(attr, row),
+                "{label}: cache content c{attr} row {row}"
+            );
+        }
+        match (ta.stats().attr(attr), tb.stats().attr(attr)) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.rows_seen(), y.rows_seen(), "{label}: stats rows c{attr}");
+                assert_eq!(
+                    x.null_fraction(),
+                    y.null_fraction(),
+                    "{label}: stats nulls c{attr}"
+                );
+                assert_eq!(x.sample(), y.sample(), "{label}: reservoir c{attr}");
+            }
+            other => panic!("{label}: stats presence differs for c{attr}: {other:?}"),
+        }
+    }
+    assert_eq!(
+        ta.map().row_index().len(),
+        tb.map().row_index().len(),
+        "{label}: row index size"
+    );
+    assert_eq!(
+        ta.snapshot().row_count,
+        tb.snapshot().row_count,
+        "{label}: known row count"
+    );
+}
+
+/// The resilience invariant (ISSUE 6): transient I/O faults that the
+/// bounded retry layer clears must be *invisible*. For random datasets and
+/// queries, a scan under deterministic fault injection (seeded `EIO`s,
+/// short reads and latency on block refills) produces query results — cold
+/// and warm — and post-scan adaptive state byte-identical to a fault-free
+/// run, across scan_threads {1, 4, 8} × read-ahead {0, 2}.
+#[test]
+fn faulty_scans_match_fault_free() {
+    let mut rng = CaseRng::new(0xFA17);
+    for case in 0..4 * stress_factor() {
+        let cols = 2 + rng.below(5) as usize;
+        let rows = 30 + rng.below(400);
+        let seed = rng.below(1_000);
+        let fault_seed = 1 + rng.below(u64::MAX - 1);
+        let a1 = rng.below(cols as u64);
+        let pred = rng.below(cols as u64);
+        let cut = rng.below(1_000_000_000) as i64;
+        // Tight-ish budget on some cases so eviction paths run under faults.
+        let cache_budget = *rng.pick(&[3_000usize, 1 << 22]);
+
+        let gen = GeneratorConfig::uniform_ints(cols, rows, seed);
+        let path = scratch("chaos", case);
+        gen.generate_file(&path).unwrap();
+        let queries = [
+            format!("SELECT c{a1} FROM t WHERE c{pred} < {cut}"),
+            format!("SELECT COUNT(*) FROM t WHERE c{pred} >= {cut}"),
+        ];
+
+        for &threads in &[1usize, 4, 8] {
+            for &readahead in &[0usize, 2] {
+                let label = format!("case {case} threads {threads} ra {readahead}");
+                let mk = |fault_seed: u64| {
+                    let cfg = NoDbConfig {
+                        scan_threads: threads,
+                        io_readahead_blocks: readahead,
+                        cache_budget_bytes: cache_budget,
+                        // Aggressive injection (~1 refill in 4) with zero
+                        // backoff: the default 2 retries must clear every
+                        // injected fault (the injector never fires twice in
+                        // a row on one source).
+                        io_fault_seed: fault_seed,
+                        io_fault_one_in: 4,
+                        io_retry_backoff_ms: 0,
+                        ..NoDbConfig::pm_c()
+                    };
+                    let mut db = NoDb::new(cfg);
+                    db.register_csv_with_schema("t", &path, gen.schema(), false)
+                        .unwrap();
+                    db
+                };
+                let clean = mk(0);
+                let chaos = mk(fault_seed);
+                for (qi, sql) in queries.iter().enumerate() {
+                    // Cold then warm on both sides, compared pairwise.
+                    for pass in ["cold", "warm"] {
+                        let want = clean.query(sql).unwrap();
+                        let got = chaos.query(sql).unwrap();
+                        assert_eq!(want, got, "{label} q{qi} {pass}: {sql}");
+                    }
+                }
+                assert_same_adaptive_state(&clean, &chaos, cols, &label);
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+}

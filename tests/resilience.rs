@@ -1,0 +1,212 @@
+//! Facade-level resilience tests (ISSUE 6): deadlines, cooperative
+//! cancellation, partial-state reuse after an aborted scan, and the
+//! malformed-row quarantine surfaced through [`QueryReport`].
+//!
+//! The slow scans here are made *reliably* slow by the deterministic fault
+//! injector (`io_fault_seed` + aggressive `io_fault_one_in`): every second
+//! block refill injects a transient `EIO`, a short read or latency, and each
+//! `EIO` costs one retry-backoff sleep. That turns a few-MB cold scan into
+//! hundreds of milliseconds of wall clock without huge files — enough for a
+//! mid-scan deadline or cancel to land deterministically.
+
+use std::time::{Duration, Instant};
+
+use nodb_repro::core::{CancelToken, ParseErrorPolicy, QueryCtx};
+use nodb_repro::engine::EngineError;
+use nodb_repro::prelude::*;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nodb_resil_{tag}_{}", std::process::id()));
+    p
+}
+
+/// A config whose cold scan of a few-MB file reliably takes hundreds of
+/// milliseconds: tiny blocks (many refills), faults on every other refill,
+/// backoff on each transient error. `cold_precount` is off so the counting
+/// pass (which polls only the cancel flag, not the deadline) never front-runs
+/// the deadline; many small steal slices let partial partitions complete
+/// early, so an aborted scan still banks a warm prefix.
+fn slow_chaos_cfg(timeout_ms: u64) -> NoDbConfig {
+    NoDbConfig {
+        scan_threads: 2,
+        steal_slices_per_thread: 16,
+        io_block_size: 4096,
+        io_readahead_blocks: 0,
+        cold_precount: false,
+        io_fault_seed: 0xD15C,
+        io_fault_one_in: 1,
+        io_retry_attempts: 2,
+        io_retry_backoff_ms: 4,
+        query_timeout_ms: timeout_ms,
+        ..NoDbConfig::pm_c()
+    }
+}
+
+fn gen_table(tag: &str, rows: u64) -> (std::path::PathBuf, GeneratorConfig) {
+    let gen = GeneratorConfig::uniform_ints(5, rows, 0xE51);
+    let path = scratch(tag);
+    gen.generate_file(&path).unwrap();
+    (path, gen)
+}
+
+/// Reference answer from a fresh, fault-free, unbounded instance.
+fn reference_answer(path: &std::path::Path, gen: &GeneratorConfig, sql: &str) -> QueryResult {
+    let mut db = NoDb::new(NoDbConfig::pm_c());
+    db.register_csv_with_schema("t", path, gen.schema(), false)
+        .unwrap();
+    db.query(sql).unwrap()
+}
+
+/// Acceptance criterion: a query whose `query_timeout_ms` expires mid-scan
+/// fails with `DeadlineExceeded` within 2× the timeout, the partial frontier
+/// it banked leaves the table strictly warmer than a fresh one, and an
+/// unbounded re-run on the *same* table succeeds with the right answer.
+#[test]
+fn deadline_trips_within_bound_and_banks_partial_state() {
+    let (path, gen) = gen_table("deadline", 60_000);
+    let sql = "SELECT COUNT(*), SUM(c1) FROM t WHERE c2 < 800000000";
+    let timeout_ms = 60u64;
+
+    let mut db = NoDb::new(slow_chaos_cfg(timeout_ms));
+    db.register_csv_with_schema("t", &path, gen.schema(), false)
+        .unwrap();
+
+    // A fresh table has banked nothing yet.
+    let fresh = db.snapshot("t").unwrap();
+    assert_eq!(fresh.map_bytes + fresh.cache_bytes, 0, "fresh frontier");
+
+    let start = Instant::now();
+    let err = db.query(sql).unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(err, EngineError::DeadlineExceeded),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(2 * timeout_ms),
+        "deadline honored within 2x: took {elapsed:?} for a {timeout_ms}ms budget"
+    );
+
+    // The aborted scan still merged its completed prefix: strictly warmer
+    // than the fresh table, per "queries as advisors" applied to failures.
+    let after = db.snapshot("t").unwrap();
+    assert!(
+        after.map_bytes + after.cache_bytes > 0,
+        "partial frontier banked (map={} cache={})",
+        after.map_bytes,
+        after.cache_bytes
+    );
+
+    // Same table, unbounded context: completes and answers correctly.
+    let rerun = db.query_with_ctx(sql, &QueryCtx::unbounded()).unwrap();
+    assert_eq!(rerun, reference_answer(&path, &gen, sql));
+    std::fs::remove_file(path).ok();
+}
+
+/// A token cancelled from another thread mid-scan aborts the query with
+/// `Cancelled`; the registry and table remain fully usable afterwards.
+#[test]
+fn cancel_token_aborts_mid_scan() {
+    let (path, gen) = gen_table("cancel", 60_000);
+    let sql = "SELECT SUM(c0) FROM t";
+
+    let mut db = NoDb::new(slow_chaos_cfg(0));
+    db.register_csv_with_schema("t", &path, gen.schema(), false)
+        .unwrap();
+
+    let ctx = QueryCtx::unbounded();
+    let token: CancelToken = ctx.cancel_token();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(25));
+        token.cancel();
+    });
+    let err = db.query_with_ctx(sql, &ctx).unwrap_err();
+    canceller.join().unwrap();
+    assert!(
+        matches!(err, EngineError::Cancelled),
+        "expected Cancelled, got {err:?}"
+    );
+
+    // Table and registry still healthy: the same query completes unbounded.
+    assert!(db.snapshot("t").is_some());
+    let rerun = db.query(sql).unwrap();
+    assert_eq!(rerun, reference_answer(&path, &gen, sql));
+    std::fs::remove_file(path).ok();
+}
+
+/// A token cancelled *before* the query starts fails fast without touching
+/// the table, and the instance keeps serving queries.
+#[test]
+fn pre_cancelled_query_fails_fast() {
+    let (path, gen) = gen_table("precancel", 500);
+    let mut db = NoDb::new(NoDbConfig::pm_c());
+    db.register_csv_with_schema("t", &path, gen.schema(), false)
+        .unwrap();
+
+    let ctx = QueryCtx::unbounded();
+    ctx.cancel_token().cancel();
+    let err = db.query_with_ctx("SELECT c0 FROM t", &ctx).unwrap_err();
+    assert!(matches!(err, EngineError::Cancelled));
+    let fresh = db.snapshot("t").unwrap();
+    assert_eq!(fresh.map_bytes + fresh.cache_bytes, 0, "nothing scanned");
+
+    let ok = db.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(ok.scalar(), Some(&Datum::Int(500)));
+    std::fs::remove_file(path).ok();
+}
+
+/// The permissive parse-error policy quarantines malformed rows and surfaces
+/// the tally + capped samples in [`QueryReport`]; strict (the default)
+/// aborts the query instead.
+#[test]
+fn quarantine_surfaces_in_query_report() {
+    let path = scratch("quar");
+    std::fs::write(&path, "1,10\n2,oops\n3,30\nbad,40\n5,50\n").unwrap();
+    let schema = Schema::new(vec![
+        ColumnDef::new("a", ColumnType::Int),
+        ColumnDef::new("b", ColumnType::Int),
+    ]);
+
+    // Strict aborts on the first malformed cell.
+    let mut strict = NoDb::new(NoDbConfig {
+        scan_threads: 1,
+        ..NoDbConfig::pm_c()
+    });
+    strict
+        .register_csv_with_schema("t", &path, schema.clone(), false)
+        .unwrap();
+    assert!(strict.query("SELECT a, b FROM t").is_err());
+
+    // Permissive answers with NULL tombstones and reports the quarantine.
+    let mut db = NoDb::new(NoDbConfig {
+        scan_threads: 1,
+        parse_errors: ParseErrorPolicy::Permissive,
+        ..NoDbConfig::pm_c()
+    });
+    db.register_csv_with_schema("t", &path, schema, false)
+        .unwrap();
+    let r = db.query("SELECT a, b FROM t").unwrap();
+    assert_eq!(r.rows.len(), 5, "every row kept");
+    assert_eq!(r.rows[1][1], Datum::Null, "bad cell tombstoned");
+    assert_eq!(r.rows[3][0], Datum::Null, "bad cell tombstoned");
+
+    let rep = db.last_report().unwrap();
+    assert_eq!(rep.rows_quarantined, 2);
+    let sampled: Vec<(u64, usize)> = rep
+        .quarantine_samples
+        .iter()
+        .map(|s| (s.row, s.attr))
+        .collect();
+    assert_eq!(sampled, vec![(1, 1), (3, 0)]);
+
+    // Warm rerun: cached tombstones, nothing newly quarantined.
+    let r2 = db.query("SELECT a, b FROM t").unwrap();
+    assert_eq!(r, r2);
+    let rep2 = db.last_report().unwrap();
+    assert_eq!(
+        rep2.rows_quarantined, 0,
+        "cached path re-quarantines nothing"
+    );
+    std::fs::remove_file(path).ok();
+}
