@@ -286,9 +286,7 @@ impl NoDb {
         };
 
         let total = t0.elapsed();
-        let mut tel = telemetry
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut tel = rawscan::lock_recover(&telemetry);
         let mut breakdown = tel.breakdown;
         let scan_time = breakdown.io
             + breakdown.tokenizing
@@ -318,20 +316,14 @@ impl NoDb {
             plan: planned.explain(),
         };
         drop(tel);
-        *self
-            .last_report
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(report);
+        *rawscan::lock_recover(&self.last_report) = Some(report);
         Ok(result)
     }
 
     /// Report for the most recent query on this instance (owned: concurrent
     /// queries each publish their report as they finish, last writer wins).
     pub fn last_report(&self) -> Option<QueryReport> {
-        self.last_report
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clone()
+        rawscan::lock_recover(&self.last_report).clone()
     }
 
     /// The Figure 2 monitoring panel for one table.

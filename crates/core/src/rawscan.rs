@@ -136,6 +136,10 @@
 //! the warmer map/cache/statistics state the aborted one left behind — the
 //! paper's "queries as advisors" principle applied to failure paths.
 
+#![doc = " lint:cancellable — every scan/batch loop in this module must poll the"]
+#![doc = " query context (`ctx.check()`) or drive an interrupt-flagged `BlockSource`;"]
+#![doc = " enforced by `nodb-lint` (see crates/lint/README.md)."]
+
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -284,7 +288,8 @@ fn check_stop<T>(ctx: &QueryCtx, r: EngineResult<T>) -> EngineResult<T> {
 /// behind these mutexes (telemetry, result slots) is plain data that stays
 /// structurally valid even if a panicking thread held the guard, and the
 /// panic itself is surfaced separately as [`EngineError::WorkerPanic`].
-fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // lint: lock-ok this is the recovery shim the poison-lock rule routes to
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 

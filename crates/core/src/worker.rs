@@ -13,6 +13,10 @@
 //! The worker is deliberately a plain function over `Send + Sync` borrows —
 //! no `Rc`/`RefCell` — so it can run under `std::thread::scope`.
 
+#![doc = " lint:cancellable — every scan/batch loop in this module must poll the"]
+#![doc = " query context (`ctx.check()`) or drive an interrupt-flagged `BlockSource`;"]
+#![doc = " enforced by `nodb-lint` (see crates/lint/README.md)."]
+
 use std::path::Path;
 use std::time::Duration;
 

@@ -1,0 +1,423 @@
+//! A minimal hand-rolled Rust lexer — just enough fidelity for invariant
+//! linting, with no external parser dependencies (the workspace builds
+//! offline; see the shims note in the root `Cargo.toml`).
+//!
+//! The lexer's one job is to separate *code* from *non-code* so the rules in
+//! [`crate::rules`] never fire on the contents of a string literal or a
+//! comment (and, conversely, so waiver comments are recognized even when the
+//! same bytes appear inside a string in this crate's own source). It
+//! understands:
+//!
+//! - line comments (`//`, `///`, `//!`) and *nested* block comments
+//!   (`/* /* */ */`, `/** */`, `/*! */`), emitted as [`Comment`]s;
+//! - string, byte-string, C-string, and raw-string literals (`"…"`, `b"…"`,
+//!   `c"…"`, `r"…"`, `r#"…"#`, `br##"…"##`) including escapes and embedded
+//!   newlines;
+//! - char and byte-char literals vs. lifetimes (`'a'` vs. `'a`), and raw
+//!   identifiers (`r#type`);
+//! - identifiers, numbers, and single-byte punctuation.
+//!
+//! Multi-character operators are deliberately emitted as single-byte
+//! punctuation tokens (`::` is two `:` tokens): no rule needs them joined,
+//! and keeping the token model trivial keeps the lexer auditable.
+
+/// What a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `loop`, `unwrap`, …).
+    Ident,
+    /// `'a` — distinguished from char literals so `'a'` never lexes as two.
+    Lifetime,
+    /// Numeric literal (suffix included: `0u64`, `0xFF`).
+    Number,
+    /// Any string-like literal; the quoted content is dropped.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// One byte of punctuation.
+    Punct,
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (text after `//` / between `/* */`), with its start line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    /// `//!` or `/*! … */` — an inner doc comment attaching to the module.
+    pub inner: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.b.get(self.i + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.b[self.i];
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn eat_ident(&mut self) -> String {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+            self.i += 1;
+        }
+        String::from_utf8_lossy(&self.b[start..self.i]).into_owned()
+    }
+
+    /// Consume a quoted string body starting *after* the opening `"`.
+    fn eat_str_body(&mut self) {
+        while self.i < self.b.len() {
+            match self.bump() {
+                b'\\' if self.i < self.b.len() => {
+                    self.bump();
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a raw-string body: `self.i` sits after `r`/`br`/`cr`, at the
+    /// first `#` or `"`. Returns false if this is not a raw string opener
+    /// (e.g. a raw identifier `r#type`).
+    fn eat_raw_str(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(hashes) != b'"' {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump(); // the hashes and the opening quote
+        }
+        // Scan for `"` followed by `hashes` hashes.
+        while self.i < self.b.len() {
+            if self.bump() == b'"' {
+                let mut k = 0;
+                while k < hashes && self.peek(k) == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return true;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Lex one file. Never fails: unknown bytes become punctuation, unterminated
+/// literals run to end of file — for linting, graceful degradation beats
+/// erroring out on the one file that uses a syntax corner the lexer missed.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while c.i < c.b.len() {
+        let line = c.line;
+        let ch = c.peek(0);
+
+        // Whitespace.
+        if ch.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+
+        // Comments.
+        if ch == b'/' && c.peek(1) == b'/' {
+            c.bump();
+            c.bump();
+            let inner = c.peek(0) == b'!';
+            let start = c.i;
+            while c.i < c.b.len() && c.peek(0) != b'\n' {
+                c.bump();
+            }
+            out.comments.push(Comment {
+                text: String::from_utf8_lossy(&c.b[start..c.i]).into_owned(),
+                line,
+                inner,
+            });
+            continue;
+        }
+        if ch == b'/' && c.peek(1) == b'*' {
+            c.bump();
+            c.bump();
+            let inner = c.peek(0) == b'!';
+            let start = c.i;
+            let mut depth = 1usize;
+            while c.i < c.b.len() && depth > 0 {
+                if c.peek(0) == b'/' && c.peek(1) == b'*' {
+                    depth += 1;
+                    c.bump();
+                    c.bump();
+                } else if c.peek(0) == b'*' && c.peek(1) == b'/' {
+                    depth -= 1;
+                    c.bump();
+                    c.bump();
+                } else {
+                    c.bump();
+                }
+            }
+            let end = c.i.saturating_sub(2).max(start);
+            out.comments.push(Comment {
+                text: String::from_utf8_lossy(&c.b[start..end]).into_owned(),
+                line,
+                inner,
+            });
+            continue;
+        }
+
+        // Lifetimes and char literals.
+        if ch == b'\'' {
+            c.bump();
+            if c.peek(0) == b'\\' {
+                // Escaped char literal: '\n', '\'', '\u{..}'.
+                c.bump();
+                c.bump();
+                while c.i < c.b.len() && c.peek(0) != b'\'' {
+                    c.bump();
+                }
+                if c.i < c.b.len() {
+                    c.bump();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+            } else if is_ident_start(c.peek(0)) && c.peek(1) != b'\'' {
+                // 'static, 'a — a lifetime (or a loop label).
+                let name = c.eat_ident();
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: name,
+                    line,
+                });
+            } else {
+                // 'x' — plain char literal (or a stray quote; consume it).
+                c.bump();
+                if c.peek(0) == b'\'' {
+                    c.bump();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+            }
+            continue;
+        }
+
+        // String-literal prefixes and identifiers.
+        if is_ident_start(ch) {
+            let mark = c.i;
+            let ident = c.eat_ident();
+            let next = c.peek(0);
+            let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "c" | "cr");
+            if is_str_prefix && (next == b'"' || next == b'#') {
+                if next == b'"' {
+                    c.bump();
+                    if ident == "r" || ident == "br" || ident == "cr" {
+                        // r"..." raw with zero hashes: no escapes, scan to ".
+                        while c.i < c.b.len() && c.bump() != b'"' {}
+                    } else {
+                        c.eat_str_body();
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line,
+                    });
+                    continue;
+                }
+                // `r#`: raw string `r#"…"#` or raw identifier `r#type`.
+                if c.eat_raw_str() {
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line,
+                    });
+                    continue;
+                }
+                // Raw identifier: rewind to after `r`, skip the `#`, lex it.
+                c.i = mark + ident.len();
+                c.bump(); // '#'
+                let name = c.eat_ident();
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: name,
+                    line,
+                });
+                continue;
+            }
+            if ident == "b" && next == b'\'' {
+                // Byte-char literal b'x' / b'\n'.
+                c.bump();
+                if c.peek(0) == b'\\' {
+                    c.bump();
+                }
+                c.bump();
+                if c.peek(0) == b'\'' {
+                    c.bump();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                continue;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: ident,
+                line,
+            });
+            continue;
+        }
+
+        // Plain string literal.
+        if ch == b'"' {
+            c.bump();
+            c.eat_str_body();
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+            });
+            continue;
+        }
+
+        // Numbers. Dots are never consumed (so `0..n` and `1.5` both lex as
+        // number / puncts / number — no rule cares about float values).
+        if ch.is_ascii_digit() {
+            let start = c.i;
+            while c.i < c.b.len() && (is_ident_cont(c.peek(0))) {
+                c.bump();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Number,
+                text: String::from_utf8_lossy(&c.b[start..c.i]).into_owned(),
+                line,
+            });
+            continue;
+        }
+
+        // Everything else: one byte of punctuation.
+        c.bump();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: (ch as char).to_string(),
+            line,
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            // a .lock().unwrap() in a comment
+            /* and /* nested */ here too: unsafe */
+            let s = "unsafe .lock().unwrap()";
+            let r = r#"panic!("no")"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "r", "real_ident"]);
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("lock"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_and_byte_strings() {
+        let ids = idents("let r#type = b\"bytes\"; br#\"raw\"#; r#match");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"match".to_string()));
+        let strs = lex("b\"x\" br#\"y\"# c\"z\" r\"w\"")
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strs, 4);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nb();\n/* c\nd */\ne();";
+        let l = lex(src);
+        let b = l.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+        let e = l.toks.iter().find(|t| t.text == "e").unwrap();
+        assert_eq!(e.line, 6);
+    }
+}

@@ -1,0 +1,144 @@
+//! `nodb-lint` CLI.
+//!
+//! ```text
+//! nodb-lint --workspace [--root DIR] [--ratchet FILE] [--write-ratchet]
+//! nodb-lint FILE...
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/I-O error. Every finding is one
+//! line, `path:line: [rule] message` — greppable, and `-D`-style by
+//! construction (any finding fails the run; there are no warnings).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("nodb-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut workspace = false;
+    let mut write_ratchet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut ratchet_path: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--write-ratchet" => write_ratchet = true,
+            "--root" => root = Some(PathBuf::from(next_value(&mut args, "--root")?)),
+            "--ratchet" => ratchet_path = Some(PathBuf::from(next_value(&mut args, "--ratchet")?)),
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                return Ok(true);
+            }
+            _ if arg.starts_with("--") => {
+                return Err(format!("unknown flag `{arg}`\n{USAGE}"));
+            }
+            _ => paths.push(PathBuf::from(arg)),
+        }
+    }
+
+    if !workspace && paths.is_empty() {
+        return Err(format!("nothing to lint\n{USAGE}"));
+    }
+    if workspace && !paths.is_empty() {
+        return Err("pass either --workspace or explicit files, not both".to_string());
+    }
+
+    if !workspace {
+        let refs: Vec<&Path> = paths.iter().map(|p| p.as_path()).collect();
+        let findings = nodb_lint::lint_paths(&refs).map_err(|e| e.to_string())?;
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        return Ok(report_summary(findings.len(), None));
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => nodb_lint::walk::find_root(&std::env::current_dir().map_err(|e| e.to_string())?)
+            .ok_or("no workspace root found (no Cargo.toml with [workspace] above cwd)")?,
+    };
+    let ratchet_path = ratchet_path.unwrap_or_else(|| root.join("lint-ratchet.toml"));
+    let ratchet = match std::fs::read_to_string(&ratchet_path) {
+        Ok(text) => nodb_lint::ratchet::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && write_ratchet => {
+            nodb_lint::ratchet::Ratchet::default()
+        }
+        Err(e) => {
+            return Err(format!(
+                "cannot read ratchet {} ({e}); run with --write-ratchet to create it",
+                ratchet_path.display()
+            ))
+        }
+    };
+
+    let report = nodb_lint::lint_workspace(&root, &ratchet).map_err(|e| e.to_string())?;
+
+    if write_ratchet {
+        let fresh = nodb_lint::ratchet::Ratchet {
+            no_unwrap: report.unwrap_counts.clone(),
+        };
+        std::fs::write(&ratchet_path, nodb_lint::ratchet::render(&fresh))
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "nodb-lint: wrote {} ({} files with sites)",
+            ratchet_path.display(),
+            fresh.no_unwrap.len()
+        );
+        // Ratchet findings are resolved by the rewrite; re-judge the rest.
+        let remaining: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule != nodb_lint::RuleId::NoUnwrap)
+            .collect();
+        for f in &remaining {
+            println!("{}", f.render());
+        }
+        return Ok(report_summary(remaining.len(), Some(report.files_scanned)));
+    }
+
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    Ok(report_summary(
+        report.findings.len(),
+        Some(report.files_scanned),
+    ))
+}
+
+fn report_summary(findings: usize, files: Option<usize>) -> bool {
+    match files {
+        Some(n) => eprintln!("nodb-lint: {findings} finding(s) across {n} file(s) scanned"),
+        None => eprintln!("nodb-lint: {findings} finding(s)"),
+    }
+    findings == 0
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+const USAGE: &str = "\
+usage: nodb-lint --workspace [--root DIR] [--ratchet FILE] [--write-ratchet]
+       nodb-lint FILE...
+
+Enforces the workspace invariants (see crates/lint/README.md):
+  poison-lock       .lock()/.read()/.write() + unwrap must use lock_recover
+  cancellation      scan loops in lint:cancellable modules must poll ctx
+  no-unwrap         unwrap/expect/panic! in lib code, ratcheted downward
+  truncating-cast   narrowing `as` casts need try_into or a cast-ok waiver
+  unsafe-audit      every unsafe needs a // SAFETY: comment
+
+Exit codes: 0 clean, 1 findings, 2 usage/I-O error.
+";

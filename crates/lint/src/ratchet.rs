@@ -1,0 +1,172 @@
+//! The `no-unwrap` ratchet: a checked-in per-file budget of
+//! `unwrap()/expect()/panic!` sites in library code that may only go down.
+//!
+//! New code must not add panicking sites (count above budget fails the
+//! lint), and removing sites must be banked (count below budget also fails,
+//! with instructions to lower the entry) — so the numbers in
+//! `lint-ratchet.toml` decrease monotonically over the repo's history and a
+//! regression can never hide inside an inflated old budget.
+//!
+//! The file is a small TOML subset written and parsed by hand (the
+//! workspace builds offline, no `toml` crate):
+//!
+//! ```toml
+//! # comment
+//! [no-unwrap]
+//! "crates/core/src/lib.rs" = 42
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::rules::{Finding, RuleId};
+
+/// Parsed ratchet: workspace-relative path (forward slashes) → allowed count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Ratchet {
+    pub no_unwrap: BTreeMap<String, usize>,
+}
+
+/// Parse `lint-ratchet.toml` text. Unknown sections are ignored (forward
+/// compatibility); malformed entries are an error — a typo silently
+/// admitting unlimited unwraps would defeat the ratchet.
+pub fn parse(text: &str) -> Result<Ratchet, String> {
+    let mut r = Ratchet::default();
+    let mut in_no_unwrap = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            in_no_unwrap = section.trim() == "no-unwrap";
+            continue;
+        }
+        if !in_no_unwrap {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("ratchet line {}: expected `\"path\" = N`", i + 1))?;
+        let key = key.trim();
+        let path = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("ratchet line {}: path must be quoted", i + 1))?;
+        let count: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("ratchet line {}: count must be an integer", i + 1))?;
+        r.no_unwrap.insert(path.to_string(), count);
+    }
+    Ok(r)
+}
+
+/// Serialize a ratchet (sorted, stable — diffs stay one line per change).
+pub fn render(r: &Ratchet) -> String {
+    let mut out = String::from(
+        "# nodb-lint ratchet: allowed unwrap()/expect()/panic! sites per file\n\
+         # (library code only — #[cfg(test)] blocks are not counted).\n\
+         # Counts may only decrease: lower an entry when you remove sites,\n\
+         # never raise one. Regenerate with `cargo run -p nodb-lint -- \\\n\
+         # --workspace --write-ratchet` after removing panicking call sites.\n\
+         \n[no-unwrap]\n",
+    );
+    for (path, count) in &r.no_unwrap {
+        out.push_str(&format!("\"{path}\" = {count}\n"));
+    }
+    out
+}
+
+/// Compare measured per-file counts against the ratchet. Both directions
+/// fail: above budget means new panicking sites; below budget means the
+/// entry is stale and must be lowered so the improvement is locked in.
+pub fn check(counts: &BTreeMap<String, usize>, ratchet: &Ratchet) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (path, &actual) in counts {
+        let allowed = ratchet.no_unwrap.get(path).copied().unwrap_or(0);
+        if actual > allowed {
+            out.push(Finding {
+                rule: RuleId::NoUnwrap,
+                path: path.clone(),
+                line: 0,
+                message: format!(
+                    "{actual} unwrap()/expect()/panic! sites in library code, ratchet \
+                     allows {allowed}; remove the new sites (the ratchet only goes down)"
+                ),
+            });
+        } else if actual < allowed {
+            out.push(Finding {
+                rule: RuleId::NoUnwrap,
+                path: path.clone(),
+                line: 0,
+                message: format!(
+                    "ratchet entry is stale: {allowed} allowed but only {actual} remain; \
+                     lower it (or run `--write-ratchet`) to bank the improvement"
+                ),
+            });
+        }
+    }
+    // Entries for files that no longer exist (or dropped to zero sites and
+    // out of `counts`) are stale budget someone could hide regressions in.
+    for (path, &allowed) in &ratchet.no_unwrap {
+        if !counts.contains_key(path) && allowed > 0 {
+            out.push(Finding {
+                rule: RuleId::NoUnwrap,
+                path: path.clone(),
+                line: 0,
+                message: format!(
+                    "ratchet entry is stale: {allowed} allowed but the file has no sites \
+                     (or was removed); delete the entry or run `--write-ratchet`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(p, n)| (p.to_string(), *n)).collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut r = Ratchet::default();
+        r.no_unwrap.insert("crates/a/src/lib.rs".into(), 3);
+        r.no_unwrap.insert("src/lib.rs".into(), 1);
+        let parsed = parse(&render(&r)).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn increase_rejected_equal_ok_decrease_stale() {
+        let r = parse("[no-unwrap]\n\"a.rs\" = 2\n").unwrap();
+        assert!(check(&counts(&[("a.rs", 2)]), &r).is_empty());
+        let up = check(&counts(&[("a.rs", 3)]), &r);
+        assert_eq!(up.len(), 1);
+        assert!(up[0].message.contains("ratchet allows 2"));
+        let down = check(&counts(&[("a.rs", 1)]), &r);
+        assert_eq!(down.len(), 1);
+        assert!(down[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn unknown_file_and_removed_file_both_flagged() {
+        let r = parse("[no-unwrap]\n\"gone.rs\" = 4\n").unwrap();
+        let f = check(&counts(&[("new.rs", 1)]), &r);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|x| x.path == "new.rs"));
+        assert!(f.iter().any(|x| x.path == "gone.rs"));
+    }
+
+    #[test]
+    fn malformed_entries_error() {
+        assert!(parse("[no-unwrap]\npath = 1\n").is_err());
+        assert!(parse("[no-unwrap]\n\"p.rs\" = many\n").is_err());
+        // Unknown sections are skipped wholesale (forward compatibility).
+        assert!(parse("[other]\nanything goes\n").is_ok());
+    }
+}

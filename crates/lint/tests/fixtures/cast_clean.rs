@@ -1,0 +1,30 @@
+//! Clean under `truncating-cast`: narrowing goes through `try_into`, is
+//! waived with a documented bound, or happens in test code.
+
+use std::convert::TryInto;
+
+fn checked(off: u64) -> Result<usize, std::num::TryFromIntError> {
+    off.try_into()
+}
+
+fn widening_only(rows: u32, bytes: usize) -> u64 {
+    // u32/usize → u64 never truncates on supported targets.
+    rows as u64 + bytes as u64
+}
+
+fn waived(off: u64) -> u32 {
+    // lint: cast-ok off is a line-relative span in this fixture
+    off as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_cast_freely() {
+        let x: u64 = 5;
+        assert_eq!(x as usize, 5usize);
+        assert_eq!(checked(9).unwrap(), 9usize);
+    }
+}

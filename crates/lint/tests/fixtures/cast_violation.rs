@@ -1,0 +1,27 @@
+//! Seeded violations for `truncating-cast`: the narrowing casts on lines 7
+//! (two on one line) and 12 fire; the waived ones and the widening `as u64`
+//! do not.
+
+fn span(file_offset: u64, line_start: u64) -> (u32, u32) {
+    // Two findings on one line.
+    (file_offset as u32, line_start as u32)
+}
+
+fn index(row: u64) -> usize {
+    // One finding: u64 row → usize truncates on 32-bit targets.
+    row as usize
+}
+
+fn widened(len: usize) -> u64 {
+    // `as u64` from usize is widening on every supported target: no finding.
+    len as u64
+}
+
+fn waived(off: u64) -> usize {
+    // lint: cast-ok off is bounded by io_block_size in this fixture
+    off as usize
+}
+
+fn trailing_waiver(off: u64) -> u16 {
+    off as u16 // lint: cast-ok fixture: off < 65536 by construction
+}

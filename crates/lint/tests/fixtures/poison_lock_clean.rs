@@ -1,0 +1,34 @@
+//! Clean under `poison-lock`: every acquisition routes through the recovery
+//! shim, lives in test code, or is not a zero-argument lock acquisition.
+
+use std::io::Read;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // lint: lock-ok the recovery shim itself
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn routed(m: &Mutex<u32>) -> u32 {
+    *lock_recover(m)
+}
+
+fn io_read_is_not_a_lock(mut f: std::fs::File, buf: &mut [u8]) -> usize {
+    // `.read(&mut buf)` takes an argument — not a lock acquisition. The
+    // unwrap itself is the no-unwrap rule's business, not this rule's.
+    f.read(buf).unwrap()
+}
+
+// A comment mentioning .lock().unwrap() is not code.
+const DOC: &str = "calling .lock().unwrap() is forbidden";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_locks() {
+        let m = Mutex::new(1u32);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

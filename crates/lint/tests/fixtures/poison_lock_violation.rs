@@ -1,0 +1,27 @@
+//! Seeded violations for the `poison-lock` rule: lines 9, 14 and 20 must
+//! each produce exactly one finding (a multiline chain reports the line of
+//! the acquisition call); the waived chain at the bottom must not.
+
+use std::sync::{Mutex, RwLock};
+
+fn direct_unwrap(m: &Mutex<u32>) -> u32 {
+    // Finding: panics the caller if a worker poisoned the lock.
+    *m.lock().unwrap()
+}
+
+fn expect_chain(l: &RwLock<u32>) -> u32 {
+    // Finding: expect is just unwrap with a banner.
+    *l.read().expect("poisoned")
+}
+
+fn multiline_chain(l: &RwLock<u32>) {
+    // Finding: the chain spans lines; the finding lands on `.write()`.
+    *l
+        .write()
+        .unwrap() += 1;
+}
+
+fn hand_rolled_recovery(m: &Mutex<u32>) -> u32 {
+    // lint: lock-ok fixture: pretend this is the central recovery shim
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

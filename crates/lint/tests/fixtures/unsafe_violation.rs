@@ -1,0 +1,20 @@
+//! Seeded violations for `unsafe-audit`: the blocks on lines 7 and 16 carry
+//! no safety justification comment (one more than five lines up does not
+//! count); one finding each.
+
+fn undocumented(ptr: *const u8) -> u8 {
+    // This comment talks about something else entirely.
+    unsafe { *ptr }
+}
+
+// SAFETY: this comment is too far from the unsafe block below to count —
+// six lines of unrelated code sit in between.
+fn stale_comment(ptr: *const u8, n: usize) -> u8 {
+    let mut acc = 0u8;
+    let mut i = 0;
+    while i < n {
+        acc = acc.wrapping_add(unsafe { *ptr.add(i) });
+        i += 1;
+    }
+    acc
+}

@@ -1,0 +1,31 @@
+//! Clean under `no-unwrap`: library code threads `Result`s; unwraps appear
+//! only in test code, comments, and strings.
+
+fn parse(s: &str) -> Result<u64, std::num::ParseIntError> {
+    s.parse()
+}
+
+fn first(v: &[u64]) -> Option<u64> {
+    // An old comment: we used to v.first().unwrap() here. panic!("not code")
+    v.first().copied()
+}
+
+// `unwrap_or` / `unwrap_or_else` / `unwrap_or_default` are handled recovery,
+// not panics.
+fn defaulted(v: Option<u64>) -> u64 {
+    v.unwrap_or(0).max(v.unwrap_or_else(|| 1)).max(v.unwrap_or_default())
+}
+
+const MSG: &str = "do not panic!(…) or .unwrap() in library code";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_unwrap_freely() {
+        assert_eq!(parse("3").unwrap(), 3);
+        first(&[]).ok_or("empty").expect_err("empty slice");
+        let _ = MSG;
+    }
+}

@@ -1,0 +1,39 @@
+//! Seeded violations for `no-unwrap`: exactly four sites in library code —
+//! lines 6, 11, 17 and 22. The test-module sites must not count.
+
+fn parse(s: &str) -> u64 {
+    // Site 1: unwrap.
+    s.parse().unwrap()
+}
+
+fn open(path: &str) -> std::fs::File {
+    // Site 2: expect.
+    std::fs::File::open(path).expect("open")
+}
+
+fn validate(n: u64) {
+    if n == 0 {
+        // Site 3: panic!.
+        panic!("zero rows");
+    }
+}
+
+fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_do_not_count() {
+        assert_eq!(parse("7"), 7);
+        let v: Vec<u64> = vec![1];
+        v.first().unwrap();
+        Some(1).expect("fine");
+        if false {
+            panic!("also fine");
+        }
+    }
+}

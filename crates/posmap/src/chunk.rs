@@ -134,6 +134,7 @@ impl ChunkBuilder {
     pub fn push_row(&mut self, tokens: &Tokens) {
         for (i, &attr) in self.attrs.iter().enumerate() {
             let off = match tokens.get(attr) {
+                // lint: cast-ok guarded (start < NO_OFFSET fits u16; NO_OFFSET widens)
                 Some(span) if span.start < NO_OFFSET as u32 => span.start as u16,
                 _ => NO_OFFSET,
             };
@@ -150,8 +151,9 @@ impl ChunkBuilder {
                 .iter()
                 .find(|(a, _)| *a == attr)
                 .map(|&(_, o)| {
+                    // lint: cast-ok guarded (o < NO_OFFSET fits u16)
                     if o < NO_OFFSET as u32 {
-                        o as u16
+                        o as u16 // lint: cast-ok guarded by the branch above
                     } else {
                         NO_OFFSET
                     }

@@ -92,7 +92,7 @@ impl NullMask {
             return out;
         }
         for &r in rows {
-            out.push(self.is_null(base + r as usize));
+            out.push(self.is_null(base + r as usize)); // lint: cast-ok u32 selection index widens into usize
         }
         out
     }
@@ -406,21 +406,21 @@ impl TypedColumn {
     pub fn gather(&self, rows: &[u32], base: usize) -> TypedColumn {
         match self {
             TypedColumn::Int { values, nulls } => TypedColumn::Int {
-                values: rows.iter().map(|&r| values[base + r as usize]).collect(),
+                values: rows.iter().map(|&r| values[base + r as usize]).collect(), // lint: cast-ok u32 selection index widens into usize
                 nulls: nulls.gather(rows, base),
             },
             TypedColumn::Float { values, nulls } => TypedColumn::Float {
-                values: rows.iter().map(|&r| values[base + r as usize]).collect(),
+                values: rows.iter().map(|&r| values[base + r as usize]).collect(), // lint: cast-ok u32 selection index widens into usize
                 nulls: nulls.gather(rows, base),
             },
             TypedColumn::Bool { values, nulls } => TypedColumn::Bool {
-                values: rows.iter().map(|&r| values[base + r as usize]).collect(),
+                values: rows.iter().map(|&r| values[base + r as usize]).collect(), // lint: cast-ok u32 selection index widens into usize
                 nulls: nulls.gather(rows, base),
             },
             TypedColumn::Str { values, nulls, .. } => {
                 let vals: Vec<Box<str>> = rows
                     .iter()
-                    .map(|&r| values[base + r as usize].clone())
+                    .map(|&r| values[base + r as usize].clone()) // lint: cast-ok u32 selection index widens into usize
                     .collect();
                 let str_bytes = vals.iter().map(|s| s.len()).sum();
                 TypedColumn::Str {

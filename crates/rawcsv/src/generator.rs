@@ -337,7 +337,8 @@ impl GenState {
 
 /// Cumulative distribution for Zipf(s) over `0..n`.
 fn zipf_cdf(n: u64, s: f64) -> Vec<f64> {
-    let n = n.max(1) as usize;
+    // A CDF table of u64::MAX entries could never allocate anyway; saturate.
+    let n = usize::try_from(n.max(1)).unwrap_or(usize::MAX);
     let mut weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k as f64) + 1.0).powf(s)).collect();
     let total: f64 = weights.iter().sum();
     let mut acc = 0.0;
@@ -360,7 +361,7 @@ fn write_i64(out: &mut Vec<u8>, v: i64) {
     let mut u = v.unsigned_abs();
     loop {
         i -= 1;
-        buf[i] = b'0' + (u % 10) as u8;
+        buf[i] = b'0' + (u % 10) as u8; // lint: cast-ok bounded by % 10
         u /= 10;
         if u == 0 {
             break;

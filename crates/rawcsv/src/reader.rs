@@ -47,6 +47,10 @@
 //! (§4.2 *Updates*): length, modification time, and a hash of the file head,
 //! enough to distinguish "appended" from "replaced".
 
+#![doc = " lint:cancellable — every scan/batch loop in this module must poll the"]
+#![doc = " query context (`ctx.check()`) or drive an interrupt-flagged `BlockSource`;"]
+#![doc = " enforced by `nodb-lint` (see crates/lint/README.md)."]
+
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
@@ -264,6 +268,7 @@ fn read_size_at(pos: u64, block_size: usize, cap: u64, limit: u64) -> usize {
     } else {
         (block_size as u64).min(cap - pos).max(TAIL_READ as u64)
     };
+    // lint: cast-ok result ≤ block_size.max(TAIL_READ), both usize-valued
     base.min(limit - pos) as usize
 }
 
@@ -537,6 +542,11 @@ fn prefetch_loop(
         }
     }
     let mut pos = start;
+    // The consumer cancels this helper by dropping the pipeline: the bounded
+    // channel hangs up, the next send fails, and the loop exits — the
+    // interrupt flag itself is polled consumer-side in
+    // `ReadaheadBlocks::refill`.
+    // lint: cancel-ok cancelled via channel hang-up, see above
     loop {
         if pos >= cap {
             return; // consumer takes over with demand-driven tail reads
@@ -1141,6 +1151,7 @@ impl BlockScanner {
             match hit {
                 Some((off, b)) if b == delimiter => {
                     let at = rel + off;
+                    // lint: cast-ok line-relative span; lines ≤ io_block_size (≤ 256 MiB)
                     out.push_span(field_start as u32, at as u32);
                     if out.len() > upto_field {
                         fields_done = true;
@@ -1194,6 +1205,7 @@ impl BlockScanner {
         let trimmed = trim_cr(&self.win.buf[start..start + line_len]).len();
         if !fields_done {
             // Final field runs to the (CR-trimmed) end of the line.
+            // lint: cast-ok line-relative span; lines ≤ io_block_size (≤ 256 MiB)
             out.push_span(field_start.min(trimmed) as u32, trimmed as u32);
             out.mark_complete();
         }
@@ -1304,7 +1316,9 @@ fn partition_tiny_file(
     len: u64,
     parts: usize,
 ) -> Result<Vec<LineRange>> {
-    let mut bytes = Vec::with_capacity(len as usize);
+    // Capacity is a hint: a tiny file is < `parts` bytes by definition, and
+    // an (impossible) overflowing length only costs a realloc.
+    let mut bytes = Vec::with_capacity(usize::try_from(len).unwrap_or(0));
     file.read_to_end(&mut bytes)
         .map_err(|e| RawCsvError::io(format!("read {}", path.display()), e))?;
     let mut starts: Vec<u64> = vec![0];
@@ -1609,6 +1623,7 @@ impl RawFileMeta {
             .map_err(|e| RawCsvError::io(format!("stat {}", path.display()), e))?;
         let len = meta.len();
         let head_len = len.min(head_limit);
+        // lint: cast-ok head_len ≤ head_limit, a small caller constant
         let mut head = vec![0u8; head_len as usize];
         file.read_exact(&mut head)
             .map_err(|e| RawCsvError::io(format!("read head of {}", path.display()), e))?;

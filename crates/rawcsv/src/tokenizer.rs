@@ -31,16 +31,29 @@ pub struct FieldSpan {
 }
 
 impl FieldSpan {
+    /// Build a span from line-relative byte positions. This is the one place
+    /// the usize→u32 narrowing happens: offsets fit `u32` by construction
+    /// because spans are relative to their line's start and a line never
+    /// exceeds the scan block size (`NoDbConfig` clamps it to ≤ 256 MiB).
+    #[inline]
+    pub(crate) fn at(start: usize, end: usize) -> FieldSpan {
+        debug_assert!(start <= end && end <= u32::MAX as usize); // lint: cast-ok widening
+        let start = start as u32; // lint: cast-ok line-relative, bounded per doc above
+        let end = end as u32; // lint: cast-ok line-relative, bounded per doc above
+        FieldSpan { start, end }
+    }
+
     /// Slice the field's bytes out of its line.
     #[inline]
     pub fn of<'a>(&self, line: &'a [u8]) -> &'a [u8] {
+        // lint: cast-ok u32 offsets widen into usize
         &line[self.start as usize..self.end as usize]
     }
 
     /// Field width in bytes.
     #[inline]
     pub fn len(&self) -> usize {
-        (self.end - self.start) as usize
+        (self.end - self.start) as usize // lint: cast-ok u32 widens into usize
     }
 
     /// True for zero-width (empty) fields.
@@ -215,10 +228,7 @@ impl TokenizerConfig {
             match find_byte(&line[start..], self.delimiter) {
                 Some(rel) => {
                     let end = start + rel;
-                    out.spans.push(FieldSpan {
-                        start: start as u32,
-                        end: end as u32,
-                    });
+                    out.spans.push(FieldSpan::at(start, end));
                     if field == relative_upto {
                         return;
                     }
@@ -226,10 +236,7 @@ impl TokenizerConfig {
                     start = end + 1;
                 }
                 None => {
-                    out.spans.push(FieldSpan {
-                        start: start as u32,
-                        end: line.len() as u32,
-                    });
+                    out.spans.push(FieldSpan::at(start, line.len()));
                     out.complete = true;
                     return;
                 }
@@ -256,20 +263,14 @@ impl TokenizerConfig {
                             if at + 1 < line.len() && line[at + 1] == q {
                                 j = at + 2; // escaped quote, keep scanning
                             } else {
-                                out.spans.push(FieldSpan {
-                                    start: content_start as u32,
-                                    end: at as u32,
-                                });
+                                out.spans.push(FieldSpan::at(content_start, at));
                                 i = at + 1;
                                 break;
                             }
                         }
                         None => {
                             // Unterminated quote: treat rest of line as field.
-                            out.spans.push(FieldSpan {
-                                start: content_start as u32,
-                                end: line.len() as u32,
-                            });
+                            out.spans.push(FieldSpan::at(content_start, line.len()));
                             out.complete = true;
                             return;
                         }
@@ -290,10 +291,7 @@ impl TokenizerConfig {
                 match find_byte(&line[i..], self.delimiter) {
                     Some(rel) => {
                         let end = i + rel;
-                        out.spans.push(FieldSpan {
-                            start: i as u32,
-                            end: end as u32,
-                        });
+                        out.spans.push(FieldSpan::at(i, end));
                         if field == relative_upto {
                             return;
                         }
@@ -301,10 +299,7 @@ impl TokenizerConfig {
                         i = end + 1;
                     }
                     None => {
-                        out.spans.push(FieldSpan {
-                            start: i as u32,
-                            end: line.len() as u32,
-                        });
+                        out.spans.push(FieldSpan::at(i, line.len()));
                         out.complete = true;
                         return;
                     }
@@ -331,6 +326,7 @@ pub fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
         let x = w ^ pat;
         let hit = x.wrapping_sub(LO) & !x & HI;
         if hit != 0 {
+            // lint: cast-ok trailing_zeros()>>3 is at most 7
             return Some(i + (hit.trailing_zeros() >> 3) as usize);
         }
         i += 8;
@@ -360,6 +356,7 @@ pub fn find_byte2(hay: &[u8], needle_a: u8, needle_b: u8) -> Option<(usize, u8)>
         let xb = w ^ pat_b;
         let hit = (xa.wrapping_sub(LO) & !xa & HI) | (xb.wrapping_sub(LO) & !xb & HI);
         if hit != 0 {
+            // lint: cast-ok trailing_zeros()>>3 is at most 7
             let at = i + (hit.trailing_zeros() >> 3) as usize;
             return Some((at, hay[at]));
         }
@@ -396,7 +393,7 @@ pub fn count_byte(hay: &[u8], needle: u8) -> usize {
         let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte chunk"));
         let x = w ^ pat;
         let hit = !(((x & SEVENF) + SEVENF) | x | SEVENF);
-        count += hit.count_ones() as usize;
+        count += hit.count_ones() as usize; // lint: cast-ok u32 widens into usize
         i += 8;
     }
     count + hay[i..].iter().filter(|&&b| b == needle).count()

@@ -148,6 +148,10 @@ impl HeapFile {
 
     /// Read page `page_no` (through the pool), handing it to `f`.
     pub fn with_page<T>(&self, page_no: u64, f: impl FnOnce(&Page) -> T) -> StorageResult<T> {
+        // Poison-audit: `parking_lot::Mutex::lock` (the shim) recovers from
+        // poisoning itself and returns the guard directly — there is no
+        // `.unwrap()` here to route through `lock_recover`, and a panicking
+        // reader cannot brick the pool for later queries.
         let mut inner = self.inner.lock();
         if inner.pool.get(page_no).is_some() {
             // Second lookup borrows the frame for the closure.
