@@ -19,7 +19,7 @@ use std::cell::RefCell;
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use nodb_bench::report::{update_bench_json, BenchRecord};
@@ -51,24 +51,31 @@ fn shared_db(path: &PathBuf, schema: &Schema) -> Arc<NoDb> {
 }
 
 /// Issue `QUERIES_PER_CLIENT` queries from each of `clients` threads
-/// against one shared instance; returns total rows returned (sanity).
-fn hammer(db: &Arc<NoDb>, clients: usize, sql: &str) -> usize {
+/// against one shared instance; returns total rows returned (sanity) and
+/// every individual query latency (the tail-percentile columns).
+fn hammer(db: &Arc<NoDb>, clients: usize, sql: &str) -> (usize, Vec<Duration>) {
     std::thread::scope(|s| {
         (0..clients)
             .map(|_| {
                 let db = Arc::clone(db);
                 s.spawn(move || {
                     let mut total = 0usize;
+                    let mut lat = Vec::with_capacity(QUERIES_PER_CLIENT);
                     for _ in 0..QUERIES_PER_CLIENT {
+                        let t = Instant::now();
                         total += db.query(sql).unwrap().len();
+                        lat.push(t.elapsed());
                     }
-                    total
+                    (total, lat)
                 })
             })
             .collect::<Vec<_>>()
             .into_iter()
             .map(|h| h.join().unwrap())
-            .sum()
+            .fold((0, Vec::new()), |(total, mut all), (t, lat)| {
+                all.extend(lat);
+                (total + t, all)
+            })
     })
 }
 
@@ -94,6 +101,7 @@ fn bench_concurrent_queries(c: &mut Criterion) {
     for clients in [1usize, 2, 4, 8] {
         // Warm shared cache: every query streams under the read lock.
         let durations = RefCell::new(Vec::new());
+        let latencies = RefCell::new(Vec::new());
         group.bench_function(format!("warm_clients_{clients}"), |b| {
             b.iter_batched(
                 || {
@@ -103,66 +111,81 @@ fn bench_concurrent_queries(c: &mut Criterion) {
                 },
                 |db| {
                     let t = Instant::now();
-                    let total = hammer(&db, clients, warm_sql);
+                    let (total, lat) = hammer(&db, clients, warm_sql);
                     durations.borrow_mut().push(t.elapsed());
+                    latencies.borrow_mut().extend(lat);
                     assert_eq!(total, expect * clients * QUERIES_PER_CLIENT);
                     black_box(total)
                 },
                 BatchSize::LargeInput,
             )
         });
-        samples.borrow_mut().push(BenchRecord::from_samples_clients(
-            "warm_shared_cache",
-            NoDbConfig::default().effective_scan_threads(),
-            clients,
-            rows,
-            &durations.borrow(),
-        ));
+        samples.borrow_mut().push(
+            BenchRecord::from_samples_clients(
+                "warm_shared_cache",
+                NoDbConfig::default().effective_scan_threads(),
+                clients,
+                rows,
+                &durations.borrow(),
+            )
+            .with_percentiles(&latencies.borrow()),
+        );
 
         // Mixed: clients rotate attribute pairs, so scans that grow the
         // map/cache interleave with pure cache reads on the same table.
         let durations = RefCell::new(Vec::new());
+        let latencies = RefCell::new(Vec::new());
         group.bench_function(format!("mixed_clients_{clients}"), |b| {
             b.iter_batched(
                 || shared_db(&path, &schema),
                 |db| {
                     let t = Instant::now();
-                    let total: usize = std::thread::scope(|s| {
+                    let (total, lat) = std::thread::scope(|s| {
                         (0..clients)
                             .map(|k| {
                                 let db = Arc::clone(&db);
                                 s.spawn(move || {
                                     let mut total = 0usize;
+                                    let mut lat = Vec::with_capacity(QUERIES_PER_CLIENT);
                                     for q in 0..QUERIES_PER_CLIENT {
                                         let a = (k + q) % (COLS - 1);
                                         let sql = format!(
                                             "SELECT c{a}, c{} FROM t WHERE c3 > 500000000",
                                             a + 1
                                         );
+                                        let t = Instant::now();
                                         total += db.query(&sql).unwrap().len();
+                                        lat.push(t.elapsed());
                                     }
-                                    total
+                                    (total, lat)
                                 })
                             })
                             .collect::<Vec<_>>()
                             .into_iter()
                             .map(|h| h.join().unwrap())
-                            .sum()
+                            .fold((0usize, Vec::new()), |(total, mut all), (t, lat)| {
+                                all.extend(lat);
+                                (total + t, all)
+                            })
                     });
                     durations.borrow_mut().push(t.elapsed());
+                    latencies.borrow_mut().extend(lat);
                     assert_eq!(total, expect * clients * QUERIES_PER_CLIENT);
                     black_box(total)
                 },
                 BatchSize::LargeInput,
             )
         });
-        samples.borrow_mut().push(BenchRecord::from_samples_clients(
-            "mixed_shared_scans",
-            NoDbConfig::default().effective_scan_threads(),
-            clients,
-            rows,
-            &durations.borrow(),
-        ));
+        samples.borrow_mut().push(
+            BenchRecord::from_samples_clients(
+                "mixed_shared_scans",
+                NoDbConfig::default().effective_scan_threads(),
+                clients,
+                rows,
+                &durations.borrow(),
+            )
+            .with_percentiles(&latencies.borrow()),
+        );
     }
     group.finish();
 
@@ -184,8 +207,8 @@ fn bench_concurrent_queries(c: &mut Criterion) {
                 .map(|b| b * r.clients as f64 / r.mean_ms)
                 .unwrap_or(0.0);
             println!(
-                "{name:<20} clients={:<2} mean {:>9.2} ms  min {:>9.2} ms  throughput x{scale:>5.2}",
-                r.clients, r.mean_ms, r.min_ms
+                "{name:<20} clients={:<2} mean {:>9.2} ms  min {:>9.2} ms  p50/p95/p99 {:>7.2}/{:>7.2}/{:>7.2} ms  throughput x{scale:>5.2}",
+                r.clients, r.mean_ms, r.min_ms, r.p50_ms, r.p95_ms, r.p99_ms
             );
         }
     }

@@ -113,7 +113,7 @@ fn bench_overlapped_io(c: &mut Criterion) {
                         let t = Instant::now();
                         let r = db.query(sql).unwrap();
                         durations.borrow_mut().push(t.elapsed());
-                        let report = db.last_report().expect("query just ran");
+                        let report = db.admin().last_report().expect("query just ran");
                         stalls.borrow_mut().push(report.io.stall);
                         assert_eq!(
                             r.len(),

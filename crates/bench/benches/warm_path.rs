@@ -58,7 +58,7 @@ fn warmed_db(path: &PathBuf, schema: &Schema, cfg: NoDbConfig, sql: &str) -> NoD
     db.query(sql).unwrap();
     let r = db.query(sql).unwrap();
     assert!(
-        db.last_report().unwrap().fully_cached,
+        db.admin().last_report().unwrap().fully_cached,
         "warm query must be served from the cache"
     );
     black_box(r.len());

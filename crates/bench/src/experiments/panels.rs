@@ -134,7 +134,7 @@ pub fn fig3(scale: Scale) -> ExperimentReport {
         let init = sys.init(&data.path, &schema).unwrap();
         let (r, q) = sys.run(&sql).unwrap();
         assert_eq!(r, pg_r, "all systems must agree");
-        let rep = sys.db.last_report().unwrap().clone();
+        let rep = sys.db.admin().last_report().unwrap().clone();
         t.row(vec![
             sys.name(),
             secs(init),
@@ -169,7 +169,7 @@ pub fn fig3(scale: Scale) -> ExperimentReport {
     let (_, _, _, mut pmc) = raw_rows.pop().unwrap();
     for run in 2..=3 {
         let (_, q) = pmc.run(&sql).unwrap();
-        let rep = pmc.db.last_report().unwrap().clone();
+        let rep = pmc.db.admin().last_report().unwrap().clone();
         warm.row(vec![
             format!("q{run}"),
             ms(q),

@@ -38,6 +38,19 @@ pub struct BenchRecord {
     /// the `stall_ms` precedent) so legacy `BENCH_*.json` files stay
     /// readable.
     pub mode: String,
+    /// Median per-query latency, milliseconds (nearest-rank over the
+    /// individual query latencies of a run, not the per-iteration wall
+    /// clock). `0.0` for benches that don't track tail latency; the three
+    /// percentile fields are optional when parsing so pre-percentile
+    /// trajectory files stay readable, and they are *not* part of
+    /// [`bench_key`] — they are measurements, not identity.
+    pub p50_ms: f64,
+    /// 95th-percentile per-query latency, milliseconds. The serving-layer
+    /// tail the gate watches: admission queuing under a shared scan budget
+    /// shows up here long before it moves the mean.
+    pub p95_ms: f64,
+    /// 99th-percentile per-query latency, milliseconds.
+    pub p99_ms: f64,
 }
 
 impl BenchRecord {
@@ -75,12 +88,37 @@ impl BenchRecord {
             min_ms: if min.is_finite() { min } else { 0.0 },
             stall_ms: 0.0,
             mode: String::new(),
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
         }
     }
 
     /// Attach an execution-mode label (ablation column).
     pub fn with_mode(mut self, mode: impl Into<String>) -> Self {
         self.mode = mode.into();
+        self
+    }
+
+    /// Attach per-query latency percentiles (nearest-rank) computed from
+    /// the individual query latencies of a run. Distinct from the
+    /// constructor's `samples` (per-*iteration* wall clock): a concurrent
+    /// bench has `clients × queries` latencies per iteration, and the tail
+    /// of that distribution is what admission control is supposed to keep
+    /// bounded.
+    pub fn with_percentiles(mut self, latencies: &[std::time::Duration]) -> Self {
+        if latencies.is_empty() {
+            return self;
+        }
+        let mut ms: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        ms.sort_by(|a, b| a.total_cmp(b));
+        let nearest_rank = |q: f64| -> f64 {
+            let rank = (q * ms.len() as f64).ceil() as usize;
+            ms[rank.clamp(1, ms.len()) - 1]
+        };
+        self.p50_ms = nearest_rank(0.50);
+        self.p95_ms = nearest_rank(0.95);
+        self.p99_ms = nearest_rank(0.99);
         self
     }
 
@@ -107,6 +145,13 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
         );
         if !r.mode.is_empty() {
             let _ = write!(out, ", \"mode\": {:?}", r.mode);
+        }
+        if r.p50_ms > 0.0 || r.p95_ms > 0.0 || r.p99_ms > 0.0 {
+            let _ = write!(
+                out,
+                ", \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}",
+                r.p50_ms, r.p95_ms, r.p99_ms
+            );
         }
         out.push('}');
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
@@ -174,6 +219,10 @@ pub fn parse_bench_json(body: &str) -> Option<Vec<BenchRecord>> {
             mode: field("mode")
                 .map(|v| v.trim_matches('"').to_string())
                 .unwrap_or_default(),
+            // Optional: files predating tail-latency tracking omit them.
+            p50_ms: field("p50_ms").and_then(|v| v.parse().ok()).unwrap_or(0.0),
+            p95_ms: field("p95_ms").and_then(|v| v.parse().ok()).unwrap_or(0.0),
+            p99_ms: field("p99_ms").and_then(|v| v.parse().ok()).unwrap_or(0.0),
         });
     }
     Some(records)
@@ -233,9 +282,12 @@ pub struct GateReport {
 
 /// Compare fresh records against baselines: a record regresses when its
 /// mean latency exceeds the baseline's by more than `threshold` (0.25 =
-/// 25% throughput regression at equal rows/threads/clients). Only records
-/// with an equal [`bench_key`] are compared — cross-row-count comparisons
-/// would gate noise, not performance.
+/// 25% throughput regression at equal rows/threads/clients), or — when
+/// both sides track tail latency — when its p95 does. Only records with an
+/// equal [`bench_key`] are compared — cross-row-count comparisons would
+/// gate noise, not performance; likewise the tail gate only arms when both
+/// records carry percentiles, so pre-percentile baselines keep gating on
+/// the mean alone.
 pub fn gate_bench_records(
     baseline: &[BenchRecord],
     fresh: &[BenchRecord],
@@ -253,7 +305,14 @@ pub fn gate_bench_records(
         } else {
             1.0
         };
-        let regressed = ratio > 1.0 + threshold;
+        let tail_ratio = if b.p95_ms > 0.0 && f.p95_ms > 0.0 {
+            Some(f.p95_ms / b.p95_ms)
+        } else {
+            None
+        };
+        let mean_regressed = ratio > 1.0 + threshold;
+        let tail_regressed = tail_ratio.is_some_and(|r| r > 1.0 + threshold);
+        let regressed = mean_regressed || tail_regressed;
         if regressed {
             report.regressions += 1;
         }
@@ -262,9 +321,18 @@ pub fn gate_bench_records(
         } else {
             format!("{} [{}]", f.name, f.mode)
         };
+        let tail = match tail_ratio {
+            Some(r) => format!(
+                "  p95 {:>8.2} -> {:>8.2} ms ({:+.1}%)",
+                b.p95_ms,
+                f.p95_ms,
+                (r - 1.0) * 100.0
+            ),
+            None => String::new(),
+        };
         report.lines.push(GateLine {
             text: format!(
-                "{} {:<28} threads={:<2} clients={:<2} rows={:<9} base {:>9.2} ms  fresh {:>9.2} ms  ({:+.1}%)",
+                "{} {:<28} threads={:<2} clients={:<2} rows={:<9} base {:>9.2} ms  fresh {:>9.2} ms  ({:+.1}%){tail}",
                 if regressed { "FAIL" } else { "  ok" },
                 label,
                 f.scan_threads,
@@ -456,6 +524,24 @@ mod tests {
         let back = parse_bench_json(&bench_records_json(&moded)).unwrap();
         assert_eq!(back[0].mode, "vectorized");
         assert_eq!(back[1].mode, "rowwise");
+        // Tail-latency percentiles: nearest-rank, round-trip, and absent
+        // from the JSON (and defaulted on parse) when never attached.
+        let lat: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let tailed =
+            BenchRecord::from_samples_clients("tcp_tail", 4, 8, 10, &[Duration::from_millis(7)])
+                .with_percentiles(&lat);
+        assert!((tailed.p50_ms - 50.0).abs() < 1e-9);
+        assert!((tailed.p95_ms - 95.0).abs() < 1e-9);
+        assert!((tailed.p99_ms - 99.0).abs() < 1e-9);
+        let back = parse_bench_json(&bench_records_json(&[tailed])).unwrap();
+        assert!((back[0].p50_ms - 50.0).abs() < 1e-3);
+        assert!((back[0].p95_ms - 95.0).abs() < 1e-3);
+        assert!((back[0].p99_ms - 99.0).abs() < 1e-3);
+        assert!(
+            !bench_records_json(&records).contains("p50_ms"),
+            "records without percentiles emit no percentile fields"
+        );
+        assert_eq!(old[0].p95_ms, 0.0, "missing percentiles default to 0");
         assert!(parse_bench_json("{\"benchmarks\": []}\n")
             .unwrap()
             .is_empty());
@@ -541,6 +627,36 @@ mod tests {
         let clean = gate_bench_records(&base, &base, 0.25);
         assert_eq!(clean.regressions, 0);
         assert_eq!(clean.compared, 3);
+    }
+
+    #[test]
+    fn gate_arms_tail_check_only_when_both_sides_track_it() {
+        use std::time::Duration;
+        let lat = |ms: u64| vec![Duration::from_millis(ms); 20];
+        let mk = |mean: u64, p: Option<u64>| {
+            let r = BenchRecord::from_samples_clients(
+                "warm_shared_cache",
+                4,
+                8,
+                200_000,
+                &[Duration::from_millis(mean)],
+            );
+            match p {
+                Some(ms) => r.with_percentiles(&lat(ms)),
+                None => r,
+            }
+        };
+        // Same mean, 2x p95: the tail gate fires.
+        let gate = gate_bench_records(&[mk(100, Some(10))], &[mk(100, Some(20))], 0.25);
+        assert_eq!(gate.regressions, 1, "{:?}", gate.lines);
+        assert!(gate.lines[0].text.contains("p95"));
+        // Tail within threshold: passes, and the line reports both axes.
+        let gate = gate_bench_records(&[mk(100, Some(10))], &[mk(100, Some(11))], 0.25);
+        assert_eq!(gate.regressions, 0, "{:?}", gate.lines);
+        // Baseline predates percentiles: mean-only gating, no tail column.
+        let gate = gate_bench_records(&[mk(100, None)], &[mk(100, Some(500))], 0.25);
+        assert_eq!(gate.regressions, 0, "{:?}", gate.lines);
+        assert!(!gate.lines[0].text.contains("p95"));
     }
 
     #[test]

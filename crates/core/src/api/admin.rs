@@ -1,0 +1,106 @@
+//! The operator surface: everything about *running* a NoDb instance that a
+//! query handler should not touch.
+//!
+//! Obtained via [`NoDb::admin`]; borrows the instance, so it is free to
+//! mint on every call. Splitting this off the client facade keeps the
+//! request-handling surface minimal (register/query/snapshot) while the
+//! serving layer and the experiment harness get budgets, update probes,
+//! admission control, prepared statements and report retrieval here.
+
+use std::sync::Arc;
+
+use nodb_engine::{EngineError, EngineResult};
+use nodb_rawcsv::reader::FileChange;
+
+use crate::admission::{BudgetTelemetry, ScanBudget};
+use crate::api::client::NoDb;
+use crate::api::prepared::{PreparedCache, PreparedStats};
+use crate::metrics::QueryReport;
+use crate::rawscan;
+
+/// Administrative view over a [`NoDb`] (see the module docs).
+pub struct Admin<'a> {
+    pub(crate) db: &'a NoDb,
+}
+
+impl Admin<'_> {
+    /// Report for the most recent query on this instance (owned: concurrent
+    /// queries each publish their report as they finish, last writer wins).
+    pub fn last_report(&self) -> Option<QueryReport> {
+        rawscan::lock_recover(&self.db.last_report).clone()
+    }
+
+    /// Change the positional-map budget for every registered table (the
+    /// demo's interactive storage knob). Shrinking evicts immediately.
+    pub fn set_map_budget(&self, bytes: usize) {
+        self.db.config.write().map_budget_bytes = bytes;
+        self.db
+            .tables
+            .for_each(|_, h| h.write().map.set_budget(bytes));
+    }
+
+    /// Change the cache budget for every registered table.
+    pub fn set_cache_budget(&self, bytes: usize) {
+        self.db.config.write().cache_budget_bytes = bytes;
+        self.db
+            .tables
+            .for_each(|_, h| h.write().cache.set_budget(bytes));
+    }
+
+    /// Force an update probe on one table (the harness uses this to test
+    /// §4.2 updates without issuing a query).
+    pub fn probe_updates(&self, table: &str) -> EngineResult<FileChange> {
+        let h = self
+            .db
+            .tables
+            .get(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        let change = h.write().check_updates()?;
+        Ok(change)
+    }
+
+    /// Install a shared scan-thread budget: from now on every query
+    /// acquires its scan threads from `budget` before touching any table
+    /// lock, and its granted permits cap the scan's worker fan-out. One
+    /// budget may govern several `NoDb` instances.
+    pub fn install_scan_budget(&self, budget: Arc<ScanBudget>) {
+        *self.db.scan_budget.write() = Some(budget);
+    }
+
+    /// Remove the scan-thread budget: queries go back to per-query
+    /// `scan_threads` fan-out. In-flight grants drain harmlessly.
+    pub fn remove_scan_budget(&self) {
+        *self.db.scan_budget.write() = None;
+    }
+
+    /// The installed scan budget, if any.
+    pub fn scan_budget(&self) -> Option<Arc<ScanBudget>> {
+        self.db.scan_budget.read().clone()
+    }
+
+    /// Telemetry of the installed scan budget, if any.
+    pub fn budget_telemetry(&self) -> Option<BudgetTelemetry> {
+        self.db.scan_budget.read().as_ref().map(|b| b.telemetry())
+    }
+
+    /// Turn on the prepared-statement cache with room for `capacity`
+    /// distinct SQL strings; repeat queries then skip parse+plan
+    /// (`QueryReport::prepared_hit`). Idempotent: re-enabling replaces the
+    /// cache (and its statistics) with a fresh one.
+    pub fn enable_prepared_statements(&self, capacity: usize) -> Arc<PreparedCache> {
+        let cache = Arc::new(PreparedCache::new(capacity));
+        *self.db.prepared.write() = Some(Arc::clone(&cache));
+        cache
+    }
+
+    /// Turn the prepared-statement cache off (queries plan from scratch
+    /// again).
+    pub fn disable_prepared_statements(&self) {
+        *self.db.prepared.write() = None;
+    }
+
+    /// Counters of the prepared-statement cache, if enabled.
+    pub fn prepared_stats(&self) -> Option<PreparedStats> {
+        self.db.prepared.read().as_ref().map(|c| c.stats())
+    }
+}

@@ -1,0 +1,741 @@
+//! The client surface: registering raw files and running queries.
+//!
+//! [`NoDb`] is what applications (and `nodb-server` connections) hold:
+//! `register_*`, `query`/`query_with_ctx`, `snapshot`, `schema`. Everything
+//! operational — budgets, update probes, the scan-thread budget, the
+//! prepared-statement cache, the last query report — lives behind
+//! [`NoDb::admin`] on the [`Admin`](crate::api::admin::Admin) surface, so
+//! the type a request handler touches has exactly the methods a request
+//! needs.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nodb_engine::{execute_with, plan_select, EngineError, EngineResult, QueryResult, QueueSource};
+use nodb_rawcsv::tokenizer::TokenizerConfig;
+use nodb_rawcsv::{infer, Schema};
+use nodb_sqlparse::parse_select;
+use nodb_stats::estimate::NoStats;
+use nodb_stats::table::StatsEstimator;
+
+use crate::admission::ScanBudget;
+use crate::api::admin::Admin;
+use crate::api::prepared::{CachedPlan, PreparedCache};
+use crate::config::NoDbConfig;
+use crate::ctx::QueryCtx;
+use crate::metrics::{QueryReport, SystemSnapshot};
+use crate::rawscan::{self, RawScanSource, ScanTelemetry, TelemetryHandle};
+use crate::registry::{TableHandle, TableRegistry};
+use crate::table::RawTable;
+
+/// How many times a query re-plans after finding its prepared scan stale
+/// (file-state generation moved, or a needed cache column was evicted)
+/// before falling back to running exclusively under the table's write lock.
+const MAX_SHARED_ATTEMPTS: usize = 3;
+
+/// The NoDB system: a set of registered raw files and their adaptive
+/// auxiliary structures, queryable with SQL from the first second.
+///
+/// Queries take `&self` and may run concurrently from many threads; the
+/// per-table locking discipline is documented on [`crate::registry`]. The
+/// operational knobs live on [`NoDb::admin`] and also take `&self`, so an
+/// operator can turn the demo's storage sliders on a live `Arc<NoDb>`
+/// while clients keep querying (each query works from a config snapshot
+/// taken at its start).
+///
+/// Two optional serving-layer features are installed through the admin
+/// surface and change `query_with_ctx`'s behavior for every caller:
+///
+/// * a [`ScanBudget`] — queries acquire scan-thread permits from one
+///   global semaphore before touching any table lock, so N concurrent
+///   queries never run more than the budget's capacity of scan threads in
+///   total (and queries past the bounded admission queue fail fast with
+///   [`EngineError::Overloaded`]);
+/// * a [`PreparedCache`] — repeat SQL strings skip parse+plan; a hit is
+///   visible as `QueryReport::prepared_hit` with a zero
+///   `Breakdown::planning` slice.
+pub struct NoDb {
+    pub(crate) config: parking_lot::RwLock<NoDbConfig>,
+    pub(crate) tables: TableRegistry,
+    pub(crate) last_report: Mutex<Option<QueryReport>>,
+    pub(crate) scan_budget: parking_lot::RwLock<Option<Arc<ScanBudget>>>,
+    pub(crate) prepared: parking_lot::RwLock<Option<Arc<PreparedCache>>>,
+}
+
+impl NoDb {
+    /// A new instance with the given configuration. Out-of-range I/O knobs
+    /// are clamped here ([`NoDbConfig::validated`]) so every query runs on
+    /// sane block/read-ahead settings.
+    pub fn new(config: NoDbConfig) -> Self {
+        NoDb {
+            config: parking_lot::RwLock::new(config.validated()),
+            tables: TableRegistry::new(),
+            last_report: Mutex::new(None),
+            scan_budget: parking_lot::RwLock::new(None),
+            prepared: parking_lot::RwLock::new(None),
+        }
+    }
+
+    /// The operational/administrative surface: budgets, update probes,
+    /// admission control, prepared statements, query reports.
+    pub fn admin(&self) -> Admin<'_> {
+        Admin { db: self }
+    }
+
+    /// Configuration in force (a copy; the live budgets can move under the
+    /// interactive knobs).
+    pub fn config(&self) -> NoDbConfig {
+        *self.config.read()
+    }
+
+    /// Register a raw file, sniffing the delimiter (comma, tab, semicolon
+    /// or pipe) and inferring the schema from a bounded sample — the only
+    /// bytes touched before the first query.
+    pub fn register_csv(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+    ) -> EngineResult<()> {
+        let inferred = infer::infer_schema_sniffed(&path, 100)?;
+        self.register_csv_with_options(
+            name,
+            path,
+            inferred.schema,
+            inferred.has_header,
+            inferred.tokenizer,
+        )
+    }
+
+    /// Register with an explicit tokenizer configuration (delimiter, quote
+    /// character). Quoted files keep selective tokenizing, caching and
+    /// statistics but bypass the positional map (see `rawscan`).
+    pub fn register_csv_with_options(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+        schema: Schema,
+        has_header: bool,
+        tokenizer: TokenizerConfig,
+    ) -> EngineResult<()> {
+        let table =
+            RawTable::register_with_tokenizer(path, schema, has_header, &self.config(), tokenizer)?;
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Register a raw CSV file with a known schema.
+    pub fn register_csv_with_schema(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+        schema: Schema,
+        has_header: bool,
+    ) -> EngineResult<()> {
+        let table = RawTable::register(path, schema, has_header, &self.config())?;
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Execute one SQL query. Everything adaptive happens as a side effect:
+    /// update detection, access planning, map/cache/statistics population.
+    ///
+    /// Takes `&self`: any number of threads may call this concurrently on
+    /// one instance. The table's write lock is held only for planning and
+    /// the post-scan install; the data scan itself runs under the read lock
+    /// (or, for `scan_threads = 1` and the force-full-parse ablation, under
+    /// the write lock — the sequential path is kept byte-for-byte).
+    pub fn query(&self, sql: &str) -> EngineResult<QueryResult> {
+        let ctx = QueryCtx::from_timeout_ms(self.config().query_timeout_ms);
+        self.query_with_ctx(sql, &ctx)
+    }
+
+    /// Execute one SQL query under a caller-supplied [`QueryCtx`]: a
+    /// deadline and/or a [`crate::ctx::CancelToken`] another thread can
+    /// trip. The scan polls the context cooperatively (partition workers,
+    /// block refills, the newline pre-count, batch loops); a stopped query
+    /// fails with [`EngineError::Cancelled`] /
+    /// [`EngineError::DeadlineExceeded`] *after* merging whatever
+    /// map/cache/statistics partials completed, so the retry starts warmer
+    /// than the original (see `rawscan`'s partial-merge docs).
+    pub fn query_with_ctx(&self, sql: &str, ctx: &QueryCtx) -> EngineResult<QueryResult> {
+        self.query_reported(sql, ctx).map(|(result, _)| result)
+    }
+
+    /// Like [`Self::query_with_ctx`], but also returns this query's own
+    /// [`QueryReport`]. Under concurrency this is the only race-free way to
+    /// read a report: `Admin::last_report` is last-writer-wins across all
+    /// in-flight queries, while the report returned here is the one this
+    /// call produced. The serving layer uses it to stamp per-response
+    /// status (rows, prepared-hit, cache state, latency).
+    pub fn query_reported(
+        &self,
+        sql: &str,
+        ctx: &QueryCtx,
+    ) -> EngineResult<(QueryResult, QueryReport)> {
+        let t0 = Instant::now();
+        ctx.check()?;
+        let mut config = self.config();
+
+        // Admission first, before any table lock: a query holding the
+        // table's write lock while waiting for scan-thread permits could
+        // deadlock against admitted queries that need that same lock. The
+        // grant rides to the end of the function and releases on every
+        // exit path (including errors), and it *clamps* the config's
+        // thread fan-out — granted permits are what the scan may spawn.
+        let budget = self.scan_budget.read().clone();
+        let _grant = match budget.as_ref() {
+            Some(b) => {
+                let grant = b.acquire(config.effective_scan_threads(), ctx)?;
+                config.scan_threads = grant.permits();
+                Some(grant)
+            }
+            None => None,
+        };
+
+        // Plan resolution: a prepared-cache entry whose table handle is
+        // still the registered one short-circuits parse+plan; validity
+        // against file state (generation) is decided below, under the same
+        // write lock fresh planning would take.
+        let prepared_cache = self.prepared.read().clone();
+        let mut planning = Duration::ZERO;
+        let mut cached_entry: Option<CachedPlan> = None;
+        if let Some(cache) = prepared_cache.as_ref() {
+            if let Some(entry) = cache.lookup(sql) {
+                let live = self
+                    .tables
+                    .get(&entry.table)
+                    .zip(entry.handle.upgrade())
+                    .is_some_and(|(current, seen)| Arc::ptr_eq(&current, &seen));
+                if live {
+                    cached_entry = Some(entry);
+                } else {
+                    cache.note_invalidated();
+                }
+            }
+        }
+        let (table_name, handle, parsed_stmt) = match &cached_entry {
+            Some(entry) => {
+                let handle = self
+                    .tables
+                    .get(&entry.table)
+                    .ok_or_else(|| EngineError::UnknownTable(entry.table.clone()))?;
+                (entry.table.clone(), handle, None)
+            }
+            None => {
+                let tp = Instant::now();
+                let stmt = parse_select(sql)?;
+                planning += tp.elapsed();
+                let handle = self
+                    .tables
+                    .get(&stmt.table)
+                    .ok_or_else(|| EngineError::UnknownTable(stmt.table.clone()))?;
+                (stmt.table.clone(), handle, Some(stmt))
+            }
+        };
+        let telemetry: TelemetryHandle = Arc::new(Mutex::new(ScanTelemetry::default()));
+
+        // Planning bookkeeping under a short write lock: update probe,
+        // cached-plan validation or statistics-driven planning, usage
+        // counters.
+        let mut guard = handle.write();
+        let (planned, prepared_hit) = {
+            let table = &mut *guard;
+            if config.detect_updates {
+                table.check_updates()?;
+            }
+            match cached_entry {
+                Some(entry) if entry.generation == table.generation => {
+                    if let Some(cache) = prepared_cache.as_ref() {
+                        cache.note_hit();
+                    }
+                    (entry.planned, true)
+                }
+                stale => {
+                    if stale.is_some() {
+                        // Generation moved (append/replace reconciled by the
+                        // probe above): the cached plan is for old file
+                        // state, replan exactly as a fresh query would.
+                        if let Some(cache) = prepared_cache.as_ref() {
+                            cache.note_invalidated();
+                        }
+                    }
+                    let tp = Instant::now();
+                    let stmt = match parsed_stmt {
+                        Some(stmt) => stmt,
+                        None => parse_select(sql)?,
+                    };
+                    let planned = if config.enable_stats {
+                        let est = StatsEstimator::new(&mut table.stats);
+                        plan_select(&stmt, &table.schema, &est)?
+                    } else {
+                        plan_select(&stmt, &table.schema, &NoStats)?
+                    };
+                    planning += tp.elapsed();
+                    if let Some(cache) = prepared_cache.as_ref() {
+                        cache.insert(sql, &table_name, &handle, table.generation, planned.clone());
+                    }
+                    (planned, false)
+                }
+            }
+        };
+        {
+            let table = &mut *guard;
+            for &attr in &planned.scan.attrs {
+                if let Some(slot) = table.attr_access.get_mut(attr) {
+                    *slot += 1;
+                }
+            }
+        }
+
+        let mut attempts = 0usize;
+        // Engine (pipeline-above-the-scan) time, measured around the
+        // execute call so the report separates scan work from engine work.
+        // On the staged paths the split is exact; on the exclusive
+        // streaming path the scan runs inside execute, so its phase slices
+        // are subtracted back out below.
+        let mut engine_elapsed = std::time::Duration::ZERO;
+        // True when the scan ran *inside* the engine call (the exclusive
+        // streaming path pulls batches from within execute), so the scan's
+        // phase slices must be carved back out of the engine measurement.
+        let mut scan_inside_engine = false;
+        let vectorized = config.vectorized_exec;
+        let mut run_engine = |planned: &nodb_engine::PlannedQuery,
+                              source: Box<dyn nodb_engine::ScanSource + '_>|
+         -> EngineResult<QueryResult> {
+            let t = Instant::now();
+            let r = execute_with(planned, source, vectorized);
+            engine_elapsed = t.elapsed();
+            r
+        };
+        let result = loop {
+            attempts += 1;
+            ctx.check()?;
+            let prep = rawscan::prepare_scan(
+                &mut guard,
+                &config,
+                planned.scan.clone(),
+                &telemetry,
+                ctx.clone(),
+            );
+            // A stale prep (concurrent append/replace reconciliation, or a
+            // cache column evicted under budget pressure) sends the query
+            // around the loop; after a few spins it runs exclusively, which
+            // cannot go stale.
+            let exclusive = attempts > MAX_SHARED_ATTEMPTS;
+            if !exclusive && prep.fully_cached {
+                drop(guard);
+                match rawscan::stream_cached_shared(&handle, &config, &prep, &telemetry)? {
+                    Some(queue) => break run_engine(&planned, Box::new(QueueSource::new(queue)))?,
+                    None => {
+                        guard = handle.write();
+                        continue;
+                    }
+                }
+            }
+            if !exclusive
+                && !prep.fully_cached
+                && prep.threads >= 2
+                && !config.cache_force_full_parse
+            {
+                drop(guard);
+                match rawscan::scan_shared(&handle, &config, &prep, &telemetry)? {
+                    Some(queue) => break run_engine(&planned, Box::new(QueueSource::new(queue)))?,
+                    None => {
+                        guard = handle.write();
+                        continue;
+                    }
+                }
+            }
+            // Exclusive path: the write lock is held across the whole scan.
+            scan_inside_engine = true;
+            let source = RawScanSource::from_prep(&mut guard, config, prep, Arc::clone(&telemetry));
+            break run_engine(&planned, Box::new(source))?;
+        };
+
+        let total = t0.elapsed();
+        let mut tel = rawscan::lock_recover(&telemetry);
+        let mut breakdown = tel.breakdown;
+        let scan_time = breakdown.io
+            + breakdown.tokenizing
+            + breakdown.parsing
+            + breakdown.convert
+            + breakdown.nodb;
+        breakdown.engine = if scan_inside_engine {
+            engine_elapsed.saturating_sub(scan_time)
+        } else {
+            engine_elapsed
+        };
+        breakdown.planning = planning;
+        // Processing = everything not attributed to a scan phase, the
+        // engine pipeline or planning (admission/lock waits land here).
+        breakdown.processing = total.saturating_sub(scan_time + breakdown.engine + planning);
+        let report = QueryReport {
+            total,
+            breakdown,
+            io: tel.io,
+            rows_scanned: tel.rows_scanned,
+            rows_returned: result.len() as u64,
+            cache_hits: tel.cache_hits,
+            cache_misses: tel.cache_misses,
+            fully_cached: tel.fully_cached,
+            prepared_hit,
+            installed_chunk: tel.installed_chunk,
+            rows_quarantined: tel.rows_quarantined,
+            quarantine_samples: std::mem::take(&mut tel.quarantine_samples),
+            plan: planned.explain(),
+        };
+        drop(tel);
+        *rawscan::lock_recover(&self.last_report) = Some(report.clone());
+        Ok((result, report))
+    }
+
+    /// The Figure 2 monitoring panel for one table.
+    pub fn snapshot(&self, table: &str) -> Option<SystemSnapshot> {
+        self.tables.get(table).map(|h| h.read().snapshot())
+    }
+
+    /// Schema of a registered table.
+    pub fn schema(&self, table: &str) -> Option<Schema> {
+        self.tables.get(table).map(|h| h.read().schema().clone())
+    }
+
+    /// Names of every registered table, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.names()
+    }
+
+    /// Shared handle to a registered table (experiment harness / tests).
+    /// Lock it (`read`/`write`) to inspect or tweak the adaptive state.
+    pub fn table_handle(&self, name: &str) -> Option<TableHandle> {
+        self.tables.get(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Deprecated aliases for methods that moved to the admin surface
+    // (`NoDb::admin`). Kept so pre-split callers keep compiling; they
+    // forward verbatim.
+    // ------------------------------------------------------------------
+
+    /// Report for the most recent query on this instance.
+    #[deprecated(note = "moved to the admin surface: use `db.admin().last_report()`")]
+    pub fn last_report(&self) -> Option<QueryReport> {
+        self.admin().last_report()
+    }
+
+    /// Change the positional-map budget for every registered table.
+    #[deprecated(note = "moved to the admin surface: use `db.admin().set_map_budget(bytes)`")]
+    pub fn set_map_budget(&self, bytes: usize) {
+        self.admin().set_map_budget(bytes)
+    }
+
+    /// Change the cache budget for every registered table.
+    #[deprecated(note = "moved to the admin surface: use `db.admin().set_cache_budget(bytes)`")]
+    pub fn set_cache_budget(&self, bytes: usize) {
+        self.admin().set_cache_budget(bytes)
+    }
+
+    /// Force an update probe on one table.
+    #[deprecated(note = "moved to the admin surface: use `db.admin().probe_updates(table)`")]
+    pub fn probe_updates(&self, table: &str) -> EngineResult<nodb_rawcsv::reader::FileChange> {
+        self.admin().probe_updates(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_rawcsv::{Datum, GeneratorConfig};
+    use std::path::PathBuf;
+
+    fn tmp_csv(cols: usize, rows: u64, seed: u64) -> (PathBuf, GeneratorConfig) {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "nodb_facade_{cols}_{rows}_{seed}_{}",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let cfg = GeneratorConfig::uniform_ints(cols, rows, seed);
+        cfg.generate_file(&p).unwrap();
+        (p, cfg)
+    }
+
+    #[test]
+    fn facade_is_send_and_sync() {
+        fn assert_shareable<T: Send + Sync>() {}
+        assert_shareable::<NoDb>();
+        assert_shareable::<TableHandle>();
+    }
+
+    #[test]
+    fn zero_load_query_and_adaptive_speedup_state() {
+        let (p, gen) = tmp_csv(6, 1000, 11);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+
+        let r1 = db
+            .query("SELECT c1, c4 FROM t WHERE c2 > 500000000")
+            .unwrap();
+        let rep1 = db.admin().last_report().unwrap();
+        assert_eq!(rep1.rows_scanned, 1000);
+        assert!(!rep1.fully_cached);
+        assert!(rep1.io.bytes_read > 0);
+
+        let r2 = db
+            .query("SELECT c1, c4 FROM t WHERE c2 > 500000000")
+            .unwrap();
+        let rep2 = db.admin().last_report().unwrap();
+        assert_eq!(r1, r2, "adaptive rerun must be identical");
+        assert!(rep2.fully_cached, "second run served from cache");
+        assert_eq!(rep2.io.bytes_read, 0);
+        assert!(rep2.cache_hits > 0, "cached rerun tallies its own hits");
+        // The warm query's time splits into scan side (zeroed here: no file
+        // access) and the engine pipeline, which the report now separates.
+        assert!(
+            rep2.breakdown.engine > std::time::Duration::ZERO,
+            "engine phase measured"
+        );
+        assert!(rep2.breakdown.engine <= rep2.total);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn snapshot_evolves_with_queries() {
+        let (p, gen) = tmp_csv(5, 200, 12);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+        let s0 = db.snapshot("t").unwrap();
+        assert_eq!(s0.map_bytes + s0.cache_bytes, 0);
+        db.query("SELECT c0 FROM t").unwrap();
+        let s1 = db.snapshot("t").unwrap();
+        assert!(s1.map_bytes > 0 || s1.cache_bytes > 0);
+        assert_eq!(s1.attr_access_counts[0], (0, 1));
+        assert_eq!(s1.row_count, Some(200));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn schema_inference_path_works_end_to_end() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nodb_facade_infer_{}", std::process::id()));
+        std::fs::write(&p, "id,name,score\n1,alice,2.5\n2,bob,3.5\n").unwrap();
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv("people", &p).unwrap();
+        let r = db.query("SELECT name FROM people WHERE score > 3").unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::from("bob")]]);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn aggregates_over_raw_files() {
+        let (p, gen) = tmp_csv(3, 500, 13);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+        let r = db.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.scalar(), Some(&Datum::Int(500)));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn append_detected_next_query_sees_new_rows() {
+        let (p, gen) = tmp_csv(3, 100, 14);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Datum::Int(100))
+        );
+        gen.append_rows(&p, 50).unwrap();
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Datum::Int(150)),
+            "appended rows visible to the next query"
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn replacement_detected_and_state_dropped() {
+        let (p, gen) = tmp_csv(3, 100, 15);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+        db.query("SELECT c0 FROM t").unwrap();
+        assert!(db.snapshot("t").unwrap().cache_bytes > 0);
+        // Replace with a smaller file of the same shape.
+        let gen2 = GeneratorConfig::uniform_ints(3, 10, 99);
+        gen2.generate_file(&p).unwrap();
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Datum::Int(10))
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn budget_knobs_apply_immediately() {
+        let (p, gen) = tmp_csv(4, 200, 16);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+        db.query("SELECT c0, c1 FROM t").unwrap();
+        assert!(db.snapshot("t").unwrap().cache_bytes > 0);
+        db.admin().set_cache_budget(0);
+        db.admin().set_map_budget(0);
+        let s = db.snapshot("t").unwrap();
+        assert_eq!(s.cache_bytes, 0);
+        assert_eq!(s.map_bytes, 0);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let db = NoDb::new(NoDbConfig::default());
+        assert!(matches!(
+            db.query("SELECT a FROM missing"),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn baseline_config_answers_but_learns_nothing() {
+        let (p, gen) = tmp_csv(4, 300, 17);
+        let mut db = NoDb::new(NoDbConfig::baseline());
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+        db.query("SELECT c1 FROM t").unwrap();
+        db.query("SELECT c1 FROM t").unwrap();
+        let rep = db.admin().last_report().unwrap();
+        assert!(!rep.fully_cached);
+        assert!(rep.io.bytes_read > 0, "baseline re-reads every query");
+        let s = db.snapshot("t").unwrap();
+        assert_eq!(s.map_bytes + s.cache_bytes, 0);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_table() {
+        let (p, gen) = tmp_csv(5, 400, 18);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+        let sql = "SELECT c1, c3 FROM t WHERE c2 < 700000000";
+        let expect = db.query(sql).unwrap();
+
+        let db = Arc::new(db);
+        let results: Vec<QueryResult> = std::thread::scope(|s| {
+            (0..6)
+                .map(|_| {
+                    let db = Arc::clone(&db);
+                    s.spawn(move || db.query(sql).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in results {
+            assert_eq!(r, expect, "concurrent query must match sequential");
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn prepared_cache_hits_skip_parse_and_plan() {
+        let (p, gen) = tmp_csv(4, 300, 19);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+        db.admin().enable_prepared_statements(8);
+        let sql = "SELECT c1 FROM t WHERE c2 > 100";
+        let r1 = db.query(sql).unwrap();
+        let rep1 = db.admin().last_report().unwrap();
+        assert!(!rep1.prepared_hit, "first run plans from scratch");
+        let r2 = db.query(sql).unwrap();
+        let rep2 = db.admin().last_report().unwrap();
+        assert_eq!(r1, r2, "prepared rerun must be identical");
+        assert!(rep2.prepared_hit, "second run served from the plan cache");
+        assert_eq!(
+            rep2.breakdown.planning,
+            Duration::ZERO,
+            "prepared hit deletes the planning slice"
+        );
+        assert!(
+            rep1.breakdown.planning > Duration::ZERO,
+            "cold run records parse+plan time"
+        );
+        let stats = db.admin().prepared_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn prepared_cache_invalidated_by_append() {
+        let (p, gen) = tmp_csv(3, 100, 20);
+        let mut db = NoDb::new(NoDbConfig::default());
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+        db.admin().enable_prepared_statements(8);
+        let sql = "SELECT COUNT(*) FROM t";
+        assert_eq!(db.query(sql).unwrap().scalar(), Some(&Datum::Int(100)));
+        assert_eq!(db.query(sql).unwrap().scalar(), Some(&Datum::Int(100)));
+        assert!(db.admin().last_report().unwrap().prepared_hit);
+        gen.append_rows(&p, 25).unwrap();
+        assert_eq!(
+            db.query(sql).unwrap().scalar(),
+            Some(&Datum::Int(125)),
+            "append visible despite the cached plan"
+        );
+        let rep = db.admin().last_report().unwrap();
+        assert!(
+            !rep.prepared_hit,
+            "generation bump forces a replan after append"
+        );
+        let stats = db.admin().prepared_stats().unwrap();
+        assert!(stats.invalidations >= 1);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn scan_budget_clamps_fan_out_and_tracks_peaks() {
+        let (p, gen) = tmp_csv(4, 2000, 21);
+        let mut db = NoDb::new(NoDbConfig {
+            scan_threads: 4,
+            ..NoDbConfig::default()
+        });
+        db.register_csv_with_schema("t", &p, gen.schema(), false)
+            .unwrap();
+        let budget = Arc::new(crate::admission::ScanBudget::new(2));
+        db.admin().install_scan_budget(Arc::clone(&budget));
+        let expect = {
+            // Reference result from a budget-free instance.
+            let mut free = NoDb::new(NoDbConfig::default());
+            free.register_csv_with_schema("t", &p, gen.schema(), false)
+                .unwrap();
+            free.query("SELECT COUNT(*) FROM t").unwrap()
+        };
+        let db = Arc::new(db);
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let db = Arc::clone(&db);
+                let expect = expect.clone();
+                s.spawn(move || {
+                    assert_eq!(db.query("SELECT COUNT(*) FROM t").unwrap(), expect);
+                });
+            }
+        });
+        let t = budget.telemetry();
+        assert!(
+            t.peak_in_flight <= t.capacity,
+            "budget never exceeded: {t:?}"
+        );
+        assert_eq!(t.admitted, 6);
+        assert_eq!(t.in_flight, 0, "all grants returned");
+        std::fs::remove_file(p).unwrap();
+    }
+}

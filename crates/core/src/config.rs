@@ -295,6 +295,14 @@ impl NoDbConfig {
             .min(4096)
     }
 
+    /// Start a builder from the paper defaults (PM+C). `build()` folds in
+    /// [`Self::validated`], so a built config is always in-range.
+    pub fn builder() -> NoDbConfigBuilder {
+        NoDbConfigBuilder {
+            cfg: NoDbConfig::default(),
+        }
+    }
+
     /// Short label for experiment tables.
     pub fn label(&self) -> &'static str {
         match (self.enable_positional_map, self.enable_cache) {
@@ -312,9 +320,124 @@ impl NoDbConfig {
     }
 }
 
+/// Fluent construction of a [`NoDbConfig`] with validation folded in:
+/// `NoDbConfig::builder().scan_threads(4).build()` yields a config that
+/// already passed [`NoDbConfig::validated`], so no caller can forget the
+/// clamp. Struct-literal construction of `NoDbConfig` keeps working (the
+/// fields stay public for the experiment harness); the builder is the
+/// recommended path for application code and the server.
+#[derive(Debug, Clone, Copy)]
+pub struct NoDbConfigBuilder {
+    cfg: NoDbConfig,
+}
+
+impl NoDbConfigBuilder {
+    /// Start from an existing config instead of the defaults.
+    pub fn from_config(cfg: NoDbConfig) -> Self {
+        NoDbConfigBuilder { cfg }
+    }
+
+    /// Enable/disable the adaptive positional map (§3.1).
+    pub fn positional_map(mut self, on: bool) -> Self {
+        self.cfg.enable_positional_map = on;
+        self
+    }
+
+    /// Enable/disable the adaptive binary cache (§3.2).
+    pub fn cache(mut self, on: bool) -> Self {
+        self.cfg.enable_cache = on;
+        self
+    }
+
+    /// Enable/disable on-the-fly statistics (§3.3).
+    pub fn stats(mut self, on: bool) -> Self {
+        self.cfg.enable_stats = on;
+        self
+    }
+
+    /// Positional-map byte budget.
+    pub fn map_budget_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.map_budget_bytes = bytes;
+        self
+    }
+
+    /// Cache byte budget.
+    pub fn cache_budget_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.cache_budget_bytes = bytes;
+        self
+    }
+
+    /// Scan worker threads (`0` = auto-detect).
+    pub fn scan_threads(mut self, n: usize) -> Self {
+        self.cfg.scan_threads = n;
+        self
+    }
+
+    /// Raw-file read block size (clamped on `build`).
+    pub fn io_block_size(mut self, bytes: usize) -> Self {
+        self.cfg.io_block_size = bytes;
+        self
+    }
+
+    /// Read-ahead depth in blocks (clamped on `build`).
+    pub fn io_readahead_blocks(mut self, blocks: usize) -> Self {
+        self.cfg.io_readahead_blocks = blocks;
+        self
+    }
+
+    /// Per-query deadline in milliseconds (`0` = none).
+    pub fn query_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.query_timeout_ms = ms;
+        self
+    }
+
+    /// Vectorized warm-path execution on/off.
+    pub fn vectorized_exec(mut self, on: bool) -> Self {
+        self.cfg.vectorized_exec = on;
+        self
+    }
+
+    /// Pre-query append/replacement detection on/off.
+    pub fn detect_updates(mut self, on: bool) -> Self {
+        self.cfg.detect_updates = on;
+        self
+    }
+
+    /// Malformed-row policy.
+    pub fn parse_errors(mut self, policy: ParseErrorPolicy) -> Self {
+        self.cfg.parse_errors = policy;
+        self
+    }
+
+    /// Finish: validation ([`NoDbConfig::validated`]) is applied here, so
+    /// built configs are always in-range.
+    pub fn build(self) -> NoDbConfig {
+        self.cfg.validated()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_folds_in_validation() {
+        let cfg = NoDbConfig::builder()
+            .scan_threads(4)
+            .io_block_size(1) // out of range: clamped by build()
+            .io_readahead_blocks(10_000)
+            .query_timeout_ms(250)
+            .build();
+        assert_eq!(cfg.scan_threads, 4);
+        assert_eq!(cfg.io_block_size, MIN_IO_BLOCK_SIZE);
+        assert_eq!(cfg.io_readahead_blocks, MAX_READAHEAD_BLOCKS);
+        assert_eq!(cfg.query_timeout_ms, 250);
+        let ablation = NoDbConfigBuilder::from_config(NoDbConfig::baseline())
+            .stats(true)
+            .build();
+        assert!(ablation.enable_stats);
+        assert!(!ablation.enable_positional_map, "base preset preserved");
+    }
 
     #[test]
     fn presets_match_paper_variants() {

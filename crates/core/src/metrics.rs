@@ -31,9 +31,13 @@ pub struct Breakdown {
     /// `execute` call, so "scan time" and "engine time" separate cleanly
     /// in the panel (the vectorized warm path shrinks this slice).
     pub engine: Duration,
-    /// Everything not attributed elsewhere: parsing the SQL, planning,
-    /// lock waits, and (for the exclusive streaming path, whose scan and
-    /// engine interleave) the scan-side remainder.
+    /// Parsing the SQL text and planning the statement. Exactly zero when
+    /// the query was served from the prepared-statement cache — the slice
+    /// a prepared hit deletes.
+    pub planning: Duration,
+    /// Everything not attributed elsewhere: admission waits, lock waits,
+    /// and (for the exclusive streaming path, whose scan and engine
+    /// interleave) the scan-side remainder.
     pub processing: Duration,
 }
 
@@ -46,6 +50,7 @@ impl Breakdown {
             + self.convert
             + self.nodb
             + self.engine
+            + self.planning
             + self.processing
     }
 
@@ -57,24 +62,26 @@ impl Breakdown {
         self.convert += other.convert;
         self.nodb += other.nodb;
         self.engine += other.engine;
+        self.planning += other.planning;
         self.processing += other.processing;
     }
 
     /// Render as the Fig 3 panel row: `io=…ms tok=…ms parse=…ms conv=…ms
-    /// nodb=…ms engine=…ms proc=…ms`.
+    /// nodb=…ms engine=…ms plan=…ms proc=…ms`.
     pub fn panel_row(&self) -> String {
         fn ms(d: Duration) -> f64 {
             d.as_secs_f64() * 1e3
         }
         format!(
             "io={:8.2}ms tok={:8.2}ms parse={:8.2}ms conv={:8.2}ms nodb={:8.2}ms \
-             engine={:8.2}ms proc={:8.2}ms",
+             engine={:8.2}ms plan={:8.2}ms proc={:8.2}ms",
             ms(self.io),
             ms(self.tokenizing),
             ms(self.parsing),
             ms(self.convert),
             ms(self.nodb),
             ms(self.engine),
+            ms(self.planning),
             ms(self.processing)
         )
     }
@@ -99,6 +106,9 @@ pub struct QueryReport {
     pub cache_misses: u64,
     /// Whether the scan was served entirely from the cache (no file access).
     pub fully_cached: bool,
+    /// Whether the plan came from the prepared-statement cache: parse and
+    /// plan were skipped entirely (`breakdown.planning` is exactly zero).
+    pub prepared_hit: bool,
     /// Whether a positional-map chunk was installed as a side effect.
     pub installed_chunk: bool,
     /// Rows with a malformed cell tombstoned as NULL under the permissive

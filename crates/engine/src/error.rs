@@ -26,6 +26,14 @@ pub enum EngineError {
     /// (`NoDbConfig::query_timeout_ms`). Like [`Self::Cancelled`], partial
     /// adaptive state survives so the retry starts warmer.
     DeadlineExceeded,
+    /// The admission queue in front of the shared scan-thread budget is
+    /// full: the query was rejected *before* touching any table state, the
+    /// serving layer's back-pressure signal. Retrying after a short delay
+    /// is safe and is what clients are expected to do.
+    Overloaded {
+        /// Queries already waiting for scan-thread permits at rejection.
+        waiting: usize,
+    },
     /// A scan worker panicked. The panic is contained at the worker
     /// boundary (`catch_unwind`), so the table stays usable; the payload
     /// and the partition that blew up travel with the error.
@@ -47,6 +55,12 @@ impl fmt::Display for EngineError {
             EngineError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
             EngineError::Cancelled => write!(f, "query cancelled"),
             EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            EngineError::Overloaded { waiting } => {
+                write!(
+                    f,
+                    "server overloaded ({waiting} queries queued); retry later"
+                )
+            }
             EngineError::WorkerPanic { partition, message } => {
                 write!(f, "scan worker panicked (partition {partition}): {message}")
             }

@@ -1,0 +1,95 @@
+//! Blocking TCP client for nodb-server — the REPL's network mode, the CI
+//! smoke check and the integration tests all speak through this.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame};
+
+/// One response: the status line and the body frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// `OK …` or `ERR …`.
+    pub status: String,
+    /// Rendered payload (result rows, panel text, …); may be empty.
+    pub body: String,
+}
+
+impl Response {
+    /// True when the status frame starts with `OK`.
+    pub fn is_ok(&self) -> bool {
+        self.status.starts_with("OK")
+    }
+}
+
+/// A connected nodb-server client. One request in flight at a time
+/// (requests and responses strictly alternate on the wire).
+pub struct NoDbClient {
+    stream: TcpStream,
+}
+
+impl NoDbClient {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NoDbClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(NoDbClient { stream })
+    }
+
+    /// Like [`Self::connect`] with a connect timeout (tests / impatient
+    /// tooling). Needs a resolved address.
+    pub fn connect_timeout(
+        addr: &std::net::SocketAddr,
+        timeout: Duration,
+    ) -> io::Result<NoDbClient> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        Ok(NoDbClient { stream })
+    }
+
+    /// Send one raw command line and read the two-frame response.
+    pub fn command(&mut self, line: &str) -> io::Result<Response> {
+        write_frame(&mut self.stream, line)?;
+        let status = read_frame(&mut self.stream)?.ok_or_else(closed)?;
+        let body = read_frame(&mut self.stream)?.ok_or_else(closed)?;
+        Ok(Response { status, body })
+    }
+
+    /// Run one SQL statement (`QUERY <sql>`).
+    pub fn query(&mut self, sql: &str) -> io::Result<Response> {
+        self.command(&format!("QUERY {sql}"))
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        Ok(self.command("PING")?.is_ok())
+    }
+
+    /// Tell the server this connection is done (the server closes after
+    /// acknowledging).
+    pub fn quit(mut self) -> io::Result<()> {
+        let _ = self.command("QUIT")?;
+        Ok(())
+    }
+
+    /// The underlying stream (tests use this to simulate abrupt
+    /// disconnects via `shutdown`).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Send a request frame WITHOUT reading the response — only useful for
+    /// tests that drop the connection mid-query to exercise the server's
+    /// disconnect watchdog.
+    pub fn send_only(&mut self, line: &str) -> io::Result<()> {
+        write_frame(&mut self.stream, line)
+    }
+}
+
+fn closed() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        "server closed the connection mid-response",
+    )
+}

@@ -1,0 +1,273 @@
+//! Wire protocol: length-prefixed UTF-8 frames.
+//!
+//! Every message — request or response — is one *frame*: a 4-byte
+//! big-endian payload length followed by that many bytes of UTF-8 text.
+//! Requests are a single frame holding one command line; responses are
+//! exactly **two** frames: a status line (`OK …` / `ERR …`) and a body
+//! (possibly empty). The full command table lives in the crate README.
+//!
+//! Frames are capped at [`MAX_FRAME`] bytes in both directions so a
+//! corrupt or hostile length prefix cannot make either side allocate
+//! unboundedly.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Largest accepted frame payload (16 MiB): big enough for any realistic
+/// result rendering, small enough that a bad length prefix fails fast.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// How long a server-side read waits before re-checking the shutdown flag.
+pub const READ_POLL: Duration = Duration::from_millis(20);
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame length exceeds u32"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Read one frame, blocking until it arrives. `Ok(None)` means the peer
+/// closed the connection cleanly (EOF before any header byte).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_be_bytes(header);
+    let len = usize::try_from(len)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length exceeds usize"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    Ok(Some(text))
+}
+
+/// Read one frame from a stream whose read timeout is set to [`READ_POLL`],
+/// re-checking `shutdown` between timeouts while the connection is idle.
+/// `Ok(None)` means the peer closed cleanly *or* the server is shutting
+/// down and no request is in flight. A shutdown arriving mid-frame aborts
+/// the read with an error (the partial frame cannot be resumed).
+pub fn read_frame_shutdown_aware(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<String>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        if shutdown.load(Ordering::Relaxed) && filled == 0 {
+            return Ok(None);
+        }
+        match stream.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-header",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::Relaxed) && filled > 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "server shutdown mid-frame",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    let len = usize::try_from(len)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length exceeds usize"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-payload",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "server shutdown mid-frame",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let text = String::from_utf8(payload)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    Ok(Some(text))
+}
+
+/// `WouldBlock` / `TimedOut` — the two kinds a read timeout surfaces as,
+/// platform-dependently.
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// `read_exact` that distinguishes clean EOF-before-any-byte from a
+/// mid-buffer EOF (which is an error).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(ReadOutcome::Eof)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `QUERY <sql>` — run one SQL statement.
+    Query(String),
+    /// `TABLES` — list registered tables.
+    Tables,
+    /// `SCHEMA <table>` — render a table's schema.
+    Schema(String),
+    /// `PANEL <table>` — the Figure-2 monitoring panel.
+    Panel(String),
+    /// `REPORT` — the Fig-3 breakdown of this connection's last query.
+    Report,
+    /// `STATS` — server / admission / prepared-statement counters.
+    Stats,
+    /// `PING` — liveness check.
+    Ping,
+    /// `QUIT` — close the connection.
+    Quit,
+}
+
+impl Command {
+    /// Parse one request line. `Err` carries the message for an `ERR`
+    /// status frame.
+    pub fn parse(line: &str) -> Result<Command, String> {
+        let trimmed = line.trim();
+        let (verb, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (trimmed, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "QUERY" if !rest.is_empty() => Ok(Command::Query(rest.to_string())),
+            "QUERY" => Err("QUERY needs a SQL statement".to_string()),
+            "TABLES" => Ok(Command::Tables),
+            "SCHEMA" if !rest.is_empty() => Ok(Command::Schema(rest.to_string())),
+            "SCHEMA" => Err("SCHEMA needs a table name".to_string()),
+            "PANEL" if !rest.is_empty() => Ok(Command::Panel(rest.to_string())),
+            "PANEL" => Err("PANEL needs a table name".to_string()),
+            "REPORT" => Ok(Command::Report),
+            "STATS" => Ok(Command::Stats),
+            "PING" => Ok(Command::Ping),
+            "QUIT" => Ok(Command::Quit),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "QUERY SELECT 1").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("QUERY SELECT 1")
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        buf.truncate(6); // header + 2 payload bytes
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(
+            Command::parse("QUERY SELECT c0 FROM t"),
+            Ok(Command::Query("SELECT c0 FROM t".to_string()))
+        );
+        assert_eq!(Command::parse("tables"), Ok(Command::Tables));
+        assert_eq!(Command::parse("  PING  "), Ok(Command::Ping));
+        assert_eq!(
+            Command::parse("SCHEMA events"),
+            Ok(Command::Schema("events".to_string()))
+        );
+        assert!(Command::parse("QUERY").is_err());
+        assert!(Command::parse("BOGUS x").is_err());
+    }
+}

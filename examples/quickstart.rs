@@ -29,7 +29,7 @@ fn main() {
     let sql = "SELECT c1, c5 FROM events WHERE c2 < 250000000 ORDER BY c1 LIMIT 5";
     let r = db.query(sql).expect("query 1");
     println!("{sql}\n{r}\n");
-    let rep = db.last_report().unwrap().clone();
+    let rep = db.admin().last_report().unwrap().clone();
     println!(
         "q1 latency {:?}  [{}]",
         rep.total,
@@ -39,7 +39,7 @@ fn main() {
     // 4. Same query again: served from the adaptive structures.
     let r2 = db.query(sql).expect("query 2");
     assert_eq!(r, r2);
-    let rep2 = db.last_report().unwrap();
+    let rep2 = db.admin().last_report().unwrap();
     println!(
         "q2 latency {:?}  fully_cached={} (speedup {:.1}x)\n",
         rep2.total,

@@ -1,24 +1,102 @@
 //! Interactive NoDB shell — the closest thing to the paper's live demo.
 //!
 //! ```text
-//! cargo run --release --example repl -- path/to/file.csv
+//! cargo run --release --example repl -- path/to/file.csv   # local, in-process
+//! cargo run --release --example repl                       # local, synthetic 100k rows
+//! cargo run --release --example repl -- --connect 127.0.0.1:7654
 //! ```
-//! (without an argument, a 100k-row synthetic file is generated)
 //!
-//! Commands:
-//! * any `SELECT ... FROM t ...` — run it and print result + breakdown;
-//! * `\panel`   — the Fig 2 monitoring panel;
-//! * `\plan`    — EXPLAIN of the last query;
-//! * `\cache N` / `\map N` — set budgets to N bytes (demo sliders);
-//! * `\q`       — quit.
+//! The third form turns the shell into a thin network client for a running
+//! `nodb-server` (see `crates/server`): SQL and the `\…` commands travel
+//! over the length-prefixed wire protocol instead of poking the facade.
+//!
+//! Commands (both modes):
+//! * any `SELECT ... FROM t ...` — run it and print result + status;
+//! * `\panel [t]` — the Fig 2 monitoring panel;
+//! * `\plan`      — EXPLAIN/breakdown of the last query;
+//! * `\cache N` / `\map N` — set budgets to N bytes (local mode only);
+//! * `\stats`     — server counters (network mode only);
+//! * `\q`         — quit.
 
 use std::io::{BufRead, Write};
 
 use nodb_repro::prelude::*;
+use nodb_server::NoDbClient;
 
 fn main() {
-    let mut db = NoDb::new(NoDbConfig::default());
-    let arg = std::env::args().nth(1);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--connect") {
+        match args.get(1) {
+            Some(addr) => network_repl(addr),
+            None => eprintln!("usage: repl --connect HOST:PORT"),
+        }
+        return;
+    }
+    local_repl(args.into_iter().next());
+}
+
+/// Thin client mode: every command becomes a wire request.
+fn network_repl(addr: &str) {
+    let mut client = match NoDbClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            eprintln!("start one with: cargo run -p nodb-server -- --table t=file.csv");
+            return;
+        }
+    };
+    println!("connected to nodb-server at {addr}");
+    println!("type SQL, \\panel <t>, \\plan, \\tables, \\stats, or \\q\n");
+    let stdin = std::io::stdin();
+    loop {
+        print!("nodb> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        let request = match line {
+            "" => continue,
+            "\\q" | "\\quit" | "exit" => break,
+            "\\plan" => "REPORT".to_string(),
+            "\\tables" => "TABLES".to_string(),
+            "\\stats" => "STATS".to_string(),
+            _ if line.starts_with("\\panel") => {
+                let table = line.strip_prefix("\\panel").map(str::trim).unwrap_or("");
+                if table.is_empty() {
+                    println!("usage: \\panel <table>");
+                    continue;
+                }
+                format!("PANEL {table}")
+            }
+            _ if line.starts_with("\\cache") || line.starts_with("\\map") => {
+                println!("budget sliders are local-mode only (the server owns its budgets)");
+                continue;
+            }
+            sql => format!("QUERY {sql}"),
+        };
+        match client.command(&request) {
+            Ok(resp) => {
+                println!("{}", resp.status);
+                if !resp.body.is_empty() {
+                    println!("{}", resp.body);
+                }
+                println!();
+            }
+            Err(e) => {
+                eprintln!("connection error: {e}");
+                break;
+            }
+        }
+    }
+    let _ = client.quit();
+    println!("bye");
+}
+
+/// In-process mode: drive the client + admin API surfaces directly.
+fn local_repl(arg: Option<String>) {
+    let mut db = NoDb::new(NoDbConfig::builder().build());
     let _scratch;
     match arg {
         Some(path) => {
@@ -59,7 +137,7 @@ fn main() {
                 Some(s) => println!("{}", s.panel()),
                 None => println!("no table registered"),
             },
-            "\\plan" => match db.last_report() {
+            "\\plan" => match db.admin().last_report() {
                 Some(r) => println!("{}", r.plan),
                 None => println!("no query has run yet"),
             },
@@ -68,11 +146,11 @@ fn main() {
                 let which = parts.next().unwrap_or("");
                 match parts.next().and_then(|n| n.parse::<usize>().ok()) {
                     Some(bytes) if which == "\\cache" => {
-                        db.set_cache_budget(bytes);
+                        db.admin().set_cache_budget(bytes);
                         println!("cache budget = {bytes} bytes");
                     }
                     Some(bytes) => {
-                        db.set_map_budget(bytes);
+                        db.admin().set_map_budget(bytes);
                         println!("map budget = {bytes} bytes");
                     }
                     None => println!("usage: {which} <bytes>"),
@@ -81,11 +159,12 @@ fn main() {
             sql => match db.query(sql) {
                 Ok(r) => {
                     println!("{r}");
-                    if let Some(rep) = db.last_report() {
+                    if let Some(rep) = db.admin().last_report() {
                         println!(
-                            "time {:?}  fully_cached={}  [{}]\n",
+                            "time {:?}  fully_cached={}  prepared_hit={}  [{}]\n",
                             rep.total,
                             rep.fully_cached,
+                            rep.prepared_hit,
                             rep.breakdown.panel_row()
                         );
                     }

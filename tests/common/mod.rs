@@ -1,0 +1,63 @@
+//! Shared helpers for the integration-test binaries. Each test file is its
+//! own crate, so anything both `concurrent_queries.rs` and `server.rs` need
+//! lives here (`mod common;`). Not every binary uses every helper.
+#![allow(dead_code)]
+
+use nodb_repro::core::NoDb;
+
+/// Assert that two instances' adaptive state for table `t` is identical
+/// (coverage, cache contents, statistics, row index). This is the
+/// convergence invariant behind every concurrency test: side-effect merges
+/// are frontier-based, so any interleaving of the same query set must land
+/// exactly where a sequential replay lands.
+pub fn assert_same_state(tag: &str, a: &NoDb, b: &NoDb, cols: usize) {
+    let (ha, hb) = (a.table_handle("t").unwrap(), b.table_handle("t").unwrap());
+    let (ta, tb) = (ha.read(), hb.read());
+    assert_eq!(
+        ta.map().row_index().len(),
+        tb.map().row_index().len(),
+        "{tag}: row index size"
+    );
+    assert_eq!(
+        ta.map().row_index().is_complete(),
+        tb.map().row_index().is_complete(),
+        "{tag}: row index completeness"
+    );
+    for attr in 0..cols {
+        assert_eq!(
+            ta.map().coverage(attr),
+            tb.map().coverage(attr),
+            "{tag}: map coverage c{attr}"
+        );
+        assert_eq!(
+            ta.cache().coverage(attr),
+            tb.cache().coverage(attr),
+            "{tag}: cache coverage c{attr}"
+        );
+        for row in 0..ta.cache().coverage(attr) {
+            assert_eq!(
+                ta.cache().peek(attr, row),
+                tb.cache().peek(attr, row),
+                "{tag}: cache content c{attr} row {row}"
+            );
+        }
+        assert_eq!(
+            ta.stats().observed_upto(attr),
+            tb.stats().observed_upto(attr),
+            "{tag}: stats frontier c{attr}"
+        );
+        match (ta.stats().attr(attr), tb.stats().attr(attr)) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.rows_seen(), y.rows_seen(), "{tag}: stats rows c{attr}");
+                assert_eq!(
+                    x.null_fraction(),
+                    y.null_fraction(),
+                    "{tag}: stats nulls c{attr}"
+                );
+                assert_eq!(x.sample(), y.sample(), "{tag}: stats reservoir c{attr}");
+            }
+            other => panic!("{tag}: stats presence differs for c{attr}: {other:?}"),
+        }
+    }
+}

@@ -19,6 +19,9 @@ use std::sync::Arc;
 use nodb_repro::core::{NoDb, NoDbConfig};
 use nodb_repro::prelude::*;
 
+mod common;
+use common::assert_same_state;
+
 fn scratch(tag: &str, n: u64) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!("nodb_conc_{tag}_{n}_{}", std::process::id()));
@@ -67,60 +70,6 @@ fn mk_db(path: &std::path::Path, schema: Schema, scan_threads: usize) -> NoDb {
     db.register_csv_with_schema("t", path, schema, false)
         .unwrap();
     db
-}
-
-/// Assert that two tables' adaptive state is identical (coverage, cache
-/// contents, statistics, row index).
-fn assert_same_state(tag: &str, a: &NoDb, b: &NoDb, cols: usize) {
-    let (ha, hb) = (a.table_handle("t").unwrap(), b.table_handle("t").unwrap());
-    let (ta, tb) = (ha.read(), hb.read());
-    assert_eq!(
-        ta.map().row_index().len(),
-        tb.map().row_index().len(),
-        "{tag}: row index size"
-    );
-    assert_eq!(
-        ta.map().row_index().is_complete(),
-        tb.map().row_index().is_complete(),
-        "{tag}: row index completeness"
-    );
-    for attr in 0..cols {
-        assert_eq!(
-            ta.map().coverage(attr),
-            tb.map().coverage(attr),
-            "{tag}: map coverage c{attr}"
-        );
-        assert_eq!(
-            ta.cache().coverage(attr),
-            tb.cache().coverage(attr),
-            "{tag}: cache coverage c{attr}"
-        );
-        for row in 0..ta.cache().coverage(attr) {
-            assert_eq!(
-                ta.cache().peek(attr, row),
-                tb.cache().peek(attr, row),
-                "{tag}: cache content c{attr} row {row}"
-            );
-        }
-        assert_eq!(
-            ta.stats().observed_upto(attr),
-            tb.stats().observed_upto(attr),
-            "{tag}: stats frontier c{attr}"
-        );
-        match (ta.stats().attr(attr), tb.stats().attr(attr)) {
-            (None, None) => {}
-            (Some(x), Some(y)) => {
-                assert_eq!(x.rows_seen(), y.rows_seen(), "{tag}: stats rows c{attr}");
-                assert_eq!(
-                    x.null_fraction(),
-                    y.null_fraction(),
-                    "{tag}: stats nulls c{attr}"
-                );
-                assert_eq!(x.sample(), y.sample(), "{tag}: stats reservoir c{attr}");
-            }
-            other => panic!("{tag}: stats presence differs for c{attr}: {other:?}"),
-        }
-    }
 }
 
 /// The acceptance invariant: two threads issuing queries against the same
@@ -342,7 +291,7 @@ fn telemetry_tallies_survive_concurrency() {
                     let db = Arc::clone(&db);
                     s.spawn(move || {
                         db.query(sql).unwrap();
-                        let rep = db.last_report().unwrap();
+                        let rep = db.admin().last_report().unwrap();
                         (rep.cache_hits, rep.cache_misses)
                     })
                 })

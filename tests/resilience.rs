@@ -9,11 +9,13 @@
 //! hundreds of milliseconds of wall clock without huge files — enough for a
 //! mid-scan deadline or cancel to land deterministically.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nodb_repro::core::{CancelToken, ParseErrorPolicy, QueryCtx};
 use nodb_repro::engine::EngineError;
 use nodb_repro::prelude::*;
+use nodb_server::{NoDbClient, Server, ServerConfig};
 
 fn scratch(tag: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
@@ -156,6 +158,71 @@ fn pre_cancelled_query_fails_fast() {
     std::fs::remove_file(path).ok();
 }
 
+/// A TCP client that vanishes mid-query: the server's disconnect watchdog
+/// must trip the query's [`CancelToken`] (counted in `disconnect_cancels`),
+/// and the table must keep answering other connections correctly — the
+/// aborted scan's partial frontier merges, nothing wedges.
+#[test]
+fn client_disconnect_mid_query_cancels_and_table_survives() {
+    let (path, gen) = gen_table("disconnect", 60_000);
+    let sql = "SELECT SUM(c0) FROM t";
+
+    // The chaos config makes the cold scan reliably slow (hundreds of ms),
+    // so the disconnect lands mid-scan. No server-side deadline: only the
+    // watchdog can stop this query.
+    let mut db = NoDb::new(slow_chaos_cfg(0));
+    db.register_csv_with_schema("t", &path, gen.schema(), false)
+        .unwrap();
+    let server = Server::start(
+        Arc::new(db),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scan_budget: 4,
+            admission_queue: 16,
+            prepared_statements: 8,
+            query_timeout_ms: 0,
+        },
+    )
+    .unwrap();
+
+    // Fire the query and hang up: send the request frame, give the scan a
+    // moment to start, then drop the socket without reading any response.
+    let mut doomed = NoDbClient::connect(server.local_addr()).unwrap();
+    doomed.send_only(&format!("QUERY {sql}")).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    drop(doomed);
+
+    // The watchdog sees EOF within one poll tick and cancels the query.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().disconnect_cancels == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "watchdog never cancelled the orphaned query: {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The table is unharmed: a fresh connection gets the right answer.
+    let mut client = NoDbClient::connect(server.local_addr()).unwrap();
+    let resp = client.query(sql).unwrap();
+    assert!(resp.is_ok(), "{}", resp.status);
+    assert_eq!(resp.body, reference_answer(&path, &gen, sql).to_string());
+    client.quit().unwrap();
+
+    let stats = server.shutdown();
+    assert!(stats.disconnect_cancels >= 1);
+    assert!(
+        stats.queries_err >= 1,
+        "the cancelled query surfaced as an error: {stats:?}"
+    );
+    assert_eq!(
+        stats.queries_ok, 1,
+        "only the second client's query succeeded"
+    );
+    std::fs::remove_file(path).ok();
+}
+
 /// The permissive parse-error policy quarantines malformed rows and surfaces
 /// the tally + capped samples in [`QueryReport`]; strict (the default)
 /// aborts the query instead.
@@ -191,7 +258,7 @@ fn quarantine_surfaces_in_query_report() {
     assert_eq!(r.rows[1][1], Datum::Null, "bad cell tombstoned");
     assert_eq!(r.rows[3][0], Datum::Null, "bad cell tombstoned");
 
-    let rep = db.last_report().unwrap();
+    let rep = db.admin().last_report().unwrap();
     assert_eq!(rep.rows_quarantined, 2);
     let sampled: Vec<(u64, usize)> = rep
         .quarantine_samples
@@ -203,7 +270,7 @@ fn quarantine_surfaces_in_query_report() {
     // Warm rerun: cached tombstones, nothing newly quarantined.
     let r2 = db.query("SELECT a, b FROM t").unwrap();
     assert_eq!(r, r2);
-    let rep2 = db.last_report().unwrap();
+    let rep2 = db.admin().last_report().unwrap();
     assert_eq!(
         rep2.rows_quarantined, 0,
         "cached path re-quarantines nothing"

@@ -1,0 +1,285 @@
+//! End-to-end tests for the nodb-server network front-end (ISSUE 8): real
+//! TCP clients against a [`Server`] fronting a shared `NoDb` instance.
+//!
+//! The core invariant mirrors `concurrent_queries.rs`: M clients × N
+//! queries over the wire must return, byte for byte, the bodies a
+//! sequential in-process replay produces, and must leave the server's
+//! table in exactly the replay's adaptive state — even though the server
+//! adds admission control and a prepared-statement cache on top.
+//!
+//! The acceptance criterion from the issue rides here too: with 32
+//! concurrent clients and a scan budget of 8, the budget's high-water mark
+//! never exceeds 8 (asserted via [`ScanBudget`] telemetry, not sampling).
+
+use std::sync::Arc;
+
+use nodb_repro::core::{NoDb, NoDbConfig};
+use nodb_repro::prelude::*;
+use nodb_server::{NoDbClient, Server, ServerConfig};
+
+mod common;
+use common::assert_same_state;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nodb_server_{tag}_{}", std::process::id()));
+    p
+}
+
+/// A `NoDb` with table `t` registered from `path`. `scan_threads: 1` keeps
+/// the per-query fan-out deterministic whether or not a budget clamps it
+/// (a grant for 1 is always exactly 1), so server state and sequential
+/// replay state are comparable field by field.
+fn mk_db(path: &std::path::Path, schema: Schema, scan_threads: usize) -> NoDb {
+    let mut db = NoDb::new(NoDbConfig {
+        scan_threads,
+        ..NoDbConfig::default()
+    });
+    db.register_csv_with_schema("t", path, schema, false)
+        .unwrap();
+    db
+}
+
+fn server_config(budget: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        scan_budget: budget,
+        admission_queue: 64,
+        prepared_statements: 64,
+        query_timeout_ms: 0,
+    }
+}
+
+/// M TCP clients × N queries × 2 passes return byte-identical bodies to a
+/// sequential in-process replay, and the server's table lands in the
+/// replay's exact adaptive state. Every pass-2 status must report a
+/// prepared-statement hit: by then each client has itself planned all four
+/// statements, the table generation never moves, and capacity (64) far
+/// exceeds the working set, so a miss would be a cache bug.
+#[test]
+fn tcp_storm_matches_sequential_replay() {
+    let cols = 6;
+    let gen = GeneratorConfig::uniform_ints(cols, 600, 0x57011);
+    let path = scratch("storm");
+    gen.generate_file(&path).unwrap();
+    let queries: Vec<String> = vec![
+        "SELECT c1 FROM t WHERE c2 < 500000000".to_string(),
+        "SELECT c3, c1 FROM t".to_string(),
+        "SELECT COUNT(*) FROM t WHERE c2 >= 500000000".to_string(),
+        "SELECT c5 FROM t WHERE c0 < 900000000".to_string(),
+    ];
+
+    // Sequential replay: same workload, one query at a time, no server.
+    let seq = mk_db(&path, gen.schema(), 1);
+    let mut expect = Vec::new();
+    for _pass in 0..2 {
+        for q in &queries {
+            expect.push(seq.query(q).unwrap().to_string());
+        }
+    }
+
+    let server = Server::start(Arc::new(mk_db(&path, gen.schema(), 1)), server_config(8)).unwrap();
+    let addr = server.local_addr();
+
+    let n_clients = 4;
+    std::thread::scope(|s| {
+        for c in 0..n_clients {
+            let queries = &queries;
+            let expect = &expect;
+            s.spawn(move || {
+                let mut client = NoDbClient::connect(addr).unwrap();
+                for pass in 0..2 {
+                    for (qi, q) in queries.iter().enumerate() {
+                        let resp = client.query(q).unwrap();
+                        assert!(
+                            resp.is_ok(),
+                            "client {c} pass {pass} query {qi}: {}",
+                            resp.status
+                        );
+                        assert_eq!(
+                            resp.body,
+                            expect[pass * queries.len() + qi],
+                            "client {c} pass {pass} query {qi}: body"
+                        );
+                        if pass == 1 {
+                            assert!(
+                                resp.status.contains("prepared=1"),
+                                "client {c} pass {pass} query {qi}: expected a \
+                                 prepared-statement hit, got {}",
+                                resp.status
+                            );
+                        }
+                    }
+                }
+                client.quit().unwrap();
+            });
+        }
+    });
+
+    assert_same_state("tcp storm", server.db(), &seq, cols);
+    let prepared = server.db().admin().prepared_stats().unwrap();
+    assert!(
+        prepared.hits >= (n_clients * queries.len()) as u64,
+        "every pass-2 query hit the prepared cache: {prepared:?}"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.queries_ok, (n_clients * queries.len() * 2) as u64);
+    assert_eq!(stats.queries_err, 0);
+    std::fs::remove_file(path).unwrap();
+}
+
+/// The issue's acceptance criterion: 32 concurrent TCP clients against a
+/// scan budget of 8, every query answers correctly, and telemetry proves
+/// the number of scan permits in flight never exceeded the budget — with
+/// `scan_threads: 4` configured, unbounded fan-out would run 128 threads.
+#[test]
+fn budget_cap_holds_under_32_clients() {
+    let cols = 5;
+    let gen = GeneratorConfig::uniform_ints(cols, 20_000, 0xB0D6E7);
+    let path = scratch("cap");
+    gen.generate_file(&path).unwrap();
+    let queries = [
+        "SELECT COUNT(*) FROM t",
+        "SELECT c1 FROM t WHERE c2 > 900000000",
+        "SELECT COUNT(*), SUM(c3) FROM t WHERE c4 < 500000000",
+    ];
+
+    let reference = mk_db(&path, gen.schema(), 4);
+    let expect: Vec<String> = queries
+        .iter()
+        .map(|q| reference.query(q).unwrap().to_string())
+        .collect();
+
+    let server = Server::start(Arc::new(mk_db(&path, gen.schema(), 4)), server_config(8)).unwrap();
+    let addr = server.local_addr();
+
+    let n_clients = 32;
+    std::thread::scope(|s| {
+        for c in 0..n_clients {
+            let queries = &queries;
+            let expect = &expect;
+            s.spawn(move || {
+                let mut client = NoDbClient::connect(addr).unwrap();
+                for (qi, q) in queries.iter().enumerate() {
+                    let resp = client.query(q).unwrap();
+                    assert!(resp.is_ok(), "client {c} query {qi}: {}", resp.status);
+                    assert_eq!(resp.body, expect[qi], "client {c} query {qi}: body");
+                }
+                client.quit().unwrap();
+            });
+        }
+    });
+
+    let t = server.budget().telemetry();
+    assert!(
+        t.peak_in_flight <= 8,
+        "scan budget exceeded: peak {} > capacity 8",
+        t.peak_in_flight
+    );
+    assert_eq!(t.in_flight, 0, "all grants returned");
+    assert_eq!(t.waiting, 0, "no stuck waiters");
+    assert_eq!(t.admitted, (n_clients * queries.len()) as u64);
+    assert_eq!(t.rejected, 0, "queue of 64 never overflows with 32 clients");
+    let stats = server.shutdown();
+    assert_eq!(stats.queries_ok, (n_clients * queries.len()) as u64);
+    assert_eq!(stats.connections, n_clients as u64);
+    std::fs::remove_file(path).unwrap();
+}
+
+/// Prepared-statement hits are visible over the wire (`prepared=` in the
+/// `OK` status line) and in the admin stats, and the second run of the same
+/// SQL skips planning entirely in its report breakdown.
+#[test]
+fn prepared_hits_visible_over_wire() {
+    let gen = GeneratorConfig::uniform_ints(3, 400, 0x9E9);
+    let path = scratch("prep");
+    gen.generate_file(&path).unwrap();
+
+    let server = Server::start(Arc::new(mk_db(&path, gen.schema(), 1)), server_config(2)).unwrap();
+    let mut client = NoDbClient::connect(server.local_addr()).unwrap();
+
+    let sql = "SELECT c0, c2 FROM t WHERE c1 < 700000000";
+    let cold = client.query(sql).unwrap();
+    assert!(cold.is_ok(), "{}", cold.status);
+    assert!(cold.status.contains("prepared=0"), "{}", cold.status);
+
+    let warm = client.query(sql).unwrap();
+    assert!(warm.is_ok(), "{}", warm.status);
+    assert!(warm.status.contains("prepared=1"), "{}", warm.status);
+    assert_eq!(cold.body, warm.body, "same answer either way");
+
+    let stats = server.db().admin().prepared_stats().unwrap();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    let report = server.db().admin().last_report().unwrap();
+    assert!(report.prepared_hit);
+    assert_eq!(
+        report.breakdown.planning,
+        std::time::Duration::ZERO,
+        "prepared hit skips parse/plan"
+    );
+
+    client.quit().unwrap();
+    server.shutdown();
+    std::fs::remove_file(path).unwrap();
+}
+
+/// The non-query protocol surface: PING, TABLES, SCHEMA, PANEL, REPORT,
+/// and the error paths (bad SQL, unknown table, unknown command) — all
+/// without wedging the connection.
+#[test]
+fn protocol_surface_round_trips() {
+    let gen = GeneratorConfig::uniform_ints(3, 200, 0xAB);
+    let path = scratch("proto");
+    gen.generate_file(&path).unwrap();
+
+    let server = Server::start(Arc::new(mk_db(&path, gen.schema(), 1)), server_config(2)).unwrap();
+    let mut client = NoDbClient::connect(server.local_addr()).unwrap();
+
+    assert!(client.ping().unwrap());
+
+    let tables = client.command("TABLES").unwrap();
+    assert!(tables.is_ok());
+    assert_eq!(tables.body.trim(), "t");
+
+    let schema = client.command("SCHEMA t").unwrap();
+    assert!(schema.is_ok());
+    assert!(schema.body.contains("c0"), "schema lists columns");
+
+    // REPORT before any query: an error, not a wedged connection.
+    let no_report = client.command("REPORT").unwrap();
+    assert!(!no_report.is_ok(), "{}", no_report.status);
+
+    let q = client.query("SELECT COUNT(*) FROM t").unwrap();
+    assert!(q.is_ok());
+    assert!(q.status.contains("rows=1"), "{}", q.status);
+
+    let report = client.command("REPORT").unwrap();
+    assert!(report.is_ok());
+    assert!(!report.body.is_empty(), "report body has the plan");
+
+    let panel = client.command("PANEL t").unwrap();
+    assert!(panel.is_ok());
+    assert!(!panel.body.is_empty(), "panel body rendered");
+
+    let stats = client.command("STATS").unwrap();
+    assert!(stats.is_ok());
+    assert!(stats.body.contains("budget_capacity=2"), "{}", stats.body);
+
+    for bad in [
+        "QUERY SELECT nope FROM t",
+        "QUERY SELECT c0 FROM missing",
+        "SCHEMA missing",
+        "PANEL missing",
+        "FROBNICATE",
+    ] {
+        let resp = client.command(bad).unwrap();
+        assert!(resp.status.starts_with("ERR"), "{bad}: {}", resp.status);
+    }
+    // Connection still healthy after every error.
+    assert!(client.ping().unwrap());
+
+    client.quit().unwrap();
+    server.shutdown();
+    std::fs::remove_file(path).unwrap();
+}

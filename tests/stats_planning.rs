@@ -34,13 +34,13 @@ fn observed_statistics_reorder_conjuncts() {
     // both range conjuncts get the same default, so written order survives.
     let sql = "SELECT c0 FROM t WHERE c1 < 1000000 AND c0 < 10";
     db.query(sql).unwrap();
-    let cold_plan = db.last_report().unwrap().plan.clone();
+    let cold_plan = db.admin().last_report().unwrap().plan.clone();
 
     // Now statistics exist for both attributes: c0 < 10 is ~1%, c1 < 1e6 is
     // ~100%. The selective conjunct must sort first, shrinking the
     // estimated selectivity in the plan.
     db.query(sql).unwrap();
-    let warm_plan = db.last_report().unwrap().plan.clone();
+    let warm_plan = db.admin().last_report().unwrap().plan.clone();
     let sel_of = |plan: &str| -> f64 {
         plan.split("est_selectivity=")
             .nth(1)
