@@ -103,4 +103,51 @@ impl Admin<'_> {
     pub fn prepared_stats(&self) -> Option<PreparedStats> {
         self.db.prepared.read().as_ref().map(|c| c.stats())
     }
+
+    /// Persist every registered table's adaptive state to its sidecar
+    /// *now* (shutdown hooks, the server's `SNAPSHOT` verb) instead of
+    /// waiting for write-behind. Works regardless of the
+    /// `snapshot_persistence` knob — an explicit request is its own
+    /// authorization. Returns one `(table, result)` row per table; a
+    /// failed save reports its error and leaves that table's previous
+    /// sidecar (if any) intact, thanks to the atomic-rename protocol.
+    pub fn snapshot_now(&self) -> Vec<(String, Result<(), String>)> {
+        use std::sync::atomic::Ordering;
+        let mut out = Vec::new();
+        self.db.tables.for_each(|name, handle| {
+            let (path, snap, sig) = {
+                let table = handle.read();
+                (
+                    table.path().to_path_buf(),
+                    table.capture_snapshot(),
+                    table.snapshot_signature(),
+                )
+            };
+            let result = match nodb_snapshot::save_snapshot(&path, &snap) {
+                Ok(_) => {
+                    self.db
+                        .snapshot_counters
+                        .saves
+                        .fetch_add(1, Ordering::Relaxed);
+                    handle.write().last_snapshot_sig = sig;
+                    Ok(())
+                }
+                Err(e) => {
+                    self.db
+                        .snapshot_counters
+                        .save_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    Err(e.to_string())
+                }
+            };
+            out.push((name.to_string(), result));
+        });
+        out
+    }
+
+    /// Counters of the snapshot persistence layer (saves, save failures,
+    /// restores, rejected restores).
+    pub fn snapshot_stats(&self) -> crate::metrics::SnapshotTelemetry {
+        self.db.snapshot_counters.snapshot()
+    }
 }

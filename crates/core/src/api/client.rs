@@ -8,6 +8,7 @@
 //! the type a request handler touches has exactly the methods a request
 //! needs.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -60,6 +61,29 @@ pub struct NoDb {
     pub(crate) last_report: Mutex<Option<QueryReport>>,
     pub(crate) scan_budget: parking_lot::RwLock<Option<Arc<ScanBudget>>>,
     pub(crate) prepared: parking_lot::RwLock<Option<Arc<PreparedCache>>>,
+    pub(crate) snapshot_counters: SnapshotCounters,
+}
+
+/// Atomic backing for [`crate::metrics::SnapshotTelemetry`]; incremented
+/// from restore (registration) and write-behind (query tail) paths without
+/// any lock.
+#[derive(Default)]
+pub(crate) struct SnapshotCounters {
+    pub(crate) saves: AtomicU64,
+    pub(crate) save_failures: AtomicU64,
+    pub(crate) restores: AtomicU64,
+    pub(crate) restores_rejected: AtomicU64,
+}
+
+impl SnapshotCounters {
+    pub(crate) fn snapshot(&self) -> crate::metrics::SnapshotTelemetry {
+        crate::metrics::SnapshotTelemetry {
+            saves: self.saves.load(Ordering::Relaxed),
+            save_failures: self.save_failures.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
+            restores_rejected: self.restores_rejected.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl NoDb {
@@ -73,6 +97,7 @@ impl NoDb {
             last_report: Mutex::new(None),
             scan_budget: parking_lot::RwLock::new(None),
             prepared: parking_lot::RwLock::new(None),
+            snapshot_counters: SnapshotCounters::default(),
         }
     }
 
@@ -117,8 +142,9 @@ impl NoDb {
         has_header: bool,
         tokenizer: TokenizerConfig,
     ) -> EngineResult<()> {
-        let table =
+        let mut table =
             RawTable::register_with_tokenizer(path, schema, has_header, &self.config(), tokenizer)?;
+        self.restore_snapshot_if_enabled(&mut table);
         self.tables.insert(name, table);
         Ok(())
     }
@@ -131,9 +157,65 @@ impl NoDb {
         schema: Schema,
         has_header: bool,
     ) -> EngineResult<()> {
-        let table = RawTable::register(path, schema, has_header, &self.config())?;
+        let mut table = RawTable::register(path, schema, has_header, &self.config())?;
+        self.restore_snapshot_if_enabled(&mut table);
         self.tables.insert(name, table);
         Ok(())
+    }
+
+    /// Restore a freshly registered table's sidecar snapshot when the knob
+    /// is on. Restore failures of every kind leave the table cold and are
+    /// only counted — registration never fails because a *hint* was bad.
+    fn restore_snapshot_if_enabled(&self, table: &mut RawTable) {
+        let config = self.config();
+        if !config.snapshot_persistence {
+            return;
+        }
+        match table.try_restore_snapshot(&config) {
+            crate::table::RestoreOutcome::Restored { .. } => {
+                self.snapshot_counters
+                    .restores
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            crate::table::RestoreOutcome::Rejected(_) => {
+                self.snapshot_counters
+                    .restores_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            crate::table::RestoreOutcome::NoSidecar => {}
+        }
+    }
+
+    /// Write-behind: persist `handle`'s adaptive state if it grew since the
+    /// last save. Capture happens under a short write lock; the encode and
+    /// the fsync'd atomic write run with no lock held, so concurrent
+    /// queries stream on undisturbed. Failures are counted and the
+    /// signature reset, so the next query retries.
+    pub(crate) fn write_snapshot_behind(&self, handle: &TableHandle) {
+        let captured = {
+            let mut table = handle.write();
+            let sig = table.snapshot_signature();
+            if sig == table.last_snapshot_sig {
+                None
+            } else {
+                table.last_snapshot_sig = sig;
+                Some((table.path().to_path_buf(), table.capture_snapshot()))
+            }
+        };
+        let Some((path, snap)) = captured else { return };
+        match nodb_snapshot::save_snapshot(&path, &snap) {
+            Ok(_) => {
+                self.snapshot_counters.saves.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.snapshot_counters
+                    .save_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                // Retry on the next query that grows state (or the next
+                // save attempt of any kind).
+                handle.write().last_snapshot_sig = 0;
+            }
+        }
     }
 
     /// Execute one SQL query. Everything adaptive happens as a side effect:
@@ -236,120 +318,142 @@ impl NoDb {
 
         // Planning bookkeeping under a short write lock: update probe,
         // cached-plan validation or statistics-driven planning, usage
-        // counters.
-        let mut guard = handle.write();
-        let (planned, prepared_hit) = {
-            let table = &mut *guard;
-            if config.detect_updates {
-                table.check_updates()?;
-            }
-            match cached_entry {
-                Some(entry) if entry.generation == table.generation => {
-                    if let Some(cache) = prepared_cache.as_ref() {
-                        cache.note_hit();
-                    }
-                    (entry.planned, true)
+        // counters. The whole plan+scan region lives in one block so the
+        // write guard (still held after an exclusive-path scan) is dead
+        // before the post-query snapshot write-behind re-locks the table.
+        let (planned, prepared_hit, result, engine_elapsed, scan_inside_engine) = {
+            let mut guard = handle.write();
+            let (planned, prepared_hit) = {
+                let table = &mut *guard;
+                if config.detect_updates {
+                    table.check_updates()?;
                 }
-                stale => {
-                    if stale.is_some() {
-                        // Generation moved (append/replace reconciled by the
-                        // probe above): the cached plan is for old file
-                        // state, replan exactly as a fresh query would.
+                match cached_entry {
+                    Some(entry) if entry.generation == table.generation => {
                         if let Some(cache) = prepared_cache.as_ref() {
-                            cache.note_invalidated();
+                            cache.note_hit();
+                        }
+                        (entry.planned, true)
+                    }
+                    stale => {
+                        if stale.is_some() {
+                            // Generation moved (append/replace reconciled by the
+                            // probe above): the cached plan is for old file
+                            // state, replan exactly as a fresh query would.
+                            if let Some(cache) = prepared_cache.as_ref() {
+                                cache.note_invalidated();
+                            }
+                        }
+                        let tp = Instant::now();
+                        let stmt = match parsed_stmt {
+                            Some(stmt) => stmt,
+                            None => parse_select(sql)?,
+                        };
+                        let planned = if config.enable_stats {
+                            let est = StatsEstimator::new(&mut table.stats);
+                            plan_select(&stmt, &table.schema, &est)?
+                        } else {
+                            plan_select(&stmt, &table.schema, &NoStats)?
+                        };
+                        planning += tp.elapsed();
+                        if let Some(cache) = prepared_cache.as_ref() {
+                            cache.insert(
+                                sql,
+                                &table_name,
+                                &handle,
+                                table.generation,
+                                planned.clone(),
+                            );
+                        }
+                        (planned, false)
+                    }
+                }
+            };
+            {
+                let table = &mut *guard;
+                for &attr in &planned.scan.attrs {
+                    if let Some(slot) = table.attr_access.get_mut(attr) {
+                        *slot += 1;
+                    }
+                }
+            }
+
+            let mut attempts = 0usize;
+            // Engine (pipeline-above-the-scan) time, measured around the
+            // execute call so the report separates scan work from engine work.
+            // On the staged paths the split is exact; on the exclusive
+            // streaming path the scan runs inside execute, so its phase slices
+            // are subtracted back out below.
+            let mut engine_elapsed = std::time::Duration::ZERO;
+            // True when the scan ran *inside* the engine call (the exclusive
+            // streaming path pulls batches from within execute), so the scan's
+            // phase slices must be carved back out of the engine measurement.
+            let mut scan_inside_engine = false;
+            let vectorized = config.vectorized_exec;
+            let mut run_engine = |planned: &nodb_engine::PlannedQuery,
+                                  source: Box<dyn nodb_engine::ScanSource + '_>|
+             -> EngineResult<QueryResult> {
+                let t = Instant::now();
+                let r = execute_with(planned, source, vectorized);
+                engine_elapsed = t.elapsed();
+                r
+            };
+            let result = loop {
+                attempts += 1;
+                ctx.check()?;
+                let prep = rawscan::prepare_scan(
+                    &mut guard,
+                    &config,
+                    planned.scan.clone(),
+                    &telemetry,
+                    ctx.clone(),
+                );
+                // A stale prep (concurrent append/replace reconciliation, or a
+                // cache column evicted under budget pressure) sends the query
+                // around the loop; after a few spins it runs exclusively, which
+                // cannot go stale.
+                let exclusive = attempts > MAX_SHARED_ATTEMPTS;
+                if !exclusive && prep.fully_cached {
+                    drop(guard);
+                    match rawscan::stream_cached_shared(&handle, &config, &prep, &telemetry)? {
+                        Some(queue) => {
+                            break run_engine(&planned, Box::new(QueueSource::new(queue)))?
+                        }
+                        None => {
+                            guard = handle.write();
+                            continue;
                         }
                     }
-                    let tp = Instant::now();
-                    let stmt = match parsed_stmt {
-                        Some(stmt) => stmt,
-                        None => parse_select(sql)?,
-                    };
-                    let planned = if config.enable_stats {
-                        let est = StatsEstimator::new(&mut table.stats);
-                        plan_select(&stmt, &table.schema, &est)?
-                    } else {
-                        plan_select(&stmt, &table.schema, &NoStats)?
-                    };
-                    planning += tp.elapsed();
-                    if let Some(cache) = prepared_cache.as_ref() {
-                        cache.insert(sql, &table_name, &handle, table.generation, planned.clone());
-                    }
-                    (planned, false)
                 }
-            }
-        };
-        {
-            let table = &mut *guard;
-            for &attr in &planned.scan.attrs {
-                if let Some(slot) = table.attr_access.get_mut(attr) {
-                    *slot += 1;
-                }
-            }
-        }
-
-        let mut attempts = 0usize;
-        // Engine (pipeline-above-the-scan) time, measured around the
-        // execute call so the report separates scan work from engine work.
-        // On the staged paths the split is exact; on the exclusive
-        // streaming path the scan runs inside execute, so its phase slices
-        // are subtracted back out below.
-        let mut engine_elapsed = std::time::Duration::ZERO;
-        // True when the scan ran *inside* the engine call (the exclusive
-        // streaming path pulls batches from within execute), so the scan's
-        // phase slices must be carved back out of the engine measurement.
-        let mut scan_inside_engine = false;
-        let vectorized = config.vectorized_exec;
-        let mut run_engine = |planned: &nodb_engine::PlannedQuery,
-                              source: Box<dyn nodb_engine::ScanSource + '_>|
-         -> EngineResult<QueryResult> {
-            let t = Instant::now();
-            let r = execute_with(planned, source, vectorized);
-            engine_elapsed = t.elapsed();
-            r
-        };
-        let result = loop {
-            attempts += 1;
-            ctx.check()?;
-            let prep = rawscan::prepare_scan(
-                &mut guard,
-                &config,
-                planned.scan.clone(),
-                &telemetry,
-                ctx.clone(),
-            );
-            // A stale prep (concurrent append/replace reconciliation, or a
-            // cache column evicted under budget pressure) sends the query
-            // around the loop; after a few spins it runs exclusively, which
-            // cannot go stale.
-            let exclusive = attempts > MAX_SHARED_ATTEMPTS;
-            if !exclusive && prep.fully_cached {
-                drop(guard);
-                match rawscan::stream_cached_shared(&handle, &config, &prep, &telemetry)? {
-                    Some(queue) => break run_engine(&planned, Box::new(QueueSource::new(queue)))?,
-                    None => {
-                        guard = handle.write();
-                        continue;
+                if !exclusive
+                    && !prep.fully_cached
+                    && prep.threads >= 2
+                    && !config.cache_force_full_parse
+                {
+                    drop(guard);
+                    match rawscan::scan_shared(&handle, &config, &prep, &telemetry)? {
+                        Some(queue) => {
+                            break run_engine(&planned, Box::new(QueueSource::new(queue)))?
+                        }
+                        None => {
+                            guard = handle.write();
+                            continue;
+                        }
                     }
                 }
-            }
-            if !exclusive
-                && !prep.fully_cached
-                && prep.threads >= 2
-                && !config.cache_force_full_parse
-            {
-                drop(guard);
-                match rawscan::scan_shared(&handle, &config, &prep, &telemetry)? {
-                    Some(queue) => break run_engine(&planned, Box::new(QueueSource::new(queue)))?,
-                    None => {
-                        guard = handle.write();
-                        continue;
-                    }
-                }
-            }
-            // Exclusive path: the write lock is held across the whole scan.
-            scan_inside_engine = true;
-            let source = RawScanSource::from_prep(&mut guard, config, prep, Arc::clone(&telemetry));
-            break run_engine(&planned, Box::new(source))?;
+                // Exclusive path: the write lock is held across the whole scan.
+                scan_inside_engine = true;
+                let source =
+                    RawScanSource::from_prep(&mut guard, config, prep, Arc::clone(&telemetry));
+                break run_engine(&planned, Box::new(source))?;
+            };
+            (
+                planned,
+                prepared_hit,
+                result,
+                engine_elapsed,
+                scan_inside_engine,
+            )
         };
 
         let total = t0.elapsed();
@@ -386,6 +490,13 @@ impl NoDb {
         };
         drop(tel);
         *rawscan::lock_recover(&self.last_report) = Some(report.clone());
+        // Write-behind persistence: after the query is fully answered (and
+        // its report published), save the table's adaptive state if this
+        // query grew it. Never fails the query — save errors are counted
+        // in the snapshot telemetry and retried on the next growth.
+        if config.snapshot_persistence {
+            self.write_snapshot_behind(&handle);
+        }
         Ok((result, report))
     }
 

@@ -158,6 +158,15 @@ pub struct NoDbConfig {
     /// What to do with rows whose bytes fail to parse (see
     /// [`ParseErrorPolicy`]).
     pub parse_errors: ParseErrorPolicy,
+    /// Snapshot persistence: keep each table's adaptive state (positional
+    /// map, cache, statistics) in a crash-safe sidecar file next to the raw
+    /// data (`foo.csv.nodb-snap`), written behind queries whenever the
+    /// state has grown and restored on registration so restarts resume
+    /// warm. The sidecar is a hint, never an authority: any corruption,
+    /// truncation, version skew or file-fingerprint mismatch degrades the
+    /// table to cold — results are byte-identical with the knob on or off.
+    /// Off by default (an in-situ engine writes nothing unless asked).
+    pub snapshot_persistence: bool,
 }
 
 impl Default for NoDbConfig {
@@ -187,6 +196,7 @@ impl Default for NoDbConfig {
             io_fault_seed: 0,
             io_fault_one_in: 100,
             parse_errors: ParseErrorPolicy::Strict,
+            snapshot_persistence: false,
         }
     }
 }
@@ -406,6 +416,12 @@ impl NoDbConfigBuilder {
     /// Malformed-row policy.
     pub fn parse_errors(mut self, policy: ParseErrorPolicy) -> Self {
         self.cfg.parse_errors = policy;
+        self
+    }
+
+    /// Sidecar snapshot persistence on/off (warm restarts).
+    pub fn snapshot_persistence(mut self, on: bool) -> Self {
+        self.cfg.snapshot_persistence = on;
         self
     }
 

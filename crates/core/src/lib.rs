@@ -77,7 +77,7 @@ pub use admission::{BudgetTelemetry, ScanBudget, ScanGrant};
 pub use api::{Admin, NoDb, PreparedCache, PreparedStats};
 pub use config::{NoDbConfig, NoDbConfigBuilder, ParseErrorPolicy};
 pub use ctx::{CancelToken, QueryCtx};
-pub use metrics::{Breakdown, QueryReport, SystemSnapshot};
+pub use metrics::{Breakdown, QueryReport, SnapshotTelemetry, SystemSnapshot};
 pub use rawscan::{QuarantineSample, RawScanSource, ScanTelemetry, TelemetryHandle};
 pub use registry::{TableHandle, TableRegistry};
-pub use table::RawTable;
+pub use table::{RawTable, RestoreOutcome};

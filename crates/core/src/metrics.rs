@@ -87,6 +87,24 @@ impl Breakdown {
     }
 }
 
+/// Counters of the snapshot persistence layer, one set per [`crate::NoDb`]
+/// instance (read via `Admin::snapshot_stats`). Saves are write-behind
+/// (after queries) plus explicit `Admin::snapshot_now` calls; restores are
+/// counted at registration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotTelemetry {
+    /// Sidecar files written successfully.
+    pub saves: u64,
+    /// Save attempts that failed (I/O); the query they rode behind still
+    /// succeeded, and the next state growth retries.
+    pub save_failures: u64,
+    /// Tables restored warm from a sidecar at registration.
+    pub restores: u64,
+    /// Sidecars rejected at registration (corrupt, truncated, version
+    /// skew, replaced file) — the table started cold instead.
+    pub restores_rejected: u64,
+}
+
 /// Everything recorded about one query execution.
 #[derive(Debug, Default, Clone)]
 pub struct QueryReport {

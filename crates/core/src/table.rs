@@ -5,13 +5,32 @@ use std::path::{Path, PathBuf};
 
 use nodb_posmap::{MapPolicy, PositionalMap};
 use nodb_rawcache::{CachePolicy, RawCache};
-use nodb_rawcsv::reader::{FileChange, RawFileMeta};
+use nodb_rawcsv::reader::{fnv1a, FileChange, RawFileMeta};
 use nodb_rawcsv::tokenizer::TokenizerConfig;
 use nodb_rawcsv::{RawCsvError, Schema};
+use nodb_snapshot::TableSnapshot;
 use nodb_stats::TableStats;
 
 use crate::config::NoDbConfig;
 use crate::metrics::{ChunkInfo, SystemSnapshot};
+
+/// What restoring a sidecar snapshot did to a freshly registered table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreOutcome {
+    /// No sidecar file exists — a genuinely fresh table.
+    NoSidecar,
+    /// The snapshot was valid and matched the file (exactly, or as the
+    /// prefix of an appended file); adaptive state was installed.
+    Restored {
+        /// True when the file grew since capture: the prefix state was
+        /// kept and the tail is left for the next scan to discover.
+        appended: bool,
+    },
+    /// The sidecar was unusable (corrupt, truncated, version-skewed, or
+    /// the file was replaced since capture); the table starts cold. The
+    /// string says why, for telemetry and logs — never for control flow.
+    Rejected(String),
+}
 
 /// One registered raw file and every adaptive structure hanging off it.
 ///
@@ -38,6 +57,9 @@ pub struct RawTable {
     /// the staged state describes a dead file and is discarded (the query
     /// retries against the new state instead of corrupting it).
     pub(crate) generation: u64,
+    /// Progress signature of the last snapshot written (or restored), so
+    /// write-behind skips queries that grew nothing. `0` = never saved.
+    pub(crate) last_snapshot_sig: u64,
 }
 
 impl RawTable {
@@ -79,6 +101,7 @@ impl RawTable {
             row_count: None,
             attr_access: vec![0; nattrs],
             generation: 0,
+            last_snapshot_sig: 0,
         })
     }
 
@@ -131,6 +154,108 @@ impl RawTable {
             }
         }
         Ok(change)
+    }
+
+    /// Try to restore adaptive state from the table's sidecar snapshot.
+    /// Called right after registration (before any query): any failure —
+    /// I/O, corruption, version skew, replaced file — leaves the table
+    /// exactly as cold as it already was. Restoration honors the config's
+    /// component switches (a `baseline()` instance restores nothing) and
+    /// only adopts statistics captured under the same sampling stride,
+    /// since a restored reservoir must continue the same sample stream.
+    pub fn try_restore_snapshot(&mut self, config: &NoDbConfig) -> RestoreOutcome {
+        let snap = match nodb_snapshot::load_snapshot(
+            &self.path,
+            config.io_block_size,
+            config.io_profile(),
+        ) {
+            Ok(Some(s)) => s,
+            Ok(None) => return RestoreOutcome::NoSidecar,
+            Err(e) => return RestoreOutcome::Rejected(e.to_string()),
+        };
+        // Compare the *saved* fingerprint against the live file. Replaced
+        // (shrunk, head changed, or same-length different-mtime) means the
+        // snapshot describes dead data: reject wholesale.
+        let change = match snap.meta.classify_change(&self.path) {
+            Ok(c) => c,
+            Err(e) => return RestoreOutcome::Rejected(format!("fingerprint probe: {e}")),
+        };
+        if change == FileChange::Replaced {
+            return RestoreOutcome::Rejected("file replaced since capture".to_string());
+        }
+        if config.enable_positional_map {
+            snap.map.install_into(&mut self.map);
+        }
+        if config.enable_cache {
+            for (attr, col) in snap.columns {
+                if attr < self.schema.len() {
+                    self.cache.install_restored(attr, col);
+                }
+            }
+        }
+        if config.enable_stats && snap.stats.sample_every == config.stats_sample_every {
+            if let Some(stats) = TableStats::from_state(snap.stats) {
+                self.stats = stats;
+            }
+        }
+        let appended = matches!(change, FileChange::Appended { .. });
+        if appended {
+            // Mirror `check_updates`: keep prefix state, re-learn the tail.
+            self.map.note_appended();
+            self.stats.note_appended();
+            self.row_count = None;
+        } else {
+            self.row_count = snap.row_count;
+        }
+        // Remember what we restored, so the first query only re-writes the
+        // sidecar if it actually grew something.
+        self.last_snapshot_sig = self.snapshot_signature();
+        RestoreOutcome::Restored { appended }
+    }
+
+    /// Capture this table's full adaptive state for persistence. The caller
+    /// holds (at least) the table's read lock, which is what keeps the
+    /// map/cache/statistics mutually consistent.
+    pub fn capture_snapshot(&self) -> TableSnapshot {
+        TableSnapshot::capture(
+            self.meta,
+            self.row_count,
+            &self.map,
+            &self.cache,
+            &self.stats,
+        )
+    }
+
+    /// Cheap progress signature over the adaptive structures: write-behind
+    /// compares it against [`Self::last_snapshot_sig`] and skips the save
+    /// when a query grew nothing. Collisions only cost a skipped (or an
+    /// extra) save — never a wrong answer, since the loader re-validates
+    /// everything.
+    pub fn snapshot_signature(&self) -> u64 {
+        let mut buf = Vec::with_capacity(128);
+        let mut put = |v: u64| buf.extend_from_slice(&v.to_le_bytes());
+        put(self.meta.len);
+        put(self.meta.head_hash);
+        put(self.map.row_index().starts().len() as u64);
+        put(u64::from(self.map.row_index().is_complete()));
+        put(self.map.bytes_used() as u64);
+        put(self.map.line_counts().entries().len() as u64);
+        put(self.map.chunks().len() as u64);
+        for c in self.map.chunks() {
+            put(c.attrs().len() as u64);
+            put(c.rows() as u64);
+        }
+        put(self.cache.bytes_used() as u64);
+        for (attr, rows) in self.cache.resident() {
+            put(attr as u64);
+            put(rows as u64);
+        }
+        for attr in self.stats.covered_attrs() {
+            put(attr as u64);
+            put(self.stats.observed_upto(attr));
+        }
+        put(self.row_count.map_or(u64::MAX, |n| n));
+        fnv1a(&buf)
     }
 
     /// Capture the Figure 2 monitoring panel.

@@ -29,10 +29,15 @@ pub use rules::{Finding, RuleId};
 
 /// The crates whose offset/row arithmetic is subject to
 /// [`RuleId::TruncatingCast`] in workspace mode: file offsets (u64),
-/// positional-map spans (u16/u32), and cache row indices (u32) all live
-/// here, and each narrowing cast is one bad length away from silent
-/// truncation.
-const CAST_SCOPED_CRATES: &[&str] = &["crates/posmap/", "crates/rawcsv/", "crates/rawcache/"];
+/// positional-map spans (u16/u32), cache row indices (u32), and the
+/// snapshot sidecar's length-prefixed section decoding all live here, and
+/// each narrowing cast is one bad length away from silent truncation.
+const CAST_SCOPED_CRATES: &[&str] = &[
+    "crates/posmap/",
+    "crates/rawcsv/",
+    "crates/rawcache/",
+    "crates/snapshot/",
+];
 
 /// Result of a workspace lint run.
 pub struct WorkspaceReport {

@@ -59,6 +59,13 @@ impl Chunk {
         (v != NO_OFFSET).then_some(v)
     }
 
+    /// Raw offset column for `attrs()[col]`, sentinel values included —
+    /// the lossless view a snapshot serializer needs ([`Chunk::offset`]
+    /// masks [`NO_OFFSET`], which must survive a round trip as-is).
+    pub fn raw_col(&self, col: usize) -> &[u16] {
+        &self.cols[col]
+    }
+
     /// Greatest covered attribute `<= attr` (the best resume anchor this
     /// chunk offers for `attr`).
     pub fn best_anchor_at_or_before(&self, attr: usize) -> Option<usize> {
@@ -114,6 +121,23 @@ impl ChunkBuilder {
             cols,
             rows: 0,
         }
+    }
+
+    /// Rebuild a builder from raw offset columns (sentinels included), the
+    /// inverse of reading [`Chunk::raw_col`] per attribute — the snapshot
+    /// restore path. Returns `None` when the shape is inconsistent: attrs
+    /// unsorted or duplicated, column count != attr count, or ragged column
+    /// lengths. A restored sidecar is untrusted input, so shape errors
+    /// degrade to "no chunk" rather than panic.
+    pub fn from_raw_cols(attrs: Vec<usize>, cols: Vec<Vec<u16>>) -> Option<Self> {
+        if attrs.windows(2).any(|w| w[0] >= w[1]) || attrs.len() != cols.len() {
+            return None;
+        }
+        let rows = cols.first().map_or(0, Vec::len);
+        if cols.iter().any(|c| c.len() != rows) {
+            return None;
+        }
+        Some(ChunkBuilder { attrs, cols, rows })
     }
 
     /// Attributes this builder collects.
@@ -300,6 +324,39 @@ mod tests {
         let mut a = ChunkBuilder::new(vec![0]);
         let b = ChunkBuilder::new(vec![1]);
         a.append_partial(b);
+    }
+
+    #[test]
+    fn raw_cols_round_trip_preserves_sentinels() {
+        let mut b = ChunkBuilder::new(vec![0, 3]);
+        b.push_row(&tokens_for(b"only,two")); // attr 3 records NO_OFFSET
+        b.push_row(&tokens_for(b"a,b,c,d"));
+        let c = b.freeze(ChunkId(7), 0);
+
+        let cols: Vec<Vec<u16>> = (0..c.attrs().len())
+            .map(|i| c.raw_col(i).to_vec())
+            .collect();
+        let restored = ChunkBuilder::from_raw_cols(c.attrs().to_vec(), cols)
+            .expect("well-formed shape")
+            .freeze(ChunkId(8), 0);
+        assert_eq!(restored.rows(), c.rows());
+        for attr in [0usize, 3] {
+            for row in 0..c.rows() {
+                assert_eq!(restored.offset(attr, row), c.offset(attr, row));
+            }
+        }
+    }
+
+    #[test]
+    fn from_raw_cols_rejects_bad_shapes() {
+        // Unsorted attrs.
+        assert!(ChunkBuilder::from_raw_cols(vec![2, 0], vec![vec![0], vec![0]]).is_none());
+        // Duplicated attrs.
+        assert!(ChunkBuilder::from_raw_cols(vec![1, 1], vec![vec![0], vec![0]]).is_none());
+        // Column count mismatch.
+        assert!(ChunkBuilder::from_raw_cols(vec![0, 1], vec![vec![0]]).is_none());
+        // Ragged columns.
+        assert!(ChunkBuilder::from_raw_cols(vec![0, 1], vec![vec![0, 1], vec![0]]).is_none());
     }
 
     #[test]

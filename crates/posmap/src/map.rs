@@ -110,6 +110,13 @@ impl RowIndex {
         self.complete = false;
     }
 
+    /// All known row-start offsets, in row order (the snapshot serializer
+    /// reads these wholesale; restore replays them through
+    /// [`Self::note_rows`]).
+    pub fn starts(&self) -> &[u64] {
+        &self.starts
+    }
+
     /// Heap footprint in bytes (reported, not budgeted — see [`MapPolicy`]).
     pub fn footprint(&self) -> usize {
         self.starts.len() * 8
@@ -164,6 +171,13 @@ impl LineCountMemo {
             ),
             Err(i) => self.entries.insert(i, (offset, lines)),
         }
+    }
+
+    /// The memoized `(byte_offset, line_starts_before_it)` pairs, sorted by
+    /// offset (read by the snapshot serializer; restore replays them
+    /// through [`Self::note`]).
+    pub fn entries(&self) -> &[(u64, u64)] {
+        &self.entries
     }
 
     /// Number of memoized offsets.

@@ -280,6 +280,33 @@ impl RawCache {
         true
     }
 
+    /// Install a whole restored column for `attr` — the snapshot restore
+    /// path, which rebuilds columns wholesale instead of replaying
+    /// [`Self::append`] per row. The column's footprint is charged against
+    /// the budget with normal LRU room-making; returns `false` (column
+    /// dropped) when it cannot fit, when it is empty, or when `attr` is
+    /// already resident (a live column is never clobbered by a restore).
+    pub fn install_restored(&mut self, attr: usize, col: TypedColumn) -> bool {
+        if col.is_empty() || self.entries.contains_key(&attr) {
+            return false;
+        }
+        let fp = col.footprint();
+        if fp > self.policy.budget_bytes || !self.make_room(fp, u64::MAX) {
+            return false;
+        }
+        self.tick += 1;
+        self.entries.insert(
+            attr,
+            Entry {
+                col,
+                last_used: self.tick,
+                frozen: false,
+            },
+        );
+        self.bytes_used += fp;
+        true
+    }
+
     /// Evict LRU columns (never ones touched at `protect_tick`) until
     /// `incoming` more bytes fit. Returns whether they now fit.
     fn make_room(&mut self, incoming: usize, protect_tick: u64) -> bool {
@@ -462,6 +489,38 @@ mod tests {
         fill(&mut c, 3, 4);
         fill(&mut c, 1, 2);
         assert_eq!(c.resident(), vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn install_restored_charges_budget_and_respects_residents() {
+        let mut c = RawCache::new(CachePolicy::with_budget(10_000));
+        let mut col = crate::column::TypedColumn::new(ColumnType::Int);
+        for i in 0..100 {
+            col.push(&Datum::Int(i));
+        }
+        let fp = col.footprint();
+        assert!(c.install_restored(3, col));
+        assert_eq!(c.coverage(3), 100);
+        assert_eq!(c.bytes_used(), fp);
+        assert_eq!(c.peek(3, 42), Some(Datum::Int(42)));
+
+        // A live column is never clobbered by a restore.
+        let mut other = crate::column::TypedColumn::new(ColumnType::Int);
+        other.push(&Datum::Int(-1));
+        assert!(!c.install_restored(3, other));
+        assert_eq!(c.peek(3, 0), Some(Datum::Int(0)));
+
+        // Empty columns are refused.
+        assert!(!c.install_restored(4, crate::column::TypedColumn::new(ColumnType::Int)));
+
+        // Over-budget columns are refused without evicting what fits.
+        let mut c2 = RawCache::new(CachePolicy::with_budget(64));
+        let mut big = crate::column::TypedColumn::new(ColumnType::Int);
+        for i in 0..100 {
+            big.push(&Datum::Int(i));
+        }
+        assert!(!c2.install_restored(0, big));
+        assert_eq!(c2.bytes_used(), 0);
     }
 
     #[test]

@@ -333,6 +333,35 @@ fn handle_connection(
                 }
                 respond(&mut stream, "OK", &body)?;
             }
+            Command::Snapshot => {
+                let results = db.admin().snapshot_now();
+                let mut failed = 0usize;
+                let body = results
+                    .iter()
+                    .map(|(table, r)| match r {
+                        Ok(()) => format!("{table}=ok"),
+                        Err(msg) => {
+                            failed += 1;
+                            format!("{table}=err {msg}")
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                let status = if failed == 0 {
+                    "OK".to_string()
+                } else {
+                    format!("ERR {failed} snapshot save(s) failed")
+                };
+                respond(&mut stream, &status, &body)?;
+            }
+            Command::SnapshotStats => {
+                let t = db.admin().snapshot_stats();
+                let body = format!(
+                    "saves={}\nsave_failures={}\nrestores={}\nrestores_rejected={}",
+                    t.saves, t.save_failures, t.restores, t.restores_rejected
+                );
+                respond(&mut stream, "OK", &body)?;
+            }
             Command::Query(sql) => {
                 let outcome = run_query(&mut stream, db, stats, timeout_ms, &sql);
                 match outcome {

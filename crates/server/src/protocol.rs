@@ -188,6 +188,12 @@ pub enum Command {
     Report,
     /// `STATS` — server / admission / prepared-statement counters.
     Stats,
+    /// `SNAPSHOT` — persist every table's adaptive state to its sidecar
+    /// now (crash-safe; see the `nodb-snapshot` crate).
+    Snapshot,
+    /// `SNAPSHOT?` — snapshot persistence counters (saves, failures,
+    /// restores, rejected restores).
+    SnapshotStats,
     /// `PING` — liveness check.
     Ping,
     /// `QUIT` — close the connection.
@@ -213,6 +219,8 @@ impl Command {
             "PANEL" => Err("PANEL needs a table name".to_string()),
             "REPORT" => Ok(Command::Report),
             "STATS" => Ok(Command::Stats),
+            "SNAPSHOT" => Ok(Command::Snapshot),
+            "SNAPSHOT?" => Ok(Command::SnapshotStats),
             "PING" => Ok(Command::Ping),
             "QUIT" => Ok(Command::Quit),
             other => Err(format!("unknown command {other:?}")),
@@ -269,5 +277,8 @@ mod tests {
         );
         assert!(Command::parse("QUERY").is_err());
         assert!(Command::parse("BOGUS x").is_err());
+        assert_eq!(Command::parse("SNAPSHOT"), Ok(Command::Snapshot));
+        assert_eq!(Command::parse("snapshot?"), Ok(Command::SnapshotStats));
+        assert_eq!(Command::parse(" SNAPSHOT? "), Ok(Command::SnapshotStats));
     }
 }

@@ -8,7 +8,7 @@ use nodb_rawcsv::Datum;
 
 use crate::histogram::EquiDepthHistogram;
 use crate::ndv::DistinctCounter;
-use crate::sample::Reservoir;
+use crate::sample::{Reservoir, ReservoirState};
 
 /// Default reservoir capacity per attribute.
 pub const DEFAULT_SAMPLE_CAPACITY: usize = 1024;
@@ -130,6 +130,60 @@ impl AttrStats {
         self.ndv.clear();
         self.histogram = None;
     }
+
+    /// Export the full accumulator state for snapshotting. The histogram
+    /// cache is deliberately excluded — it rebuilds lazily from the
+    /// reservoir and keying on `seen` makes the rebuild deterministic.
+    pub fn export_state(&self) -> AttrStatsState {
+        AttrStatsState {
+            attr: self.attr,
+            rows_seen: self.rows_seen,
+            nulls: self.nulls,
+            min: self.min.clone(),
+            max: self.max.clone(),
+            reservoir: self.reservoir.export_state(),
+            ndv_words: self.ndv.words().to_vec(),
+        }
+    }
+
+    /// Rebuild an accumulator from [`Self::export_state`]. Returns `None`
+    /// when any component is inconsistent (untrusted sidecar input) —
+    /// nulls exceeding rows seen, a malformed reservoir, or an empty NDV
+    /// bitmap.
+    pub fn from_state(state: AttrStatsState) -> Option<Self> {
+        if state.nulls > state.rows_seen {
+            return None;
+        }
+        Some(AttrStats {
+            attr: state.attr,
+            rows_seen: state.rows_seen,
+            nulls: state.nulls,
+            min: state.min,
+            max: state.max,
+            reservoir: Reservoir::from_state(state.reservoir)?,
+            ndv: DistinctCounter::from_words(state.ndv_words)?,
+            histogram: None,
+        })
+    }
+}
+
+/// Serializable snapshot of an [`AttrStats`] accumulator.
+#[derive(Debug, Clone)]
+pub struct AttrStatsState {
+    /// Attribute index.
+    pub attr: usize,
+    /// Values observed (including NULLs).
+    pub rows_seen: u64,
+    /// NULLs observed.
+    pub nulls: u64,
+    /// Observed minimum.
+    pub min: Option<Datum>,
+    /// Observed maximum.
+    pub max: Option<Datum>,
+    /// Full reservoir state (sample + RNG mid-stream).
+    pub reservoir: ReservoirState,
+    /// NDV linear-counting bitmap words.
+    pub ndv_words: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -172,6 +226,47 @@ mod tests {
         }
         let f2 = s.histogram().unwrap().fraction_le(&Datum::Int(50));
         assert!(f2 < 0.2, "after growth le(50) = {f2}");
+    }
+
+    #[test]
+    fn state_round_trip_continues_identically() {
+        let mut a = AttrStats::new(5);
+        for i in 0..2_000 {
+            if i % 13 == 0 {
+                a.observe(&Datum::Null);
+            } else {
+                a.observe(&Datum::Int(i % 97));
+            }
+        }
+        let mut b = AttrStats::from_state(a.export_state()).expect("consistent");
+        assert_eq!(a.attr(), b.attr());
+        assert_eq!(a.rows_seen(), b.rows_seen());
+        assert_eq!(a.null_fraction(), b.null_fraction());
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        assert_eq!(a.ndv(), b.ndv());
+        assert_eq!(a.sample(), b.sample());
+        // Further observations must evolve both identically (RNG state
+        // round-tripped mid-stream).
+        for i in 0..3_000 {
+            let d = Datum::Int(i * 3 + 1);
+            a.observe(&d);
+            b.observe(&d);
+        }
+        assert_eq!(a.sample(), b.sample());
+        assert_eq!(a.ndv(), b.ndv());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_counts() {
+        let mut a = AttrStats::new(0);
+        a.observe(&Datum::Int(1));
+        let mut s = a.export_state();
+        s.nulls = s.rows_seen + 1;
+        assert!(AttrStats::from_state(s).is_none());
+        let mut s2 = a.export_state();
+        s2.ndv_words = Vec::new();
+        assert!(AttrStats::from_state(s2).is_none());
     }
 
     #[test]

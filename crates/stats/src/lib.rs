@@ -26,9 +26,9 @@ pub mod ndv;
 pub mod sample;
 pub mod table;
 
-pub use attr::AttrStats;
+pub use attr::{AttrStats, AttrStatsState};
 pub use estimate::{PredicateSketch, SelectivityEstimator};
 pub use histogram::EquiDepthHistogram;
 pub use ndv::DistinctCounter;
-pub use sample::Reservoir;
-pub use table::TableStats;
+pub use sample::{Reservoir, ReservoirState};
+pub use table::{TableStats, TableStatsState};

@@ -63,6 +63,24 @@ impl DistinctCounter {
         self.bits.iter_mut().for_each(|w| *w = 0);
         self.set = 0;
     }
+
+    /// The raw bitmap words (snapshot export; `mbits` is implied by the
+    /// word count and `set` by the popcount, so the bits are the whole
+    /// state).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuild a counter from exported bitmap words. Returns `None` on an
+    /// empty word list (a counter always holds at least one word).
+    pub fn from_words(bits: Vec<u64>) -> Option<Self> {
+        if bits.is_empty() {
+            return None;
+        }
+        let set = bits.iter().map(|w| w.count_ones() as usize).sum();
+        let mbits = bits.len() * 64;
+        Some(DistinctCounter { bits, mbits, set })
+    }
 }
 
 /// Stable hash of a datum for NDV purposes. Int and Float hash by value
@@ -126,5 +144,21 @@ mod tests {
         c.add(&Datum::Int(1));
         c.clear();
         assert_eq!(c.estimate(), 0.0);
+    }
+
+    #[test]
+    fn words_round_trip_preserves_estimate_and_stream() {
+        let mut a = DistinctCounter::default_size();
+        for i in 0..3_000 {
+            a.add(&Datum::Int(i * 31));
+        }
+        let mut b = DistinctCounter::from_words(a.words().to_vec()).expect("non-empty");
+        assert_eq!(a.estimate(), b.estimate());
+        for i in 0..500 {
+            a.add(&Datum::Int(i * 7 + 1));
+            b.add(&Datum::Int(i * 7 + 1));
+        }
+        assert_eq!(a.estimate(), b.estimate());
+        assert!(DistinctCounter::from_words(Vec::new()).is_none());
     }
 }

@@ -66,6 +66,49 @@ impl Reservoir {
         self.sample.clear();
         self.seen = 0;
     }
+
+    /// Export the full state — sample, capacity, stream position *and* RNG
+    /// state — so a restored reservoir continues the exact replacement
+    /// stream a restart interrupted (byte-identical samples either way).
+    pub fn export_state(&self) -> ReservoirState {
+        ReservoirState {
+            sample: self.sample.clone(),
+            capacity: self.capacity,
+            seen: self.seen,
+            rng: self.rng.to_state(),
+        }
+    }
+
+    /// Rebuild a reservoir from [`Self::export_state`]. Returns `None` when
+    /// the state is inconsistent (more samples than capacity, or more
+    /// samples than values seen) — restored sidecars are untrusted input.
+    pub fn from_state(state: ReservoirState) -> Option<Self> {
+        if state.capacity == 0
+            || state.sample.len() > state.capacity
+            || (state.sample.len() as u64) > state.seen
+        {
+            return None;
+        }
+        Some(Reservoir {
+            sample: state.sample,
+            capacity: state.capacity,
+            seen: state.seen,
+            rng: StdRng::from_state(state.rng),
+        })
+    }
+}
+
+/// Serializable snapshot of a [`Reservoir`]'s full state.
+#[derive(Debug, Clone)]
+pub struct ReservoirState {
+    /// The held sample, in slot order.
+    pub sample: Vec<Datum>,
+    /// Reservoir capacity.
+    pub capacity: usize,
+    /// Values offered so far.
+    pub seen: u64,
+    /// Raw xoshiro256++ state mid-stream.
+    pub rng: [u64; 4],
 }
 
 #[cfg(test)]
@@ -121,5 +164,37 @@ mod tests {
         r.clear();
         assert!(r.is_empty());
         assert_eq!(r.seen(), 0);
+    }
+
+    #[test]
+    fn state_round_trip_continues_stream_identically() {
+        let mut a = Reservoir::new(8, 7);
+        for i in 0..500 {
+            a.offer(&Datum::Int(i));
+        }
+        let mut b = Reservoir::from_state(a.export_state()).expect("consistent state");
+        assert_eq!(a.sample(), b.sample());
+        assert_eq!(a.seen(), b.seen());
+        // The replacement stream after the checkpoint must match exactly.
+        for i in 500..2000 {
+            a.offer(&Datum::Int(i));
+            b.offer(&Datum::Int(i));
+        }
+        assert_eq!(a.sample(), b.sample());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_shapes() {
+        let r = Reservoir::new(4, 1);
+        let mut s = r.export_state();
+        s.sample = vec![Datum::Int(1); 8]; // more than capacity
+        assert!(Reservoir::from_state(s).is_none());
+        let mut s2 = Reservoir::new(4, 1).export_state();
+        s2.sample = vec![Datum::Int(1)];
+        s2.seen = 0; // samples without offers
+        assert!(Reservoir::from_state(s2).is_none());
+        let mut s3 = Reservoir::new(4, 1).export_state();
+        s3.capacity = 0;
+        assert!(Reservoir::from_state(s3).is_none());
     }
 }

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use nodb_rawcsv::Datum;
 
-use crate::attr::AttrStats;
+use crate::attr::{AttrStats, AttrStatsState};
 use crate::estimate::{default_selectivity, PredicateSketch, SelectivityEstimator};
 
 /// All statistics known for one raw file, keyed by attribute index.
@@ -114,6 +114,42 @@ impl TableStats {
         self.row_count = None;
     }
 
+    /// Export the full registry state for snapshotting: every accumulator,
+    /// the observation frontiers, and the exact row count when known.
+    pub fn export_state(&self) -> TableStatsState {
+        let mut attrs: Vec<AttrStatsState> =
+            self.attrs.values().map(AttrStats::export_state).collect();
+        attrs.sort_by_key(|a| a.attr);
+        let mut observed: Vec<(usize, u64)> = self.observed.iter().map(|(&a, &f)| (a, f)).collect();
+        observed.sort_unstable();
+        TableStatsState {
+            attrs,
+            observed,
+            row_count: self.row_count,
+            sample_every: self.sample_every,
+        }
+    }
+
+    /// Rebuild a registry from [`Self::export_state`]. Returns `None` when
+    /// any accumulator fails validation or an accumulator's key disagrees
+    /// with its recorded attribute — restored sidecars are untrusted input.
+    pub fn from_state(state: TableStatsState) -> Option<Self> {
+        let mut attrs = HashMap::new();
+        for s in state.attrs {
+            let attr = s.attr;
+            let restored = AttrStats::from_state(s)?;
+            if attrs.insert(attr, restored).is_some() {
+                return None; // duplicate attribute entry
+            }
+        }
+        Some(TableStats {
+            attrs,
+            row_count: state.row_count,
+            observed: state.observed.into_iter().collect(),
+            sample_every: state.sample_every.max(1),
+        })
+    }
+
     /// Selectivity with interior mutability over histogram rebuilds: this
     /// takes `&mut self` because histograms are built lazily from the
     /// reservoir. The optimizer holds the registry mutably during planning.
@@ -152,6 +188,19 @@ impl TableStats {
             PredicateSketch::Opaque => default_selectivity(sketch),
         }
     }
+}
+
+/// Serializable snapshot of a [`TableStats`] registry.
+#[derive(Debug, Clone)]
+pub struct TableStatsState {
+    /// Per-attribute accumulator states, sorted by attribute.
+    pub attrs: Vec<AttrStatsState>,
+    /// `(attr, frontier)` observation frontiers, sorted by attribute.
+    pub observed: Vec<(usize, u64)>,
+    /// Exact row count when a full scan has completed.
+    pub row_count: Option<u64>,
+    /// Sampling stride in force when the snapshot was taken.
+    pub sample_every: u64,
 }
 
 /// Estimate prefix-match selectivity by scanning the reservoir sample.
@@ -289,6 +338,44 @@ mod tests {
         assert_eq!(e.row_count(), Some(100));
         let s = e.selectivity(0, &PredicateSketch::Lt(Datum::Int(50)));
         assert!(s > 0.3 && s < 0.7);
+    }
+
+    #[test]
+    fn table_state_round_trip_preserves_everything() {
+        let mut t = TableStats::new(2);
+        for i in 0..500 {
+            t.attr_mut(0).observe(&Datum::Int(i));
+            if i % 3 == 0 {
+                t.attr_mut(4).observe(&Datum::from("abc"));
+            }
+        }
+        t.advance_observed(0, 500);
+        t.advance_observed(4, 500);
+        t.set_row_count(500);
+
+        let mut r = TableStats::from_state(t.export_state()).expect("consistent");
+        assert_eq!(r.covered_attrs(), t.covered_attrs());
+        assert_eq!(r.known_row_count(), t.known_row_count());
+        assert_eq!(r.sample_every, t.sample_every);
+        for &a in &t.covered_attrs() {
+            assert_eq!(r.observed_upto(a), t.observed_upto(a));
+            let (ta, ra) = (t.attr(a).unwrap(), r.attr(a).unwrap());
+            assert_eq!(ta.rows_seen(), ra.rows_seen());
+            assert_eq!(ta.sample(), ra.sample());
+        }
+        // Selectivity estimates (which rebuild histograms lazily) agree.
+        let sk = PredicateSketch::Lt(Datum::Int(100));
+        assert_eq!(t.selectivity_mut(0, &sk), r.selectivity_mut(0, &sk));
+    }
+
+    #[test]
+    fn table_from_state_rejects_duplicates() {
+        let mut t = TableStats::new(1);
+        t.attr_mut(0).observe(&Datum::Int(1));
+        let mut s = t.export_state();
+        let dup = s.attrs[0].clone();
+        s.attrs.push(dup);
+        assert!(TableStats::from_state(s).is_none());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub use nodb_engine as engine;
 pub use nodb_posmap as posmap;
 pub use nodb_rawcache as rawcache;
 pub use nodb_rawcsv as rawcsv;
+pub use nodb_snapshot as snapshot;
 pub use nodb_sqlparse as sqlparse;
 pub use nodb_stats as stats;
 pub use nodb_storage as storage;

@@ -224,6 +224,46 @@ fn prepared_hits_visible_over_wire() {
     std::fs::remove_file(path).unwrap();
 }
 
+/// `SNAPSHOT` over the wire persists every table's sidecar on demand and
+/// `SNAPSHOT?` reports the persistence counters — even on a database
+/// opened without `snapshot_persistence` (an explicit request is its own
+/// authorization).
+#[test]
+fn snapshot_verbs_over_wire() {
+    let gen = GeneratorConfig::uniform_ints(3, 300, 0x54AF);
+    let path = scratch("snapverb");
+    gen.generate_file(&path).unwrap();
+
+    let server = Server::start(Arc::new(mk_db(&path, gen.schema(), 1)), server_config(2)).unwrap();
+    let mut client = NoDbClient::connect(server.local_addr()).unwrap();
+
+    // Warm some adaptive state so the sidecar has something to hold.
+    let q = client
+        .query("SELECT c1 FROM t WHERE c0 < 800000000")
+        .unwrap();
+    assert!(q.is_ok(), "{}", q.status);
+
+    let before = client.command("SNAPSHOT?").unwrap();
+    assert!(before.is_ok(), "{}", before.status);
+    assert!(before.body.contains("saves=0"), "{}", before.body);
+
+    let snap = client.command("SNAPSHOT").unwrap();
+    assert!(snap.is_ok(), "{}", snap.status);
+    assert_eq!(snap.body.trim(), "t=ok");
+    let sidecar = nodb_repro::snapshot::sidecar_path(&path);
+    assert!(sidecar.exists(), "SNAPSHOT wrote the sidecar");
+
+    let after = client.command("SNAPSHOT?").unwrap();
+    assert!(after.is_ok(), "{}", after.status);
+    assert!(after.body.contains("saves=1"), "{}", after.body);
+    assert!(after.body.contains("save_failures=0"), "{}", after.body);
+
+    client.quit().unwrap();
+    server.shutdown();
+    std::fs::remove_file(&sidecar).unwrap();
+    std::fs::remove_file(path).unwrap();
+}
+
 /// The non-query protocol surface: PING, TABLES, SCHEMA, PANEL, REPORT,
 /// and the error paths (bad SQL, unknown table, unknown command) — all
 /// without wedging the connection.
