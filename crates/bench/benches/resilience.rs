@@ -11,11 +11,15 @@
 //!   built internally).
 //! * `ctx` — `NoDb::query_with_ctx` with a generous 60 s deadline, so every
 //!   cooperative check actually polls the clock against a live deadline.
+//! * `epoch` — `NoDb::query` with `detect_updates` *on* (ISSUE 10): every
+//!   query re-validates the table's source epoch under the planning lock
+//!   (one `open`/`stat`/two-page read) and the warm path carries the
+//!   torn-row fence checks.
 //!
-//! The two must be within run-to-run noise of each other (<5% — far inside
-//! the CI gate's 25% budget). Records land in `BENCH_resilience.json` with
-//! the `mode` ablation column and feed the CI perf gate. `NODB_BENCH_ROWS`
-//! overrides the row count.
+//! All modes must be within run-to-run noise of each other (<5% — far
+//! inside the CI gate's 25% budget). Records land in
+//! `BENCH_resilience.json` with the `mode` ablation column and feed the CI
+//! perf gate. `NODB_BENCH_ROWS` overrides the row count.
 
 use std::cell::RefCell;
 use std::hint::black_box;
@@ -90,17 +94,29 @@ fn bench_resilience(c: &mut Criterion) {
     for threads in [1usize, 4] {
         for (name, sql) in &queries {
             let db = warmed_db(&path, &schema, config(threads), sql);
+            // A second instance with update detection on: the per-query
+            // epoch re-validation and the fence checks ride every query.
+            let db_epoch = warmed_db(
+                &path,
+                &schema,
+                NoDbConfig {
+                    detect_updates: true,
+                    ..config(threads)
+                },
+                sql,
+            );
             let expect = db.query(sql).unwrap();
             // A deadline far in the future: every cooperative check pays the
             // full "live deadline" cost, but the query never trips it.
             let deadline = QueryCtx::from_timeout_ms(60_000);
-            for mode in ["no_ctx", "ctx"] {
+            for mode in ["no_ctx", "ctx", "epoch"] {
                 let durations = RefCell::new(Vec::new());
                 group.bench_function(format!("{name}_{mode}_threads_{threads}"), |b| {
                     b.iter(|| {
                         let t = Instant::now();
                         let r = match mode {
                             "no_ctx" => db.query(sql).unwrap(),
+                            "epoch" => db_epoch.query(sql).unwrap(),
                             _ => db.query_with_ctx(sql, &deadline).unwrap(),
                         };
                         durations.borrow_mut().push(t.elapsed());
@@ -132,11 +148,13 @@ fn bench_resilience(c: &mut Criterion) {
                     .map(|r| r.mean_ms)
                     .unwrap_or(f64::NAN)
             };
-            let (plain_ms, ctx_ms) = (at("no_ctx"), at("ctx"));
+            let (plain_ms, ctx_ms, epoch_ms) = (at("no_ctx"), at("ctx"), at("epoch"));
             println!(
                 "threads={threads:<2} {name:<12} no_ctx {plain_ms:>9.3} ms  \
-                 ctx {ctx_ms:>9.3} ms  (overhead {:+.1}%)",
-                (ctx_ms / plain_ms - 1.0) * 100.0
+                 ctx {ctx_ms:>9.3} ms ({:+.1}%)  \
+                 epoch {epoch_ms:>9.3} ms ({:+.1}%)",
+                (ctx_ms / plain_ms - 1.0) * 100.0,
+                (epoch_ms / plain_ms - 1.0) * 100.0
             );
         }
     }

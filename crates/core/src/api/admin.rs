@@ -10,11 +10,11 @@
 use std::sync::Arc;
 
 use nodb_engine::{EngineError, EngineResult};
-use nodb_rawcsv::reader::FileChange;
 
 use crate::admission::{BudgetTelemetry, ScanBudget};
 use crate::api::client::NoDb;
 use crate::api::prepared::{PreparedCache, PreparedStats};
+use crate::epoch::{EpochChange, SourceEpoch};
 use crate::metrics::QueryReport;
 use crate::rawscan;
 
@@ -48,8 +48,10 @@ impl Admin<'_> {
     }
 
     /// Force an update probe on one table (the harness uses this to test
-    /// §4.2 updates without issuing a query).
-    pub fn probe_updates(&self, table: &str) -> EngineResult<FileChange> {
+    /// §4.2 updates without issuing a query). Reconciles the table exactly
+    /// like the pre-query probe: appends keep prefix state, a truncated or
+    /// rewritten file quarantines the adaptive structures.
+    pub fn probe_updates(&self, table: &str) -> EngineResult<EpochChange> {
         let h = self
             .db
             .tables
@@ -57,6 +59,21 @@ impl Admin<'_> {
             .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
         let change = h.write().check_updates()?;
         Ok(change)
+    }
+
+    /// Per-table source-epoch report plus the instance-wide invalidation
+    /// count (the server's `EPOCH?` verb): one row per table, sorted by
+    /// name, with the epoch the table is currently keyed to and its
+    /// file-state generation.
+    pub fn epoch_report(&self) -> (u64, Vec<(String, u64, SourceEpoch)>) {
+        use std::sync::atomic::Ordering;
+        let mut rows = Vec::new();
+        self.db.tables.for_each(|name, handle| {
+            let t = handle.read();
+            rows.push((name.to_string(), t.generation, *t.epoch()));
+        });
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        (self.db.source_changes.load(Ordering::Relaxed), rows)
     }
 
     /// Install a shared scan-thread budget: from now on every query

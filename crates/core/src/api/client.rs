@@ -62,6 +62,10 @@ pub struct NoDb {
     pub(crate) scan_budget: parking_lot::RwLock<Option<Arc<ScanBudget>>>,
     pub(crate) prepared: parking_lot::RwLock<Option<Arc<PreparedCache>>>,
     pub(crate) snapshot_counters: SnapshotCounters,
+    /// Lifetime count of source-epoch invalidations (quarantine + cold
+    /// rescan after a backing file was truncated/rewritten), across every
+    /// query — the instance-level view behind the server's `EPOCH?` verb.
+    pub(crate) source_changes: AtomicU64,
 }
 
 /// Atomic backing for [`crate::metrics::SnapshotTelemetry`]; incremented
@@ -98,6 +102,7 @@ impl NoDb {
             scan_budget: parking_lot::RwLock::new(None),
             prepared: parking_lot::RwLock::new(None),
             snapshot_counters: SnapshotCounters::default(),
+            source_changes: AtomicU64::new(0),
         }
     }
 
@@ -398,55 +403,123 @@ impl NoDb {
                 engine_elapsed = t.elapsed();
                 r
             };
-            let result = loop {
-                attempts += 1;
-                ctx.check()?;
-                let prep = rawscan::prepare_scan(
-                    &mut guard,
-                    &config,
-                    planned.scan.clone(),
-                    &telemetry,
-                    ctx.clone(),
-                );
-                // A stale prep (concurrent append/replace reconciliation, or a
-                // cache column evicted under budget pressure) sends the query
-                // around the loop; after a few spins it runs exclusively, which
-                // cannot go stale.
-                let exclusive = attempts > MAX_SHARED_ATTEMPTS;
-                if !exclusive && prep.fully_cached {
-                    drop(guard);
-                    match rawscan::stream_cached_shared(&handle, &config, &prep, &telemetry)? {
-                        Some(queue) => {
-                            break run_engine(&planned, Box::new(QueueSource::new(queue)))?
+            let mut source_retries = config.source_change_retries;
+            let mut source_changes = 0u64;
+            let result = 'query: loop {
+                // One scan attempt. Every exit of this inner loop leaves the
+                // write guard released, so the `SourceChanged` handler below
+                // can re-acquire it without self-deadlocking.
+                let attempt: EngineResult<QueryResult> = loop {
+                    attempts += 1;
+                    if let Err(e) = ctx.check() {
+                        drop(guard);
+                        break Err(e);
+                    }
+                    let prep = rawscan::prepare_scan(
+                        &mut guard,
+                        &config,
+                        planned.scan.clone(),
+                        &telemetry,
+                        ctx.clone(),
+                    );
+                    // A stale prep (concurrent append/replace reconciliation, or a
+                    // cache column evicted under budget pressure) sends the query
+                    // around the loop; after a few spins it runs exclusively, which
+                    // cannot go stale.
+                    let exclusive = attempts > MAX_SHARED_ATTEMPTS;
+                    if !exclusive && prep.fully_cached {
+                        drop(guard);
+                        match rawscan::stream_cached_shared(&handle, &config, &prep, &telemetry) {
+                            Ok(Some(queue)) => {
+                                break run_engine(&planned, Box::new(QueueSource::new(queue)))
+                            }
+                            Ok(None) => {
+                                guard = handle.write();
+                                continue;
+                            }
+                            Err(e) => break Err(e),
                         }
-                        None => {
+                    }
+                    if !exclusive
+                        && !prep.fully_cached
+                        && prep.threads >= 2
+                        && !config.cache_force_full_parse
+                    {
+                        drop(guard);
+                        match rawscan::scan_shared(&handle, &config, &prep, &telemetry) {
+                            Ok(Some(queue)) => {
+                                break run_engine(&planned, Box::new(QueueSource::new(queue)))
+                            }
+                            Ok(None) => {
+                                guard = handle.write();
+                                continue;
+                            }
+                            Err(e) => break Err(e),
+                        }
+                    }
+                    // Exclusive path: the write lock is held across the whole
+                    // scan (and released right after, see above).
+                    scan_inside_engine = true;
+                    let r = {
+                        let source = RawScanSource::from_prep(
+                            &mut guard,
+                            config,
+                            prep,
+                            Arc::clone(&telemetry),
+                        );
+                        run_engine(&planned, Box::new(source))
+                    };
+                    drop(guard);
+                    break r;
+                };
+                match attempt {
+                    Ok(r) => break 'query r,
+                    Err(e) => {
+                        // Self-healing cold rescan: the backing file was
+                        // truncated or rewritten mid-scan. Quarantine the
+                        // now epoch-mismatched adaptive state, re-key the
+                        // table to the fresh epoch, and retry cold —
+                        // bounded by `source_change_retries`, so a file
+                        // mutating faster than it can be scanned still
+                        // surfaces the error. Besides the guard's own
+                        // `SourceChanged`, a *raw-data* error on a file
+                        // whose epoch moved since planning is treated the
+                        // same way: a rewrite can misalign in-flight reads
+                        // into parse errors before any bounds check fires,
+                        // and blaming the data would mask the real cause.
+                        let heal = source_retries > 0
+                            && match &e {
+                                EngineError::SourceChanged { .. } => true,
+                                EngineError::Csv(_) if config.detect_updates => {
+                                    let t = handle.read();
+                                    t.epoch()
+                                        .classify(t.path())
+                                        .map_or(true, |c| c.invalidates())
+                                }
+                                _ => false,
+                            };
+                        if heal {
+                            source_retries -= 1;
+                            source_changes += 1;
+                            attempts = 0;
                             guard = handle.write();
-                            continue;
+                            guard.quarantine()?;
+                        } else {
+                            if source_changes > 0 {
+                                rawscan::lock_recover(&telemetry).source_changed = source_changes;
+                                self.source_changes
+                                    .fetch_add(source_changes, Ordering::Relaxed);
+                            }
+                            return Err(e);
                         }
                     }
                 }
-                if !exclusive
-                    && !prep.fully_cached
-                    && prep.threads >= 2
-                    && !config.cache_force_full_parse
-                {
-                    drop(guard);
-                    match rawscan::scan_shared(&handle, &config, &prep, &telemetry)? {
-                        Some(queue) => {
-                            break run_engine(&planned, Box::new(QueueSource::new(queue)))?
-                        }
-                        None => {
-                            guard = handle.write();
-                            continue;
-                        }
-                    }
-                }
-                // Exclusive path: the write lock is held across the whole scan.
-                scan_inside_engine = true;
-                let source =
-                    RawScanSource::from_prep(&mut guard, config, prep, Arc::clone(&telemetry));
-                break run_engine(&planned, Box::new(source))?;
             };
+            if source_changes > 0 {
+                rawscan::lock_recover(&telemetry).source_changed = source_changes;
+                self.source_changes
+                    .fetch_add(source_changes, Ordering::Relaxed);
+            }
             (
                 planned,
                 prepared_hit,
@@ -486,6 +559,7 @@ impl NoDb {
             installed_chunk: tel.installed_chunk,
             rows_quarantined: tel.rows_quarantined,
             quarantine_samples: std::mem::take(&mut tel.quarantine_samples),
+            source_changed: tel.source_changed,
             plan: planned.explain(),
         };
         drop(tel);
@@ -547,7 +621,7 @@ impl NoDb {
 
     /// Force an update probe on one table.
     #[deprecated(note = "moved to the admin surface: use `db.admin().probe_updates(table)`")]
-    pub fn probe_updates(&self, table: &str) -> EngineResult<nodb_rawcsv::reader::FileChange> {
+    pub fn probe_updates(&self, table: &str) -> EngineResult<crate::epoch::EpochChange> {
         self.admin().probe_updates(table)
     }
 }

@@ -92,8 +92,20 @@ pub struct NoDbConfig {
     /// row; disable for pure-throughput microbenchmarks.
     pub detailed_timing: bool,
     /// Check the raw file for appends/replacement before every query (§4.2
-    /// *Updates*).
+    /// *Updates*). Also arms the full source-epoch machinery: the torn-row
+    /// fence (scans trust only bytes up to the last newline observed at
+    /// epoch capture), mid-scan truncation detection, and post-scan epoch
+    /// re-validation before any adaptive-state merge (see `nodb_core::epoch`).
     pub detect_updates: bool,
+    /// How many times a facade query transparently retries after
+    /// `EngineError::SourceChanged` (the backing file was truncated or
+    /// rewritten mid-scan). Each retry quarantines the table's adaptive
+    /// state and rescans cold against the fresh epoch, so under the default
+    /// of `1` a single concurrent rewrite is invisible to callers; only a
+    /// file mutating faster than it can be scanned surfaces the error.
+    /// `0` disables the retry (the error surfaces immediately). Retries are
+    /// counted in `QueryReport::source_changed`.
+    pub source_change_retries: u32,
     /// Number of scan worker threads for streaming raw scans. `0` means
     /// auto-detect (`std::thread::available_parallelism`). `1` forces the
     /// single-threaded scan path — byte-for-byte the pre-parallel code, kept
@@ -186,6 +198,7 @@ impl Default for NoDbConfig {
             pin_cores: false,
             detailed_timing: true,
             detect_updates: true,
+            source_change_retries: 1,
             scan_threads: 0,
             cold_precount: true,
             vectorized_exec: true,
@@ -410,6 +423,13 @@ impl NoDbConfigBuilder {
     /// Pre-query append/replacement detection on/off.
     pub fn detect_updates(mut self, on: bool) -> Self {
         self.cfg.detect_updates = on;
+        self
+    }
+
+    /// Transparent cold-rescan retries after a mid-scan source mutation
+    /// (`0` = surface `SourceChanged` immediately).
+    pub fn source_change_retries(mut self, n: u32) -> Self {
+        self.cfg.source_change_retries = n;
         self
     }
 

@@ -59,12 +59,29 @@
 //!   payload). Locks on the failure path recover from poisoning, so one
 //!   crashed query never bricks the shared table — the next query on the
 //!   same handle runs normally.
+//! * **Source mutation** — the raw files belong to external tools, which
+//!   may append, truncate, or rewrite them at any moment. Every table is
+//!   keyed to a [`SourceEpoch`] (length, mtime, sampled head/tail hashes),
+//!   re-validated under the planning lock at every query (see [`epoch`]):
+//!   appends keep prefix state and replay the tail, truncation/rewrite
+//!   quarantines map/cache/statistics and rescans cold. A mutation *during*
+//!   a scan (short file, failed post-scan re-validation) raises
+//!   [`EngineError::SourceChanged`] without merging any poisoned partials;
+//!   the facade quarantines and retries cold up to
+//!   `source_change_retries` times, so callers normally still get a
+//!   correct answer — `source_changed` in [`QueryReport`] counts how often
+//!   it happened. The **torn-row fence**: scans only trust bytes up to the
+//!   last newline observed at epoch capture, so a row a concurrent
+//!   appender is mid-way through writing is invisible until its
+//!   terminator lands (while `detect_updates` is on, an unterminated
+//!   final line is therefore not served until a newline ends it).
 
 pub mod admission;
 mod affinity;
 pub mod api;
 pub mod config;
 pub mod ctx;
+pub mod epoch;
 pub mod metrics;
 pub mod rawscan;
 pub mod registry;
@@ -77,6 +94,7 @@ pub use admission::{BudgetTelemetry, ScanBudget, ScanGrant};
 pub use api::{Admin, NoDb, PreparedCache, PreparedStats};
 pub use config::{NoDbConfig, NoDbConfigBuilder, ParseErrorPolicy};
 pub use ctx::{CancelToken, QueryCtx};
+pub use epoch::{EpochChange, SourceEpoch};
 pub use metrics::{Breakdown, QueryReport, SnapshotTelemetry, SystemSnapshot};
 pub use rawscan::{QuarantineSample, RawScanSource, ScanTelemetry, TelemetryHandle};
 pub use registry::{TableHandle, TableRegistry};

@@ -135,6 +135,12 @@ pub struct QueryReport {
     /// Capped per-row detail of the quarantined rows (row number, line byte
     /// offset, first offending attribute).
     pub quarantine_samples: Vec<QuarantineSample>,
+    /// How many times this query found its backing file truncated or
+    /// rewritten mid-scan, quarantined the table's adaptive state and
+    /// retried with a cold rescan (bounded by the `source_change_retries`
+    /// config knob). 0 on the happy path; non-zero means the answer came
+    /// from a fresh epoch of the file.
+    pub source_changed: u64,
     /// Plan summary (EXPLAIN-lite).
     pub plan: String,
 }

@@ -151,13 +151,14 @@ use nodb_engine::{EngineError, EngineResult, ScanRequest, ScanSource};
 use nodb_posmap::{AccessPlan, AttrSource, ChunkBuilder, LineCountMemo};
 use nodb_rawcache::TypedColumn;
 use nodb_rawcsv::reader::{
-    count_lines_in_range_ctl, partition_line_ranges, BlockScanner, LineRange,
+    count_lines_in_range_ctl, partition_line_ranges_capped, BlockScanner, LineRange,
 };
 use nodb_rawcsv::tokenizer::{find_byte, Tokens};
 use nodb_rawcsv::{parser, Datum, IoCounters, RawCsvError};
 
 use crate::config::{NoDbConfig, ParseErrorPolicy};
 use crate::ctx::{QueryCtx, CHECK_STRIDE};
+use crate::epoch::SourceEpoch;
 use crate::metrics::{Breakdown, PhaseClock};
 use crate::registry::TableHandle;
 use crate::table::RawTable;
@@ -229,6 +230,11 @@ pub struct ScanTelemetry {
     /// The scan stopped before EOF (cancellation or deadline) and merged
     /// only the completed prefix of its partials.
     pub stopped_early: bool,
+    /// Source-epoch invalidations this query observed: how many times the
+    /// backing file was found truncated/rewritten (at planning, mid-scan,
+    /// or at the post-scan re-validation) and the adaptive state was
+    /// quarantined for a cold retry. 0 on the happy path.
+    pub source_changed: u64,
 }
 
 /// Rewrite a partition-local row number in a worker error to the global
@@ -478,6 +484,21 @@ pub(crate) struct ScanPrep {
     /// Per-query deadline/cancellation state; every execution path of this
     /// scan polls it cooperatively.
     pub ctx: QueryCtx,
+    /// Source epoch this scan was planned against (`None` when
+    /// `detect_updates` is off — the legacy trust-the-file behavior).
+    /// Workers fence every read to the epoch's trusted length, and the
+    /// merge phases re-validate it post-scan so a mid-scan rewrite never
+    /// installs poisoned partials.
+    pub epoch: Option<SourceEpoch>,
+}
+
+impl ScanPrep {
+    /// The torn-row fence: byte length of the file prefix this scan
+    /// trusts (up to the last newline observed at epoch capture). `None`
+    /// when mutation detection is off.
+    pub fn source_len(&self) -> Option<u64> {
+        self.epoch.as_ref().map(|e| e.trusted_len)
+    }
 }
 
 /// Phase 1 of a scan: access planning and coverage snapshots, run under the
@@ -612,6 +633,38 @@ pub(crate) fn prepare_scan(
         path: table.path.clone(),
         has_header: table.has_header,
         ctx,
+        epoch: config.detect_updates.then(|| *table.epoch()),
+    }
+}
+
+/// Post-scan epoch re-validation: run after the data phase and **before**
+/// any merge, so a file rewritten or truncated while the scan streamed it
+/// can never install poisoned map/cache/statistics partials. An `Appended`
+/// verdict is fine — the scanned prefix is still byte-identical. This also
+/// narrows the one blind spot of pre-scan validation (a same-length
+/// in-place rewrite within mtime granularity) to the window between the
+/// last read and this probe.
+pub(crate) fn revalidate_epoch(prep: &ScanPrep) -> EngineResult<()> {
+    let Some(epoch) = &prep.epoch else {
+        return Ok(());
+    };
+    let invalidated = match epoch.classify(&prep.path) {
+        Ok(change) => change.invalidates(),
+        // Can't even probe the file (deleted mid-scan, permissions
+        // yanked): same fate as a rewrite.
+        Err(_) => true,
+    };
+    if invalidated {
+        return Err(source_changed_err(prep));
+    }
+    Ok(())
+}
+
+/// The `SourceChanged` error for this scan, labeled with the backing path
+/// (the facade knows the table name; the path is what an operator needs).
+pub(crate) fn source_changed_err(prep: &ScanPrep) -> EngineError {
+    EngineError::SourceChanged {
+        table: prep.path.display().to_string(),
     }
 }
 
@@ -648,7 +701,13 @@ pub(crate) fn plan_cold_partitions(
     prep: &ScanPrep,
     config: &NoDbConfig,
 ) -> EngineResult<ColdScanPlan> {
-    let ranges = partition_line_ranges(&prep.path, prep.slice_target)?;
+    // Partition only the trusted epoch prefix: bytes past the fence (a
+    // torn trailing row, a concurrent append) belong to the next epoch.
+    let ranges = partition_line_ranges_capped(
+        &prep.path,
+        prep.slice_target,
+        prep.source_len().unwrap_or(u64::MAX),
+    )?;
     let n = ranges.len();
     let mut plan = ColdScanPlan {
         partitions: ranges
@@ -882,6 +941,7 @@ pub(crate) fn run_partitions(
         // A warm scan's row index is complete by definition — collecting
         // offsets there would only replay no-ops.
         collect_offsets: prep.plan.is_some() && !prep.warm,
+        source_len: prep.source_len(),
     };
 
     let workers = prep.threads.min(partitions.len()).max(1);
@@ -944,20 +1004,39 @@ pub(crate) fn run_partitions(
     });
 
     let steals = steals.into_inner();
-    let mut results: Vec<PartitionOutput> = Vec::with_capacity(slots.len());
-    for (idx, slot) in slots.into_iter().enumerate() {
-        let r = slot
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
-            .unwrap_or_else(|| {
-                // `catch_unwind` converts every worker panic in place, so an
-                // empty slot means the worker thread died before reporting —
-                // still surfaced structurally rather than as a bare string.
-                Err(EngineError::WorkerPanic {
-                    partition: idx,
-                    message: "worker exited without reporting a result".into(),
+    let collected: Vec<EngineResult<PartitionOutput>> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(idx, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    // `catch_unwind` converts every worker panic in place, so
+                    // an empty slot means the worker thread died before
+                    // reporting — still surfaced structurally rather than as
+                    // a bare string.
+                    Err(EngineError::WorkerPanic {
+                        partition: idx,
+                        message: "worker exited without reporting a result".into(),
+                    })
                 })
-            });
+        })
+        .collect();
+    // Source mutation outranks every other failure, whatever slice it hit:
+    // a lower slice's cancellation would otherwise win and merge a prefix
+    // of partials read from a file that no longer exists in that form, and
+    // a lower slice's parse error (rewrite garbage) would mislabel the
+    // root cause.
+    if let Some(e) = collected.iter().find_map(|r| match r {
+        Err(EngineError::SourceChanged { table }) => Some(EngineError::SourceChanged {
+            table: table.clone(),
+        }),
+        _ => None,
+    }) {
+        return Err(e);
+    }
+    let mut results: Vec<PartitionOutput> = Vec::with_capacity(collected.len());
+    for r in collected {
         match r {
             Ok(o) => results.push(o),
             Err(e @ (EngineError::Cancelled | EngineError::DeadlineExceeded)) => {
@@ -1308,6 +1387,10 @@ pub(crate) fn scan_shared(
         }
         run_partitions(&table, config, prep, partitions)?
     };
+    // Re-validate the epoch before *any* merge — including a stopped
+    // scan's partial-prefix merge — so a file rewritten while the workers
+    // streamed it never installs poisoned map/cache/stats partials.
+    revalidate_epoch(prep)?;
 
     let mut table = handle.write();
     if table.generation != prep.generation {
@@ -1867,6 +1950,12 @@ impl<'a> RawScanSource<'a> {
                 self.config.io_profile(),
             )?;
             scanner.set_interrupt(self.prep.ctx.stop_flag());
+            if let Some(fence) = self.prep.source_len() {
+                // Bound read-ahead at the torn-row fence; the loop below
+                // enforces the fence on line offsets (the cap alone is
+                // soft — it caps read-ahead, not the scan).
+                scanner.set_read_cap(fence);
+            }
             self.clock.lap(t, &mut d_io);
             self.scanner = Some(scanner);
             // The chunk builder is created here, not in `from_prep`: the
@@ -1900,9 +1989,9 @@ impl<'a> RawScanSource<'a> {
             // The line is copied into a reusable buffer so the borrow on the
             // scanner's block does not pin `self`.
             let t = self.clock.start();
-            let line_meta: Option<u64> = {
+            let (line_meta, short_end): (Option<u64>, bool) = {
                 let scanner = self.scanner.as_mut().expect("scanner open");
-                match scanner.next_line() {
+                let fetched = match scanner.next_line() {
                     Ok(Some(l)) => {
                         self.line_buf.clear();
                         self.line_buf.extend_from_slice(l.bytes);
@@ -1920,13 +2009,37 @@ impl<'a> RawScanSource<'a> {
                         }
                         return Err(e.into());
                     }
-                }
+                };
+                // Mid-scan truncation probe, checked after *every* fetch: a
+                // cut mid-line surfaces a bogus final unterminated line
+                // before EOF (catch it before parsing garbage), and a cut
+                // exactly on a newline boundary is only discovered by the
+                // empty refill after the last complete line.
+                let short = match self.prep.source_len() {
+                    Some(fence) => scanner.at_eof() && scanner.position() < fence,
+                    None => false,
+                };
+                (fetched, short)
             };
             self.clock.lap(t, &mut d_io);
+            if short_end {
+                self.bd.io += d_io;
+                return Err(source_changed_err(&self.prep));
+            }
             let Some(offset) = line_meta else {
                 reached_eof = true;
                 break;
             };
+            if let Some(fence) = self.prep.source_len() {
+                // Bytes at or past the fence belong to the next epoch (a
+                // torn trailing row, or rows appended since capture): stop
+                // as if at EOF — the next query replays them from the
+                // advanced fence.
+                if offset >= fence {
+                    reached_eof = true;
+                    break;
+                }
+            }
             if self.table.has_header && !self.header_skipped {
                 self.header_skipped = true;
                 continue;
@@ -1947,6 +2060,12 @@ impl<'a> RawScanSource<'a> {
         }
         self.bd.io += d_io;
         if reached_eof {
+            // Same post-scan re-validation as the parallel paths, before
+            // the EOF bookkeeping installs the chunk and row count. The
+            // inline cache/stats side effects already happened — that is
+            // fine: the error reaches the facade, which quarantines the
+            // table before its cold retry.
+            revalidate_epoch(&self.prep)?;
             self.finish(true);
         }
         Ok(if batch.is_empty() { None } else { Some(batch) })
@@ -1983,7 +2102,14 @@ impl<'a> RawScanSource<'a> {
             None => &self.prep.warm_partitions,
         };
 
-        let outcome = match run_partitions(self.table, &self.config, &self.prep, partitions) {
+        let outcome = match run_partitions(self.table, &self.config, &self.prep, partitions)
+            .and_then(|o| {
+                // Re-validate the epoch before any merge — a mid-scan
+                // rewrite must not install poisoned partials (same fence as
+                // the shared-handle path).
+                revalidate_epoch(&self.prep)?;
+                Ok(o)
+            }) {
             Ok(o) => o,
             Err(e) => {
                 self.bd = bd;

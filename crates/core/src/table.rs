@@ -5,13 +5,14 @@ use std::path::{Path, PathBuf};
 
 use nodb_posmap::{MapPolicy, PositionalMap};
 use nodb_rawcache::{CachePolicy, RawCache};
-use nodb_rawcsv::reader::{fnv1a, FileChange, RawFileMeta};
+use nodb_rawcsv::reader::{fnv1a, FileChange};
 use nodb_rawcsv::tokenizer::TokenizerConfig;
 use nodb_rawcsv::{RawCsvError, Schema};
 use nodb_snapshot::TableSnapshot;
 use nodb_stats::TableStats;
 
 use crate::config::NoDbConfig;
+use crate::epoch::{EpochChange, SourceEpoch};
 use crate::metrics::{ChunkInfo, SystemSnapshot};
 
 /// What restoring a sidecar snapshot did to a freshly registered table.
@@ -45,7 +46,11 @@ pub struct RawTable {
     pub(crate) map: PositionalMap,
     pub(crate) cache: RawCache,
     pub(crate) stats: TableStats,
-    pub(crate) meta: RawFileMeta,
+    /// The source epoch every adaptive structure is keyed to: length,
+    /// mtime, sampled head/tail hashes, and the torn-row fence. Re-captured
+    /// (and the generation bumped) whenever update detection reconciles a
+    /// change; only mutated under the table's write lock.
+    pub(crate) epoch: SourceEpoch,
     /// Exact data-row count once any scan has completed.
     pub(crate) row_count: Option<u64>,
     /// Per-attribute access counts (usage panel of Fig 2).
@@ -84,7 +89,7 @@ impl RawTable {
         tokenizer: TokenizerConfig,
     ) -> Result<Self, RawCsvError> {
         let path = path.as_ref().to_path_buf();
-        let meta = RawFileMeta::probe(&path)?;
+        let epoch = SourceEpoch::capture(&path)?;
         let nattrs = schema.len();
         Ok(RawTable {
             path,
@@ -97,7 +102,7 @@ impl RawTable {
             }),
             cache: RawCache::new(CachePolicy::with_budget(config.cache_budget_bytes)),
             stats: TableStats::new(config.stats_sample_every),
-            meta,
+            epoch,
             row_count: None,
             attr_access: vec![0; nattrs],
             generation: 0,
@@ -130,30 +135,52 @@ impl RawTable {
         &self.stats
     }
 
+    /// The current source epoch (see [`crate::epoch`]).
+    pub fn epoch(&self) -> &SourceEpoch {
+        &self.epoch
+    }
+
     /// Probe the file and reconcile adaptive state with any change (§4.2
-    /// *Updates*): appends keep all prefix state; replacement drops
-    /// everything.
-    pub fn check_updates(&mut self) -> Result<FileChange, RawCsvError> {
-        let change = self.meta.classify_change(&self.path)?;
+    /// *Updates*): appends keep all prefix state and replay from the old
+    /// torn-row fence; truncation or rewrite quarantines everything.
+    pub fn check_updates(&mut self) -> Result<EpochChange, RawCsvError> {
+        let change = self.epoch.classify(&self.path)?;
         match change {
-            FileChange::Unchanged => {}
-            FileChange::Appended { .. } => {
+            EpochChange::Unchanged => {}
+            EpochChange::Appended { .. } => {
                 self.map.note_appended();
                 self.stats.note_appended();
                 self.row_count = None;
-                self.meta = RawFileMeta::probe(&self.path)?;
                 self.generation += 1;
+                self.epoch = SourceEpoch::capture(&self.path)?;
             }
-            FileChange::Replaced => {
-                self.map.invalidate();
-                self.cache.invalidate();
-                self.stats.clear();
-                self.row_count = None;
-                self.meta = RawFileMeta::probe(&self.path)?;
-                self.generation += 1;
+            EpochChange::Truncated { .. } | EpochChange::Rewritten => {
+                self.quarantine()?;
             }
         }
         Ok(change)
+    }
+
+    /// Epoch quarantine: the backing file was truncated, rewritten, or
+    /// replaced, so every adaptive structure describes bytes of a dead
+    /// epoch. Drops the map (chunks, row index, line-count memo), the
+    /// cache, and the statistics atomically (the caller holds the table's
+    /// write lock), bumps the generation so staged concurrent state is
+    /// discarded at its merge fence, resets the snapshot write-behind
+    /// signature, and re-captures the epoch from the live file.
+    ///
+    /// The state drop happens *before* the re-capture, so even when the
+    /// file has meanwhile vanished (the error path) no stale state
+    /// survives — the next successful probe starts genuinely cold.
+    pub(crate) fn quarantine(&mut self) -> Result<(), RawCsvError> {
+        self.map.quarantine();
+        self.cache.quarantine();
+        self.stats.quarantine();
+        self.row_count = None;
+        self.last_snapshot_sig = 0;
+        self.generation += 1;
+        self.epoch = SourceEpoch::capture(&self.path)?;
+        Ok(())
     }
 
     /// Try to restore adaptive state from the table's sidecar snapshot.
@@ -182,6 +209,19 @@ impl RawTable {
         };
         if change == FileChange::Replaced {
             return RestoreOutcome::Rejected("file replaced since capture".to_string());
+        }
+        // Mid-mutation fence: decoding the sidecar took time, and the
+        // decision above compared the *sidecar's* fingerprint against a
+        // moving target. Re-validate the epoch captured at registration;
+        // any drift means an external writer is active right now, so the
+        // snapshot's offsets cannot be trusted to describe the bytes the
+        // first query will read. Resync the epoch and start cold instead.
+        match self.epoch.classify(&self.path) {
+            Ok(EpochChange::Unchanged) => {}
+            _ => {
+                let _ = self.check_updates();
+                return RestoreOutcome::Rejected("file mutated during restore".to_string());
+            }
         }
         if config.enable_positional_map {
             snap.map.install_into(&mut self.map);
@@ -218,7 +258,7 @@ impl RawTable {
     /// map/cache/statistics mutually consistent.
     pub fn capture_snapshot(&self) -> TableSnapshot {
         TableSnapshot::capture(
-            self.meta,
+            self.epoch.meta,
             self.row_count,
             &self.map,
             &self.cache,
@@ -234,8 +274,8 @@ impl RawTable {
     pub fn snapshot_signature(&self) -> u64 {
         let mut buf = Vec::with_capacity(128);
         let mut put = |v: u64| buf.extend_from_slice(&v.to_le_bytes());
-        put(self.meta.len);
-        put(self.meta.head_hash);
+        put(self.epoch.meta.len);
+        put(self.epoch.meta.head_hash);
         put(self.map.row_index().starts().len() as u64);
         put(u64::from(self.map.row_index().is_complete()));
         put(self.map.bytes_used() as u64);
@@ -332,8 +372,29 @@ mod tests {
         t.row_count = Some(50);
         std::fs::write(&p, "9,9,9\n").unwrap();
         let change = t.check_updates().unwrap();
-        assert_eq!(change, FileChange::Replaced);
+        assert_eq!(change, EpochChange::Rewritten);
         assert!(t.row_count.is_none());
+        assert_eq!(t.generation, 1, "quarantine bumps the generation");
+        assert_eq!(t.epoch.meta.len, 6, "epoch re-captured from the new file");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn truncation_quarantines_everything() {
+        // Big enough that the 4 KiB head window is a strict prefix —
+        // otherwise the chop below also changes the head and classifies as
+        // a rewrite (same quarantine, different label).
+        let (p, schema) = tmp_csv(2000);
+        let mut t = RawTable::register(&p, schema, false, &NoDbConfig::default()).unwrap();
+        t.row_count = Some(2000);
+        // Chop the file to a prefix (at whatever byte; head stays intact).
+        let content = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &content[..content.len() / 2]).unwrap();
+        let change = t.check_updates().unwrap();
+        assert!(matches!(change, EpochChange::Truncated { .. }));
+        assert!(t.row_count.is_none());
+        assert!(t.map.chunks().is_empty());
+        assert_eq!(t.cache.bytes_used(), 0);
         std::fs::remove_file(p).unwrap();
     }
 
@@ -344,8 +405,15 @@ mod tests {
         let mut t = RawTable::register(&p, schema, false, &NoDbConfig::default()).unwrap();
         t.row_count = Some(50);
         cfg_for_append.append_rows(&p, 10).unwrap();
+        let old_fence = t.epoch.trusted_len;
         let change = t.check_updates().unwrap();
-        assert!(matches!(change, FileChange::Appended { .. }));
+        assert_eq!(
+            change,
+            EpochChange::Appended {
+                old_trusted_len: old_fence
+            },
+            "replay starts at the old torn-row fence"
+        );
         assert!(t.row_count.is_none(), "count must be re-learned");
         std::fs::remove_file(p).unwrap();
     }

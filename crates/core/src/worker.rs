@@ -21,7 +21,7 @@ use std::path::Path;
 use std::time::Duration;
 
 use nodb_engine::batch::{Batch, BATCH_SIZE};
-use nodb_engine::{EngineResult, ScanRequest};
+use nodb_engine::{EngineError, EngineResult, ScanRequest};
 use nodb_posmap::{AccessPlan, AttrSource, ChunkBuilder, PositionalMap};
 use nodb_rawcache::{RawCache, TypedColumn};
 use nodb_rawcsv::reader::{LineRange, RangeScanner};
@@ -85,6 +85,17 @@ pub(crate) struct ScanContext<'a> {
     pub build_chunk: bool,
     /// Record line-start offsets for the shared row index.
     pub collect_offsets: bool,
+    /// The source epoch's torn-row fence (`None` when `detect_updates` is
+    /// off): workers clamp their partition range to it and treat an EOF
+    /// before it as a mid-scan truncation ([`EngineError::SourceChanged`]).
+    pub source_len: Option<u64>,
+}
+
+/// The mid-scan mutation error, labeled with the backing path.
+fn source_changed(ctx: &ScanContext<'_>) -> EngineError {
+    EngineError::SourceChanged {
+        table: ctx.path.display().to_string(),
+    }
 }
 
 /// One partition of work.
@@ -168,12 +179,21 @@ pub(crate) fn run_partition(
     // `io_readahead_blocks > 0` a helper thread keeps the next blocks in
     // flight while this worker tokenizes the current one (`BlockSource` in
     // `nodb_rawcsv::reader`); `0` reads synchronously as before.
+    // Clamp the partition to the epoch's torn-row fence: bytes past it
+    // belong to the next epoch (a torn trailing row, a concurrent append).
+    // This also resolves the warm last partition's `u64::MAX` run-to-EOF
+    // sentinel to a hard edge, so an appender can never leak new-epoch rows
+    // into a warm scan.
+    let mut range = part.range;
+    if let Some(fence) = ctx.source_len {
+        range.end = range.end.min(fence);
+    }
     let t = clock.start();
     let mut scanner = RangeScanner::open_with_profile(
         ctx.path,
         ctx.config.io_block_size,
         ctx.config.io_readahead_blocks,
-        part.range,
+        range,
         0,
         ctx.config.io_profile(),
     )?;
@@ -273,6 +293,15 @@ pub(crate) fn run_partition(
         // its time lands in the tokenizing slice; the plain path's fetch is
         // pure I/O + newline discovery, as in the sequential scan.
         clock.lap(t, if fused { &mut d_tok } else { &mut d_io });
+        // Mid-scan truncation detection, gated on the fence so legacy mode
+        // (`detect_updates` off) stays byte-identical. Both probes are
+        // needed: a cut mid-line surfaces a bogus final unterminated line
+        // *before* `None` (catch it before parsing garbage); a cut exactly
+        // on a newline boundary is only discovered by the empty refill
+        // after the last complete line (the `None` arm).
+        if ctx.source_len.is_some() && scanner.ended_short() {
+            return Err(source_changed(ctx));
+        }
         let Some(offset) = line_meta else { break };
         if header_pending {
             header_pending = false;

@@ -34,6 +34,19 @@ pub enum EngineError {
         /// Queries already waiting for scan-thread permits at rejection.
         waiting: usize,
     },
+    /// The raw source file was truncated, rewritten, or replaced by an
+    /// external writer while (or since) the query's source epoch was
+    /// captured, so the bytes on disk no longer match the epoch every
+    /// adaptive structure is keyed to. No results derived from the stale
+    /// epoch are returned and no partial state from the doomed scan is
+    /// merged; the facade reacts by quarantining the table's map / cache /
+    /// statistics and retrying once with a cold rescan
+    /// (`NoDbConfig::source_change_retries`), so callers normally never
+    /// see this variant unless the file keeps churning.
+    SourceChanged {
+        /// Table whose backing file changed under the scan.
+        table: String,
+    },
     /// A scan worker panicked. The panic is contained at the worker
     /// boundary (`catch_unwind`), so the table stays usable; the payload
     /// and the partition that blew up travel with the error.
@@ -59,6 +72,13 @@ impl fmt::Display for EngineError {
                 write!(
                     f,
                     "server overloaded ({waiting} queries queued); retry later"
+                )
+            }
+            EngineError::SourceChanged { table } => {
+                write!(
+                    f,
+                    "source file of table {table:?} changed under the scan; \
+                     adaptive state quarantined, retry the query"
                 )
             }
             EngineError::WorkerPanic { partition, message } => {

@@ -548,6 +548,16 @@ impl PositionalMap {
         self.row_index.mark_incomplete();
         self.line_counts.clear();
     }
+
+    /// Epoch quarantine: the backing file was truncated or rewritten, so
+    /// every recorded offset — chunks, the row index, and the line-count
+    /// memo — may point at bytes from a different file epoch and must not
+    /// be consulted again. Today an alias of [`Self::invalidate`]; the
+    /// source-epoch layer calls it under this name so the intent ("the file
+    /// mutated under us") stays distinct from administrative resets.
+    pub fn quarantine(&mut self) {
+        self.invalidate();
+    }
 }
 
 #[cfg(test)]

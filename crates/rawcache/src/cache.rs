@@ -350,6 +350,13 @@ impl RawCache {
         self.bytes_used = 0;
     }
 
+    /// Epoch quarantine: the backing file was truncated or rewritten, so
+    /// cached values were parsed from bytes of a dead file epoch. Alias of
+    /// [`Self::invalidate`] under the name the source-epoch layer uses.
+    pub fn quarantine(&mut self) {
+        self.invalidate();
+    }
+
     /// Drop a single attribute (used by tests and the demo's component
     /// toggles).
     pub fn evict_attr(&mut self, attr: usize) {

@@ -1228,6 +1228,21 @@ impl BlockScanner {
         self.source.set_read_cap(cap);
     }
 
+    /// The file offset of the next unconsumed byte. After a line is
+    /// produced this points just past its terminator (or, for a final
+    /// unterminated line, just past its last byte) — so at end of stream
+    /// it equals the number of file bytes the scan actually saw.
+    pub fn position(&self) -> u64 {
+        self.win.file_offset + self.win.pos as u64
+    }
+
+    /// Whether the underlying source reported end of stream. Combined with
+    /// [`Self::position`] a caller that knows the expected file length can
+    /// tell a clean end from a file that shrank mid-scan.
+    pub fn at_eof(&self) -> bool {
+        self.eof
+    }
+
     /// Install a cooperative interrupt flag on the underlying source (see
     /// [`BlockSource::set_interrupt`]).
     pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
@@ -1276,13 +1291,29 @@ pub struct LineRange {
 /// the whole file is read (it is tiny by definition) and split line-exactly
 /// into `min(parts, lines)` ranges.
 pub fn partition_line_ranges(path: impl AsRef<Path>, parts: usize) -> Result<Vec<LineRange>> {
+    partition_line_ranges_capped(path, parts, u64::MAX)
+}
+
+/// [`partition_line_ranges`] bounded by an externally known length: the
+/// ranges cover `[0, min(file_len, max_len))`. Callers that fingerprinted
+/// the file earlier (a source epoch) pass the fingerprinted length so that
+/// (a) a file that *grew* since the fingerprint is partitioned only up to
+/// the known-good prefix (a concurrent appender's torn tail is never
+/// handed to a scanner), and (b) a file that *shrank* between `stat` and
+/// open yields ranges that never seek past EOF.
+pub fn partition_line_ranges_capped(
+    path: impl AsRef<Path>,
+    parts: usize,
+    max_len: u64,
+) -> Result<Vec<LineRange>> {
     let path = path.as_ref();
     let mut file =
         File::open(path).map_err(|e| RawCsvError::io(format!("open {}", path.display()), e))?;
     let len = file
         .metadata()
         .map_err(|e| RawCsvError::io(format!("stat {}", path.display()), e))?
-        .len();
+        .len()
+        .min(max_len);
     if len == 0 {
         return Ok(Vec::new());
     }
@@ -1321,6 +1352,10 @@ fn partition_tiny_file(
     let mut bytes = Vec::with_capacity(usize::try_from(len).unwrap_or(0));
     file.read_to_end(&mut bytes)
         .map_err(|e| RawCsvError::io(format!("read {}", path.display()), e))?;
+    // The caller may have capped `len` below the file's current length
+    // (a source epoch older than a concurrent append); ignore the excess.
+    // lint: cast-ok tiny file: len < parts, a small caller constant
+    bytes.truncate(len as usize);
     let mut starts: Vec<u64> = vec![0];
     for (i, &b) in bytes.iter().enumerate() {
         if b == b'\n' && i + 1 < bytes.len() {
@@ -1576,6 +1611,24 @@ impl RangeScanner {
     /// [`BlockSource::set_interrupt`]).
     pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
         self.inner.set_interrupt(flag);
+    }
+
+    /// The file offset of the next unconsumed byte (see
+    /// [`BlockScanner::position`]).
+    pub fn position(&self) -> u64 {
+        self.inner.position()
+    }
+
+    /// Whether the scan ran out of file *before* reaching the range end:
+    /// the source reported end of stream while the read position is still
+    /// short of `range.end`. A clean exhaustion (a line starting at or
+    /// after `end`, or the file ending exactly at `end`) never trips this —
+    /// only a file that shrank after the range was planned does. Callers
+    /// should consult this both after every produced line (a truncation
+    /// mid-line surfaces as a bogus final unterminated line *before* the
+    /// scanner returns `None`) and when `next_line` returns `None`.
+    pub fn ended_short(&self) -> bool {
+        self.inner.at_eof() && self.inner.position() < self.end
     }
 }
 
@@ -1973,6 +2026,92 @@ mod tests {
     fn partition_of_empty_file_is_empty() {
         let p = tmp_file("partition_empty", b"");
         assert!(partition_line_ranges(&p, 4).unwrap().is_empty());
+        std::fs::remove_file(p).unwrap();
+    }
+
+    /// Regression: a capped partitioning covers exactly `[0, cap)` even
+    /// when the file on disk is longer (it grew after the cap was
+    /// fingerprinted), for both the probing and the tiny-file paths.
+    #[test]
+    fn capped_partitions_ignore_bytes_past_cap() {
+        let content = gen_lines(100);
+        // Cap at a line boundary ~60% in.
+        let cap = {
+            let target = content.len() * 6 / 10;
+            let nl = content[..target].iter().rposition(|&b| b == b'\n').unwrap();
+            (nl + 1) as u64
+        };
+        let p = tmp_file("partition_capped", &content);
+        for parts in [1usize, 3, 8] {
+            let ranges = partition_line_ranges_capped(&p, parts, cap).unwrap();
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, cap, "parts={parts}");
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+        std::fs::remove_file(&p).unwrap();
+
+        // Tiny-file path: cap smaller than `parts`.
+        let p = tmp_file("partition_capped_tiny", b"a\nb\nc\nd\n");
+        let ranges = partition_line_ranges_capped(&p, 16, 4).unwrap();
+        assert_eq!(ranges.last().unwrap().end, 4);
+        let owned: u64 = ranges.iter().map(|r| r.end - r.start).sum();
+        assert_eq!(owned, 4, "exactly the capped prefix is covered");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    /// A cap at or above the file length is a no-op (same ranges as the
+    /// uncapped partitioner), and a cap of zero yields no ranges.
+    #[test]
+    fn capped_partitions_degenerate_cases() {
+        let content = gen_lines(50);
+        let p = tmp_file("partition_cap_nop", &content);
+        let plain = partition_line_ranges(&p, 4).unwrap();
+        let capped = partition_line_ranges_capped(&p, 4, content.len() as u64).unwrap();
+        assert_eq!(plain, capped);
+        assert!(partition_line_ranges_capped(&p, 4, 0).unwrap().is_empty());
+        std::fs::remove_file(p).unwrap();
+    }
+
+    /// `ended_short` distinguishes a file that shrank mid-scan from a clean
+    /// range exhaustion.
+    #[test]
+    fn range_scanner_reports_short_end_after_truncation() {
+        let content = gen_lines(200);
+        let len = content.len() as u64;
+        let p = tmp_file("range_short", &content);
+
+        // Clean full-range scan: never short.
+        let range = LineRange { start: 0, end: len };
+        let mut sc = RangeScanner::open(&p, 4096, range, 0).unwrap();
+        while let Some(_l) = sc.next_line().unwrap() {}
+        assert!(!sc.ended_short(), "clean EOF at range end is not short");
+
+        // Truncate mid-file, deliberately mid-line (3 bytes past a line
+        // start; every generated row is longer than that), then scan the
+        // full planned range: the scanner must (a) surface the torn final
+        // line as short *before* `None`, and (b) still be short at `None`.
+        let cut = {
+            let nl = content[content.len() / 3..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .unwrap();
+            content.len() / 3 + nl + 1 + 3
+        };
+        std::fs::write(&p, &content[..cut]).unwrap();
+        let mut sc = RangeScanner::open(&p, 4096, range, 0).unwrap();
+        let mut short_seen_on_line = false;
+        while let Some(_l) = sc.next_line().unwrap() {
+            if sc.ended_short() {
+                short_seen_on_line = true;
+            }
+        }
+        assert!(
+            short_seen_on_line,
+            "torn final line must be flagged before parse"
+        );
+        assert!(sc.ended_short(), "exhaustion before range end is short");
         std::fs::remove_file(p).unwrap();
     }
 

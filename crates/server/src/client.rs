@@ -23,10 +23,18 @@ impl Response {
     }
 }
 
+/// Base backoff before the first overload retry, doubling per attempt —
+/// the same bounded-exponential pattern the engine's transient-I/O retry
+/// uses (`io_retry_backoff_ms`).
+const OVERLOAD_BACKOFF_MS: u64 = 2;
+
 /// A connected nodb-server client. One request in flight at a time
 /// (requests and responses strictly alternate on the wire).
 pub struct NoDbClient {
     stream: TcpStream,
+    /// How many times [`Self::query`] re-sends after an `ERR overloaded`
+    /// rejection (`0` = surface the rejection immediately, the default).
+    overload_retries: u32,
 }
 
 impl NoDbClient {
@@ -34,7 +42,10 @@ impl NoDbClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NoDbClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(NoDbClient { stream })
+        Ok(NoDbClient {
+            stream,
+            overload_retries: 0,
+        })
     }
 
     /// Like [`Self::connect`] with a connect timeout (tests / impatient
@@ -45,7 +56,22 @@ impl NoDbClient {
     ) -> io::Result<NoDbClient> {
         let stream = TcpStream::connect_timeout(addr, timeout)?;
         stream.set_nodelay(true).ok();
-        Ok(NoDbClient { stream })
+        Ok(NoDbClient {
+            stream,
+            overload_retries: 0,
+        })
+    }
+
+    /// Opt in to retrying `ERR overloaded` rejections: [`Self::query`]
+    /// re-sends up to `attempts` times with bounded exponential backoff
+    /// (base [`OVERLOAD_BACKOFF_MS`], doubling per attempt, exponent capped
+    /// so the sleep never overflows). The server rejects *before* touching
+    /// any table state, so a retried query is side-effect free until
+    /// admitted. Off by default — a load generator or batch tool opts in;
+    /// an interactive caller usually wants to see the back-pressure.
+    pub fn retry_overloaded(mut self, attempts: u32) -> Self {
+        self.overload_retries = attempts;
+        self
     }
 
     /// Send one raw command line and read the two-frame response.
@@ -56,9 +82,23 @@ impl NoDbClient {
         Ok(Response { status, body })
     }
 
-    /// Run one SQL statement (`QUERY <sql>`).
+    /// Run one SQL statement (`QUERY <sql>`). With
+    /// [`Self::retry_overloaded`] set, `ERR overloaded` rejections are
+    /// retried with exponential backoff; every other response (including
+    /// other errors) is returned as-is.
     pub fn query(&mut self, sql: &str) -> io::Result<Response> {
-        self.command(&format!("QUERY {sql}"))
+        let line = format!("QUERY {sql}");
+        let mut attempt = 0u32;
+        loop {
+            let resp = self.command(&line)?;
+            if attempt < self.overload_retries && resp.status.starts_with("ERR overloaded") {
+                attempt += 1;
+                let backoff = OVERLOAD_BACKOFF_MS.saturating_mul(1u64 << (attempt - 1).min(6));
+                std::thread::sleep(Duration::from_millis(backoff));
+                continue;
+            }
+            return Ok(resp);
+        }
     }
 
     /// Liveness check.

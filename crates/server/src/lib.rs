@@ -362,6 +362,19 @@ fn handle_connection(
                 );
                 respond(&mut stream, "OK", &body)?;
             }
+            Command::EpochStats => {
+                let (source_changes, rows) = db.admin().epoch_report();
+                let mut body = format!("source_changes={source_changes}");
+                for (name, generation, epoch) in rows {
+                    body.push_str(&format!(
+                        "\ntable={name} generation={generation} len={} trusted_len={} torn_tail={}",
+                        epoch.meta.len,
+                        epoch.trusted_len,
+                        u8::from(epoch.trusted_len < epoch.meta.len),
+                    ));
+                }
+                respond(&mut stream, "OK", &body)?;
+            }
             Command::Query(sql) => {
                 let outcome = run_query(&mut stream, db, stats, timeout_ms, &sql);
                 match outcome {
@@ -402,10 +415,11 @@ fn run_query(
         Ok((result, report)) => {
             stats.queries_ok.fetch_add(1, Ordering::Relaxed);
             let status = format!(
-                "OK rows={} prepared={} cached={} ms={:.3}",
+                "OK rows={} prepared={} cached={} source_changed={} ms={:.3}",
                 result.len(),
                 u8::from(report.prepared_hit),
                 u8::from(report.fully_cached),
+                report.source_changed,
                 t0.elapsed().as_secs_f64() * 1e3
             );
             respond(stream, &status, &result.to_string())?;

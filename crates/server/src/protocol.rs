@@ -194,6 +194,10 @@ pub enum Command {
     /// `SNAPSHOT?` — snapshot persistence counters (saves, failures,
     /// restores, rejected restores).
     SnapshotStats,
+    /// `EPOCH?` — source-epoch report: the instance-wide count of
+    /// quarantine-and-cold-rescan events, plus one line per table with the
+    /// epoch (generation, length, torn-row fence) it is currently keyed to.
+    EpochStats,
     /// `PING` — liveness check.
     Ping,
     /// `QUIT` — close the connection.
@@ -221,6 +225,7 @@ impl Command {
             "STATS" => Ok(Command::Stats),
             "SNAPSHOT" => Ok(Command::Snapshot),
             "SNAPSHOT?" => Ok(Command::SnapshotStats),
+            "EPOCH?" => Ok(Command::EpochStats),
             "PING" => Ok(Command::Ping),
             "QUIT" => Ok(Command::Quit),
             other => Err(format!("unknown command {other:?}")),
@@ -280,5 +285,7 @@ mod tests {
         assert_eq!(Command::parse("SNAPSHOT"), Ok(Command::Snapshot));
         assert_eq!(Command::parse("snapshot?"), Ok(Command::SnapshotStats));
         assert_eq!(Command::parse(" SNAPSHOT? "), Ok(Command::SnapshotStats));
+        assert_eq!(Command::parse("epoch?"), Ok(Command::EpochStats));
+        assert_eq!(Command::parse(" EPOCH? "), Ok(Command::EpochStats));
     }
 }

@@ -114,6 +114,13 @@ impl TableStats {
         self.row_count = None;
     }
 
+    /// Epoch quarantine: the backing file was truncated or rewritten, so
+    /// every accumulator observed rows of a dead file epoch. Alias of
+    /// [`Self::clear`] under the name the source-epoch layer uses.
+    pub fn quarantine(&mut self) {
+        self.clear();
+    }
+
     /// Export the full registry state for snapshotting: every accumulator,
     /// the observation frontiers, and the exact row count when known.
     pub fn export_state(&self) -> TableStatsState {

@@ -264,6 +264,136 @@ fn snapshot_verbs_over_wire() {
     std::fs::remove_file(path).unwrap();
 }
 
+/// Bounded overload retry (ISSUE 10 satellite): against a saturated
+/// budget with a zero-length admission queue, a plain client surfaces
+/// `ERR overloaded` immediately, while a client opted into
+/// `retry_overloaded` rides out the saturation with backoff and gets the
+/// answer once the permit frees up.
+#[test]
+fn retry_overloaded_rides_out_saturation() {
+    let gen = GeneratorConfig::uniform_ints(5, 60_000, 0x0B5C);
+    let path = scratch("overload");
+    gen.generate_file(&path).unwrap();
+    // The permit-holding query must stay in flight for hundreds of ms:
+    // same deterministic slow-scan recipe as the resilience suite (tiny
+    // blocks, a fault every refill, retry backoff on each).
+    let mut db = NoDb::new(NoDbConfig {
+        scan_threads: 1,
+        io_block_size: 4096,
+        io_readahead_blocks: 0,
+        cold_precount: false,
+        io_fault_seed: 0x0B5C,
+        io_fault_one_in: 1,
+        io_retry_attempts: 2,
+        io_retry_backoff_ms: 4,
+        ..NoDbConfig::default()
+    });
+    db.register_csv_with_schema("t", &path, gen.schema(), false)
+        .unwrap();
+    let server = Server::start(
+        Arc::new(db),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scan_budget: 1,
+            admission_queue: 0,
+            prepared_statements: 8,
+            query_timeout_ms: 0,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let sql = "SELECT COUNT(*), SUM(c1) FROM t";
+
+    // Client A grabs the only permit and holds it for the whole slow scan.
+    let mut holder = NoDbClient::connect(addr).unwrap();
+    holder.send_only(&format!("QUERY {sql}")).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(40));
+
+    // A plain client is bounced immediately — the back-pressure signal.
+    let mut plain = NoDbClient::connect(addr).unwrap();
+    let bounced = plain.query(sql).unwrap();
+    assert!(
+        bounced.status.starts_with("ERR overloaded"),
+        "expected an immediate rejection, got {}",
+        bounced.status
+    );
+
+    // A retrying client backs off and wins once the holder finishes. The
+    // budget is generous (the backoff caps at 128 ms/attempt, so 64
+    // attempts ≈ 8 s) because the holder's chaos scan can stretch well
+    // past its usual few hundred ms when the whole suite runs in parallel.
+    let mut patient = NoDbClient::connect(addr).unwrap().retry_overloaded(64);
+    let resp = patient.query(sql).unwrap();
+    assert!(resp.is_ok(), "retry never got through: {}", resp.status);
+
+    // Drain the holder's response: same answer, and telemetry shows both
+    // the rejection(s) and zero stuck waiters.
+    let hold_resp = holder.command("PING").map(|_| ());
+    assert!(hold_resp.is_ok(), "holder connection still healthy");
+    let t = server.budget().telemetry();
+    assert!(t.rejected >= 1, "the bounce was counted: {t:?}");
+    assert_eq!(t.waiting, 0, "no stuck waiters");
+    plain.quit().unwrap();
+    patient.quit().unwrap();
+    holder.quit().unwrap();
+    server.shutdown();
+    std::fs::remove_file(path).unwrap();
+}
+
+/// `EPOCH?` over the wire, and `source_changed=` in the QUERY status
+/// line: a freshly served table reports generation 0 and no torn tail;
+/// after an external rewrite the next query heals and the report shows
+/// the bumped generation and re-keyed length.
+#[test]
+fn epoch_verb_over_wire() {
+    let gen = GeneratorConfig::uniform_ints(3, 500, 0xE9);
+    let path = scratch("epochverb");
+    gen.generate_file(&path).unwrap();
+
+    let server = Server::start(Arc::new(mk_db(&path, gen.schema(), 1)), server_config(2)).unwrap();
+    let mut client = NoDbClient::connect(server.local_addr()).unwrap();
+
+    let q = client.query("SELECT COUNT(*) FROM t").unwrap();
+    assert!(q.is_ok(), "{}", q.status);
+    assert!(q.status.contains("source_changed=0"), "{}", q.status);
+
+    let before = client.command("EPOCH?").unwrap();
+    assert!(before.is_ok(), "{}", before.status);
+    assert!(before.body.contains("source_changes=0"), "{}", before.body);
+    assert!(
+        before.body.contains("table=t generation=0"),
+        "{}",
+        before.body
+    );
+    assert!(before.body.contains("torn_tail=0"), "{}", before.body);
+
+    // External rewrite between queries: reconciled at the planning probe,
+    // generation bumps, the epoch re-keys to the new length.
+    let gen2 = GeneratorConfig::uniform_ints(3, 250, 0xBEE);
+    gen2.generate_file(&path).unwrap();
+    let q2 = client.query("SELECT COUNT(*) FROM t").unwrap();
+    assert!(q2.is_ok(), "{}", q2.status);
+    assert!(q2.body.contains("250"), "cold-correct answer: {}", q2.body);
+
+    let after = client.command("EPOCH?").unwrap();
+    assert!(after.is_ok(), "{}", after.status);
+    assert!(
+        after.body.contains("table=t generation=1"),
+        "{}",
+        after.body
+    );
+    let len = std::fs::metadata(&path).unwrap().len();
+    assert!(
+        after.body.contains(&format!("len={len} trusted_len={len}")),
+        "{}",
+        after.body
+    );
+
+    client.quit().unwrap();
+    server.shutdown();
+    std::fs::remove_file(path).unwrap();
+}
+
 /// The non-query protocol surface: PING, TABLES, SCHEMA, PANEL, REPORT,
 /// and the error paths (bad SQL, unknown table, unknown command) — all
 /// without wedging the connection.
